@@ -1,0 +1,133 @@
+//! Criterion micro-benchmarks for the building blocks whose cost dominates
+//! the per-window running time reported in Fig. 6(h), 8(g) and 8(k):
+//! shortest-path queries under the three engines, Kuhn–Munkres matching,
+//! order batching, sparsified vs dense FoodGraph construction, and one full
+//! FoodMatch window.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use foodmatch_core::{
+    batch_orders, build_food_graph, DispatchConfig, DispatchPolicy, FoodMatchPolicy,
+    GreedyPolicy, KuhnMunkresPolicy, WindowSnapshot,
+};
+use foodmatch_matching::{solve_hungarian, CostMatrix};
+use foodmatch_roadnet::{EngineKind, HourSlot, ShortestPathEngine, TimePoint};
+use foodmatch_workload::{CityId, Scenario, ScenarioOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn lunch_window(city: CityId, orders: usize) -> (WindowSnapshot, ShortestPathEngine, DispatchConfig) {
+    let scenario = Scenario::generate(city, ScenarioOptions::lunch_peak(7));
+    let engine = ShortestPathEngine::cached(scenario.city.network.clone());
+    let config = DispatchConfig { accumulation_window: scenario.city.preset.delta, ..Default::default() };
+    let time = TimePoint::from_hms(13, 0, 0);
+    let window_orders: Vec<_> = scenario.orders.iter().copied().take(orders).collect();
+    let vehicles: Vec<_> = scenario
+        .vehicle_starts
+        .iter()
+        .map(|&(id, node)| foodmatch_core::VehicleSnapshot::idle(id, node))
+        .collect();
+    (WindowSnapshot::new(time, window_orders, vehicles), engine, config)
+}
+
+fn bench_shortest_paths(c: &mut Criterion) {
+    let scenario = Scenario::generate(CityId::A, ScenarioOptions::lunch_peak(3));
+    let network = scenario.city.network.clone();
+    let nodes: Vec<_> = network.node_ids().collect();
+    let mut rng = StdRng::seed_from_u64(11);
+    let pairs: Vec<_> = (0..64)
+        .map(|_| {
+            (
+                nodes[rng.random_range(0..nodes.len())],
+                nodes[rng.random_range(0..nodes.len())],
+            )
+        })
+        .collect();
+    let t = TimePoint::from_hms(13, 0, 0);
+
+    let mut group = c.benchmark_group("shortest_path");
+    for kind in [EngineKind::Dijkstra, EngineKind::Cached, EngineKind::HubLabels] {
+        let engine = ShortestPathEngine::new(network.clone(), kind);
+        engine.warm_up(HourSlot::new(13));
+        // Prime the cache so the cached engine measures steady-state queries.
+        for &(a, b) in &pairs {
+            black_box(engine.travel_time(a, b, t));
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{kind:?}")), &engine, |b, engine| {
+            b.iter(|| {
+                for &(from, to) in &pairs {
+                    black_box(engine.travel_time(from, to, t));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hungarian(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hungarian");
+    let mut rng = StdRng::seed_from_u64(5);
+    for size in [10usize, 40, 120] {
+        let matrix = CostMatrix::from_fn(size, size, |_, _| rng.random_range(0.0..1_000.0));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &matrix, |b, matrix| {
+            b.iter(|| black_box(solve_hungarian(matrix)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_batching(c: &mut Criterion) {
+    let (window, engine, config) = lunch_window(CityId::A, 24);
+    let mut group = c.benchmark_group("batching");
+    group.sample_size(10);
+    group.bench_function("cluster_24_orders", |b| {
+        b.iter(|| black_box(batch_orders(&window.orders, &engine, window.time, &config)))
+    });
+    group.finish();
+}
+
+fn bench_foodgraph(c: &mut Criterion) {
+    let (window, engine, config) = lunch_window(CityId::A, 24);
+    let batches = batch_orders(&window.orders, &engine, window.time, &config).batches;
+    let mut group = c.benchmark_group("foodgraph");
+    group.sample_size(10);
+    let dense_config = DispatchConfig { use_bfs_sparsification: false, ..config.clone() };
+    group.bench_function("dense", |b| {
+        b.iter(|| {
+            black_box(build_food_graph(&batches, &window.vehicles, &engine, window.time, &dense_config))
+        })
+    });
+    group.bench_function("sparsified_bfs", |b| {
+        b.iter(|| black_box(build_food_graph(&batches, &window.vehicles, &engine, window.time, &config)))
+    });
+    group.finish();
+}
+
+fn bench_window_assignment(c: &mut Criterion) {
+    let (window, engine, config) = lunch_window(CityId::A, 18);
+    let mut group = c.benchmark_group("window_assignment");
+    group.sample_size(10);
+    group.bench_function("foodmatch", |b| {
+        let mut policy = FoodMatchPolicy::new();
+        b.iter(|| black_box(policy.assign(&window, &engine, &config)))
+    });
+    group.bench_function("km", |b| {
+        let mut policy = KuhnMunkresPolicy::new();
+        b.iter(|| black_box(policy.assign(&window, &engine, &config)))
+    });
+    group.bench_function("greedy", |b| {
+        let mut policy = GreedyPolicy::new();
+        b.iter(|| black_box(policy.assign(&window, &engine, &config)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_shortest_paths,
+    bench_hungarian,
+    bench_batching,
+    bench_foodgraph,
+    bench_window_assignment
+);
+criterion_main!(benches);

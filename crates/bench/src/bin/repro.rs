@@ -1,0 +1,86 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro list                 # show available experiments
+//! repro all [--quick]        # run the whole suite
+//! repro fig6cde [--seed 3]   # run one experiment
+//! ```
+
+use foodmatch_bench::experiments;
+use foodmatch_bench::ExperimentContext;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+        return ExitCode::FAILURE;
+    }
+
+    let mut ctx = ExperimentContext::default();
+    let mut names: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => ctx.quick = true,
+            "--seed" => match iter.next().and_then(|s| s.parse().ok()) {
+                Some(seed) => ctx.seed = seed,
+                None => {
+                    eprintln!("--seed requires an integer argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "-h" | "--help" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => names.push(other.to_string()),
+        }
+    }
+
+    if names.iter().any(|n| n == "list") {
+        println!("Available experiments:");
+        for experiment in experiments::ALL {
+            println!("  {:<10} {}", experiment.name, experiment.description);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let to_run: Vec<&experiments::Experiment> = if names.iter().any(|n| n == "all") {
+        experiments::ALL.iter().collect()
+    } else {
+        let mut selected = Vec::new();
+        for name in &names {
+            match experiments::find(name) {
+                Some(experiment) => selected.push(experiment),
+                None => {
+                    eprintln!("unknown experiment '{name}' (try `repro list`)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        selected
+    };
+
+    if to_run.is_empty() {
+        usage();
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "# FoodMatch reproduction harness — seed {}, {} mode",
+        ctx.seed,
+        if ctx.quick { "quick" } else { "full" }
+    );
+    for experiment in to_run {
+        let started = std::time::Instant::now();
+        (experiment.run)(&ctx);
+        println!("\n[{} finished in {:.1}s]", experiment.name, started.elapsed().as_secs_f64());
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage() {
+    eprintln!("usage: repro <experiment|all|list> [--quick] [--seed N]");
+    eprintln!("run `repro list` to see the available experiments");
+}

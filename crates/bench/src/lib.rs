@@ -1,0 +1,25 @@
+//! # foodmatch-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation (§V), plus shared plumbing for the Criterion
+//! micro-benchmarks.
+//!
+//! The entry point is the `repro` binary:
+//!
+//! ```text
+//! cargo run --release -p foodmatch-bench --bin repro -- <experiment> [--quick] [--seed N]
+//! cargo run --release -p foodmatch-bench --bin repro -- list
+//! ```
+//!
+//! Each experiment prints a plain-text table whose rows correspond to the
+//! series of the paper's figure (or the rows of the table). `EXPERIMENTS.md`
+//! at the repository root records a measured run next to the paper's
+//! reported numbers.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{ExperimentContext, RunSummary};

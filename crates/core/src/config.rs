@@ -1,0 +1,193 @@
+//! Dispatch configuration: the paper's operational constraints and algorithm
+//! parameters in one place.
+//!
+//! Defaults follow §V-B "Operational Constraints" and "Parameters":
+//! `MAXO = 3`, `MAXI = 10`, `Ω = 7200 s`, 30-minute rejection deadline,
+//! 45-minute maximum first mile, `Δ = 3 min`, `η = 60 s`, `γ = 0.5`,
+//! `k = 200 × |O(ℓ)|/|V(ℓ)|`.
+
+use foodmatch_roadnet::Duration;
+use serde::{Deserialize, Serialize};
+
+/// Tunable parameters and operational constraints of the dispatcher.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DispatchConfig {
+    /// `MAXO`: maximum number of orders that may be assigned to one vehicle.
+    pub max_orders_per_vehicle: usize,
+    /// `MAXI`: maximum number of items a vehicle can carry.
+    pub max_items_per_vehicle: u32,
+    /// `Ω`: rejection penalty in seconds (also the edge weight of infeasible
+    /// FoodGraph edges).
+    pub rejection_penalty_secs: f64,
+    /// `Δ`: length of the accumulation window.
+    pub accumulation_window: Duration,
+    /// `η`: batching stops once the average batch cost exceeds this value.
+    pub batching_threshold: Duration,
+    /// `γ`: weight between angular distance and normalised travel time in the
+    /// vehicle-sensitive edge weight (Eq. 8). `1.0` ignores angular distance.
+    pub gamma: f64,
+    /// Factor for the per-vehicle degree cap in the sparsified FoodGraph:
+    /// `k = k_factor × |O(ℓ)| / |V(ℓ)|` (the paper uses 200).
+    pub k_factor: f64,
+    /// Orders unassigned for longer than this are rejected (30 min at Swiggy).
+    pub rejection_deadline: Duration,
+    /// Maximum allowed first-mile travel time (the 45-minute delivery
+    /// guarantee bounds the vehicle-to-restaurant distance); pairs further
+    /// apart than this get an Ω edge.
+    pub max_first_mile: Duration,
+    /// Enable the batching stage (Alg. 1). Disabled for the KM baseline and
+    /// the ablation study.
+    pub use_batching: bool,
+    /// Enable reshuffling of assigned-but-not-picked-up orders (§IV-D2).
+    pub use_reshuffle: bool,
+    /// Enable the best-first sparsification of the FoodGraph (Alg. 2).
+    pub use_bfs_sparsification: bool,
+    /// Enable the angular-distance component of the edge weight (Eq. 8).
+    pub use_angular_distance: bool,
+}
+
+impl Default for DispatchConfig {
+    fn default() -> Self {
+        DispatchConfig {
+            max_orders_per_vehicle: 3,
+            max_items_per_vehicle: 10,
+            rejection_penalty_secs: 7_200.0,
+            accumulation_window: Duration::from_mins(3.0),
+            batching_threshold: Duration::from_secs_f64(60.0),
+            gamma: 0.5,
+            k_factor: 200.0,
+            rejection_deadline: Duration::from_mins(30.0),
+            max_first_mile: Duration::from_mins(45.0),
+            use_batching: true,
+            use_reshuffle: true,
+            use_bfs_sparsification: true,
+            use_angular_distance: true,
+        }
+    }
+}
+
+impl DispatchConfig {
+    /// Validates the configuration, returning a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_orders_per_vehicle == 0 {
+            return Err("max_orders_per_vehicle must be at least 1".into());
+        }
+        if self.max_orders_per_vehicle > 5 {
+            return Err(format!(
+                "max_orders_per_vehicle = {} makes exhaustive route planning intractable (limit 5)",
+                self.max_orders_per_vehicle
+            ));
+        }
+        if self.max_items_per_vehicle == 0 {
+            return Err("max_items_per_vehicle must be at least 1".into());
+        }
+        if !self.rejection_penalty_secs.is_finite() || self.rejection_penalty_secs <= 0.0 {
+            return Err("rejection_penalty_secs must be positive and finite".into());
+        }
+        if !(0.0..=1.0).contains(&self.gamma) {
+            return Err(format!("gamma must be in [0, 1], got {}", self.gamma));
+        }
+        if !self.k_factor.is_finite() || self.k_factor <= 0.0 {
+            return Err("k_factor must be positive".into());
+        }
+        if self.accumulation_window <= Duration::ZERO {
+            return Err("accumulation_window must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// The per-vehicle degree cap `k` for a window with `orders` unassigned
+    /// batches/orders and `vehicles` available vehicles (§IV-C1: the paper
+    /// sets `k = 200 × |O(ℓ)|/|V(ℓ)|`). Always at least 1; unbounded when BFS
+    /// sparsification is disabled.
+    pub fn degree_cap(&self, orders: usize, vehicles: usize) -> usize {
+        if !self.use_bfs_sparsification {
+            return usize::MAX;
+        }
+        if vehicles == 0 {
+            return 1;
+        }
+        let k = (self.k_factor * orders as f64 / vehicles as f64).ceil() as usize;
+        k.max(1)
+    }
+
+    /// Convenience: the rejection penalty as a [`Duration`].
+    pub fn rejection_penalty(&self) -> Duration {
+        Duration::from_secs_f64(self.rejection_penalty_secs)
+    }
+
+    /// Returns a copy configured as the plain Kuhn–Munkres baseline (§IV-A):
+    /// no batching, no reshuffling, full FoodGraph, no angular distance.
+    pub fn as_vanilla_km(&self) -> Self {
+        DispatchConfig {
+            use_batching: false,
+            use_reshuffle: false,
+            use_bfs_sparsification: false,
+            use_angular_distance: false,
+            ..self.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_parameters() {
+        let c = DispatchConfig::default();
+        assert_eq!(c.max_orders_per_vehicle, 3);
+        assert_eq!(c.max_items_per_vehicle, 10);
+        assert_eq!(c.rejection_penalty_secs, 7_200.0);
+        assert_eq!(c.batching_threshold.as_secs_f64(), 60.0);
+        assert_eq!(c.gamma, 0.5);
+        assert_eq!(c.k_factor, 200.0);
+        assert_eq!(c.rejection_deadline.as_mins_f64(), 30.0);
+        assert_eq!(c.max_first_mile.as_mins_f64(), 45.0);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn degree_cap_scales_with_order_to_vehicle_ratio() {
+        let c = DispatchConfig::default();
+        // 10 orders, 200 vehicles → k = ceil(200 * 10 / 200) = 10.
+        assert_eq!(c.degree_cap(10, 200), 10);
+        // 50 orders, 100 vehicles → 100.
+        assert_eq!(c.degree_cap(50, 100), 100);
+        // Never below one.
+        assert_eq!(c.degree_cap(0, 100), 1);
+        assert_eq!(c.degree_cap(3, 0), 1);
+    }
+
+    #[test]
+    fn degree_cap_unbounded_without_sparsification() {
+        let c = DispatchConfig { use_bfs_sparsification: false, ..Default::default() };
+        assert_eq!(c.degree_cap(10, 10), usize::MAX);
+    }
+
+    #[test]
+    fn vanilla_km_disables_all_optimisations() {
+        let km = DispatchConfig::default().as_vanilla_km();
+        assert!(!km.use_batching);
+        assert!(!km.use_reshuffle);
+        assert!(!km.use_bfs_sparsification);
+        assert!(!km.use_angular_distance);
+        // Operational constraints are preserved.
+        assert_eq!(km.max_orders_per_vehicle, 3);
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut c = DispatchConfig { gamma: 1.5, ..Default::default() };
+        assert!(c.validate().is_err());
+        c.gamma = 0.5;
+        c.max_orders_per_vehicle = 0;
+        assert!(c.validate().is_err());
+        c.max_orders_per_vehicle = 9;
+        assert!(c.validate().is_err());
+        c.max_orders_per_vehicle = 3;
+        c.rejection_penalty_secs = f64::NAN;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,287 @@
+//! The cost model: shortest/expected/extra delivery time (Definitions 5–7)
+//! and marginal costs (Definition 9, generalised to batches in Eq. 7).
+//!
+//! All costs are expressed in seconds of *extra delivery time* (XDT): the
+//! time an order takes beyond its unavoidable minimum `SDT = o^p +
+//! SP(o^r, o^c, o^t)`. Minimising total XDT is the paper's objective
+//! (Problem 1); rejected orders are charged the penalty Ω instead.
+
+use crate::config::DispatchConfig;
+use crate::order::Order;
+use crate::route::{plan_optimal_route, EvaluatedRoute, PlannedOrder};
+use crate::vehicle::VehicleSnapshot;
+use foodmatch_roadnet::{Duration, ShortestPathEngine, TimePoint};
+
+/// Shortest delivery time of an order (Definition 6): preparation time plus
+/// the quickest path from restaurant to customer, evaluated at `t`.
+///
+/// Returns `None` if the customer is unreachable from the restaurant.
+pub fn shortest_delivery_time(
+    order: &Order,
+    engine: &ShortestPathEngine,
+    t: TimePoint,
+) -> Option<Duration> {
+    let sp = engine.travel_time(order.restaurant, order.customer, t)?;
+    Some(order.prep_time + sp)
+}
+
+/// The quickest route plan (and its XDT cost) for a vehicle serving its
+/// committed orders plus `extra`, starting from its snapped location at `t`.
+///
+/// Returns `None` when some stop is unreachable. Capacity constraints are
+/// *not* checked here — see [`marginal_cost`].
+pub fn vehicle_plan(
+    vehicle: &VehicleSnapshot,
+    extra: &[Order],
+    engine: &ShortestPathEngine,
+    t: TimePoint,
+) -> Option<EvaluatedRoute> {
+    let mut planned: Vec<PlannedOrder> = vehicle
+        .committed
+        .iter()
+        .map(|c| PlannedOrder { order: c.order, picked_up: c.picked_up })
+        .collect();
+    planned.extend(extra.iter().copied().map(PlannedOrder::pending));
+    plan_optimal_route(vehicle.location, t, &planned, engine)
+}
+
+/// `Cost(v, O_v)` (Eq. 4): the total XDT of the vehicle's committed orders
+/// under its quickest route plan, in seconds. Zero when the vehicle is idle.
+pub fn vehicle_cost(
+    vehicle: &VehicleSnapshot,
+    engine: &ShortestPathEngine,
+    t: TimePoint,
+) -> Option<f64> {
+    vehicle_plan(vehicle, &[], engine, t).map(|r| r.cost_secs)
+}
+
+/// Outcome of a marginal-cost evaluation for assigning a batch of orders to a
+/// vehicle.
+#[derive(Clone, Debug)]
+pub enum MarginalCost {
+    /// The assignment is feasible; `cost_secs` is `mCost` (Definition 9 /
+    /// Eq. 7) and `route` is the vehicle's new quickest route plan.
+    Feasible {
+        /// The marginal cost in seconds of extra delivery time.
+        cost_secs: f64,
+        /// The quickest route plan serving committed plus new orders.
+        route: EvaluatedRoute,
+    },
+    /// The assignment violates a constraint (capacity, reachability, or the
+    /// first-mile bound) and must be priced at Ω.
+    Infeasible,
+}
+
+impl MarginalCost {
+    /// The FoodGraph edge weight for this outcome: `min(mCost, Ω)` when
+    /// feasible, `Ω` otherwise (the `w(o, v)` of §IV-A).
+    pub fn edge_weight(&self, config: &DispatchConfig) -> f64 {
+        match self {
+            MarginalCost::Feasible { cost_secs, .. } => {
+                cost_secs.min(config.rejection_penalty_secs)
+            }
+            MarginalCost::Infeasible => config.rejection_penalty_secs,
+        }
+    }
+
+    /// True if the assignment is feasible.
+    pub fn is_feasible(&self) -> bool {
+        matches!(self, MarginalCost::Feasible { .. })
+    }
+
+    /// The marginal cost if feasible.
+    pub fn cost_secs(&self) -> Option<f64> {
+        match self {
+            MarginalCost::Feasible { cost_secs, .. } => Some(*cost_secs),
+            MarginalCost::Infeasible => None,
+        }
+    }
+}
+
+/// Marginal cost of assigning the batch `extra` to `vehicle` (Definition 9
+/// for a single order, Eq. 7 for a batch):
+/// `mCost = Cost(v, O_v ∪ extra) − Cost(v, O_v)`.
+///
+/// The assignment is declared [`MarginalCost::Infeasible`] when it would
+/// violate the `MAXO`/`MAXI` capacity of Definition 4, when any stop is
+/// unreachable, or when the first mile to the batch's first pickup exceeds
+/// the configured 45-minute bound (`max_first_mile`).
+pub fn marginal_cost(
+    vehicle: &VehicleSnapshot,
+    extra: &[Order],
+    engine: &ShortestPathEngine,
+    t: TimePoint,
+    config: &DispatchConfig,
+) -> MarginalCost {
+    if extra.is_empty() {
+        return MarginalCost::Infeasible;
+    }
+    if !vehicle.can_take(extra, config) {
+        return MarginalCost::Infeasible;
+    }
+    // The 45-minute delivery guarantee bounds the vehicle-to-restaurant
+    // distance (§V-B): price pairs beyond it at Ω without planning.
+    let nearest_new_pickup = extra
+        .iter()
+        .filter_map(|o| engine.travel_time(vehicle.location, o.restaurant, t))
+        .min();
+    match nearest_new_pickup {
+        Some(first_mile) if first_mile <= config.max_first_mile => {}
+        _ => return MarginalCost::Infeasible,
+    }
+
+    let Some(base) = vehicle_cost(vehicle, engine, t) else {
+        return MarginalCost::Infeasible;
+    };
+    let Some(with_extra) = vehicle_plan(vehicle, extra, engine, t) else {
+        return MarginalCost::Infeasible;
+    };
+    MarginalCost::Feasible { cost_secs: with_extra.cost_secs - base, route: with_extra }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::OrderId;
+    use crate::vehicle::{CommittedOrder, VehicleId};
+    use foodmatch_roadnet::generators::GridCityBuilder;
+    use foodmatch_roadnet::{CongestionProfile, NodeId, RoadClass};
+
+    fn setup() -> (ShortestPathEngine, GridCityBuilder) {
+        let b = GridCityBuilder::new(6, 6)
+            .congestion(CongestionProfile::free_flow())
+            .major_every(0);
+        (ShortestPathEngine::cached(b.build()), b)
+    }
+
+    fn edge_secs() -> f64 {
+        250.0 / RoadClass::Local.free_flow_speed_mps()
+    }
+
+    fn order(id: u64, r: NodeId, c: NodeId, prep_mins: f64) -> Order {
+        Order::new(OrderId(id), r, c, TimePoint::from_hms(12, 0, 0), 1, Duration::from_mins(prep_mins))
+    }
+
+    #[test]
+    fn sdt_is_prep_plus_shortest_path() {
+        let (engine, b) = setup();
+        let o = order(1, b.node_at(0, 0), b.node_at(0, 3), 10.0);
+        let sdt = shortest_delivery_time(&o, &engine, o.placed_at).unwrap();
+        assert!((sdt.as_secs_f64() - (600.0 + 3.0 * edge_secs())).abs() < 1e-6);
+    }
+
+    #[test]
+    fn idle_vehicle_has_zero_cost() {
+        let (engine, b) = setup();
+        let v = VehicleSnapshot::idle(VehicleId(1), b.node_at(3, 3));
+        assert_eq!(vehicle_cost(&v, &engine, TimePoint::from_hms(12, 0, 0)), Some(0.0));
+    }
+
+    #[test]
+    fn marginal_cost_of_first_order_matches_its_xdt() {
+        let (engine, b) = setup();
+        let t = TimePoint::from_hms(12, 0, 0);
+        let v = VehicleSnapshot::idle(VehicleId(1), b.node_at(0, 0));
+        // Restaurant two edges away, prep (6 s) shorter than the drive ⇒
+        // XDT = first mile − prep.
+        let o = order(1, b.node_at(0, 2), b.node_at(3, 2), 0.1);
+        let mc = marginal_cost(&v, &[o], &engine, t, &DispatchConfig::default());
+        let cost = mc.cost_secs().expect("feasible");
+        assert!((cost - (2.0 * edge_secs() - 6.0)).abs() < 1e-6, "got {cost}");
+    }
+
+    #[test]
+    fn marginal_cost_accounts_for_existing_load() {
+        let (engine, b) = setup();
+        let t = TimePoint::from_hms(12, 0, 0);
+        let config = DispatchConfig::default();
+        let existing = order(1, b.node_at(0, 1), b.node_at(0, 5), 0.1);
+        let mut loaded = VehicleSnapshot::idle(VehicleId(1), b.node_at(0, 0));
+        loaded.committed = vec![CommittedOrder { order: existing, picked_up: false }];
+        let idle = VehicleSnapshot::idle(VehicleId(2), b.node_at(0, 0));
+
+        // A second order in the opposite corner: adding it to the loaded
+        // vehicle must cost at least as much as giving it to the idle twin.
+        let new_order = order(2, b.node_at(5, 1), b.node_at(5, 5), 0.1);
+        let loaded_mc = marginal_cost(&loaded, &[new_order], &engine, t, &config)
+            .cost_secs()
+            .expect("feasible");
+        let idle_mc = marginal_cost(&idle, &[new_order], &engine, t, &config)
+            .cost_secs()
+            .expect("feasible");
+        assert!(loaded_mc >= idle_mc - 1e-6, "loaded {loaded_mc} < idle {idle_mc}");
+    }
+
+    #[test]
+    fn capacity_violations_are_infeasible() {
+        let (engine, b) = setup();
+        let t = TimePoint::from_hms(12, 0, 0);
+        let config = DispatchConfig::default();
+        let mut v = VehicleSnapshot::idle(VehicleId(1), b.node_at(0, 0));
+        v.committed = (0..3)
+            .map(|i| CommittedOrder {
+                order: order(i, b.node_at(0, 1), b.node_at(0, 2), 1.0),
+                picked_up: false,
+            })
+            .collect();
+        let extra = order(10, b.node_at(1, 1), b.node_at(2, 2), 1.0);
+        let mc = marginal_cost(&v, &[extra], &engine, t, &config);
+        assert!(!mc.is_feasible());
+        assert_eq!(mc.edge_weight(&config), config.rejection_penalty_secs);
+    }
+
+    #[test]
+    fn item_capacity_violations_are_infeasible() {
+        let (engine, b) = setup();
+        let t = TimePoint::from_hms(12, 0, 0);
+        let config = DispatchConfig::default();
+        let mut v = VehicleSnapshot::idle(VehicleId(1), b.node_at(0, 0));
+        v.committed = vec![CommittedOrder {
+            order: Order::new(OrderId(1), b.node_at(0, 1), b.node_at(0, 2), t, 9, Duration::ZERO),
+            picked_up: true,
+        }];
+        let extra = Order::new(OrderId(2), b.node_at(1, 1), b.node_at(2, 2), t, 2, Duration::ZERO);
+        assert!(!marginal_cost(&v, &[extra], &engine, t, &config).is_feasible());
+    }
+
+    #[test]
+    fn distant_first_mile_is_priced_at_omega() {
+        let (engine, b) = setup();
+        let t = TimePoint::from_hms(12, 0, 0);
+        // Shrink the permitted first mile below the actual distance.
+        let config = DispatchConfig {
+            max_first_mile: Duration::from_secs_f64(edge_secs() * 1.5),
+            ..Default::default()
+        };
+        let v = VehicleSnapshot::idle(VehicleId(1), b.node_at(0, 0));
+        let o = order(1, b.node_at(5, 5), b.node_at(5, 4), 1.0);
+        let mc = marginal_cost(&v, &[o], &engine, t, &config);
+        assert!(!mc.is_feasible());
+    }
+
+    #[test]
+    fn empty_batch_is_infeasible() {
+        let (engine, b) = setup();
+        let v = VehicleSnapshot::idle(VehicleId(1), b.node_at(0, 0));
+        let mc = marginal_cost(&v, &[], &engine, TimePoint::from_hms(12, 0, 0), &DispatchConfig::default());
+        assert!(!mc.is_feasible());
+    }
+
+    #[test]
+    fn edge_weight_caps_at_omega() {
+        let config = DispatchConfig { rejection_penalty_secs: 100.0, ..Default::default() };
+        let feasible = MarginalCost::Feasible {
+            cost_secs: 250.0,
+            route: EvaluatedRoute {
+                plan: crate::route::RoutePlan::empty(),
+                cost_secs: 250.0,
+                driving_time: Duration::ZERO,
+                waiting_time: Duration::ZERO,
+                deliveries: Vec::new(),
+                start_node: NodeId(0),
+                finish_at: TimePoint::MIDNIGHT,
+            },
+        };
+        assert_eq!(feasible.edge_weight(&config), 100.0);
+    }
+}

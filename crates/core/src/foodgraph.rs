@@ -1,0 +1,460 @@
+//! The FoodGraph: the bipartite graph between order batches and vehicles
+//! whose minimum-weight matching yields the window's assignment (§IV-A), with
+//! the best-first sparsification of Algorithm 2 and the vehicle-sensitive
+//! edge weight of Eq. 8.
+//!
+//! For every vehicle we explore the road network outward from the vehicle's
+//! position in best-first order. With angular distance enabled, the expansion
+//! order is driven by `α(v, e, t) = (1 − γ)·adist(v, u', t) + γ·β(e, t) /
+//! max β` so nodes that lie in the vehicle's direction of travel are reached
+//! earlier — anticipating where the vehicle will actually be by the time the
+//! assignment takes effect. The expansion stops once the vehicle has acquired
+//! `k` candidate batches (the degree cap); all remaining batches get an Ω
+//! edge and their true marginal cost is never computed, which is where the
+//! quadratic construction cost is saved.
+
+use crate::batching::Batch;
+use crate::config::DispatchConfig;
+use crate::cost::{marginal_cost, MarginalCost};
+use crate::route::EvaluatedRoute;
+use crate::vehicle::{VehicleId, VehicleSnapshot};
+use foodmatch_matching::SparseCostMatrix;
+use foodmatch_roadnet::dijkstra::Expansion;
+use foodmatch_roadnet::{angular_distance, ShortestPathEngine, TimePoint};
+use std::collections::HashMap;
+
+/// Cost discount (seconds) applied per batch order that the vehicle already
+/// tentatively holds, so reshuffling prefers the incumbent vehicle on ties.
+const INCUMBENCY_BONUS_SECS: f64 = 60.0;
+
+/// The bipartite assignment graph for one accumulation window.
+///
+/// Rows of the cost matrix are batches, columns are vehicles, entries are
+/// `min(mCost, Ω)` (Ω for pairs that were pruned or are infeasible).
+#[derive(Debug)]
+pub struct FoodGraph {
+    /// Vehicle ids in column order.
+    pub vehicle_ids: Vec<VehicleId>,
+    /// The (sparse) cost matrix: rows = batches, columns = vehicles.
+    pub costs: SparseCostMatrix,
+    /// Quickest route plans for every feasible (batch, vehicle) edge, keyed
+    /// by `(row, col)`.
+    pub routes: HashMap<(usize, usize), EvaluatedRoute>,
+    /// Number of marginal-cost evaluations performed (the dominant cost of
+    /// FoodGraph construction; reported by the scalability benchmarks).
+    pub evaluations: usize,
+}
+
+impl FoodGraph {
+    /// Number of batch rows.
+    pub fn batch_count(&self) -> usize {
+        self.costs.rows()
+    }
+
+    /// Number of vehicle columns.
+    pub fn vehicle_count(&self) -> usize {
+        self.costs.cols()
+    }
+}
+
+/// Builds the FoodGraph between `batches` and `vehicles` at window time `t`.
+///
+/// Honours the configuration's sparsification (`use_bfs_sparsification`,
+/// `k_factor`) and angular-distance (`use_angular_distance`, `gamma`) flags.
+/// Construction parallelises across vehicles when the instance is large
+/// enough to make the thread fan-out worthwhile.
+pub fn build_food_graph(
+    batches: &[Batch],
+    vehicles: &[VehicleSnapshot],
+    engine: &ShortestPathEngine,
+    t: TimePoint,
+    config: &DispatchConfig,
+) -> FoodGraph {
+    let vehicle_ids: Vec<VehicleId> = vehicles.iter().map(|v| v.id).collect();
+    if batches.is_empty() || vehicles.is_empty() {
+        let costs = SparseCostMatrix::new(batches.len().max(1), vehicles.len().max(1), config.rejection_penalty_secs);
+        return FoodGraph { vehicle_ids, costs, routes: HashMap::new(), evaluations: 0 };
+    }
+
+    // Index batches by the node where their route plan starts.
+    let mut batches_by_start: HashMap<foodmatch_roadnet::NodeId, Vec<usize>> = HashMap::new();
+    for (row, batch) in batches.iter().enumerate() {
+        batches_by_start.entry(batch.first_pickup()).or_default().push(row);
+    }
+
+    let degree_cap = config.degree_cap(batches.len(), vehicles.len());
+
+    // Decide on the parallel fan-out: each worker handles a contiguous chunk
+    // of vehicles and produces its own edge list.
+    let worker_count = if vehicles.len() < 8 {
+        1
+    } else {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(8)
+    };
+    let chunk_size = vehicles.len().div_ceil(worker_count);
+
+    let mut per_vehicle: Vec<VehicleEdges> = Vec::with_capacity(vehicles.len());
+    if worker_count == 1 {
+        for (col, vehicle) in vehicles.iter().enumerate() {
+            per_vehicle.push(vehicle_edges(
+                col,
+                vehicle,
+                batches,
+                &batches_by_start,
+                engine,
+                t,
+                config,
+                degree_cap,
+            ));
+        }
+    } else {
+        let chunks: Vec<(usize, &[VehicleSnapshot])> = vehicles
+            .chunks(chunk_size)
+            .enumerate()
+            .map(|(i, chunk)| (i * chunk_size, chunk))
+            .collect();
+        let results: Vec<Vec<VehicleEdges>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|(offset, chunk)| {
+                    let batches_by_start = &batches_by_start;
+                    scope.spawn(move || {
+                        chunk
+                            .iter()
+                            .enumerate()
+                            .map(|(i, vehicle)| {
+                                vehicle_edges(
+                                    offset + i,
+                                    vehicle,
+                                    batches,
+                                    batches_by_start,
+                                    engine,
+                                    t,
+                                    config,
+                                    degree_cap,
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("foodgraph worker panicked")).collect()
+        });
+        for chunk in results {
+            per_vehicle.extend(chunk);
+        }
+    }
+
+    let mut costs = SparseCostMatrix::new(batches.len(), vehicles.len(), config.rejection_penalty_secs);
+    let mut routes = HashMap::new();
+    let mut evaluations = 0;
+    for edges in per_vehicle {
+        evaluations += edges.evaluations;
+        for (row, weight, route) in edges.entries {
+            costs.set(row, edges.col, weight);
+            if let Some(route) = route {
+                routes.insert((row, edges.col), route);
+            }
+        }
+    }
+
+    FoodGraph { vehicle_ids, costs, routes, evaluations }
+}
+
+struct VehicleEdges {
+    col: usize,
+    entries: Vec<(usize, f64, Option<EvaluatedRoute>)>,
+    evaluations: usize,
+}
+
+/// Computes the FoodGraph edges of one vehicle (the body of Algorithm 2's
+/// outer loop).
+#[allow(clippy::too_many_arguments)]
+fn vehicle_edges(
+    col: usize,
+    vehicle: &VehicleSnapshot,
+    batches: &[Batch],
+    batches_by_start: &HashMap<foodmatch_roadnet::NodeId, Vec<usize>>,
+    engine: &ShortestPathEngine,
+    t: TimePoint,
+    config: &DispatchConfig,
+    degree_cap: usize,
+) -> VehicleEdges {
+    let mut entries = Vec::new();
+    let mut evaluations = 0;
+
+    // A vehicle with no spare capacity cannot take any batch; skip the
+    // expansion entirely and leave every edge at Ω.
+    if !vehicle.has_capacity(config) {
+        return VehicleEdges { col, entries, evaluations };
+    }
+
+    let mut evaluate = |row: usize, entries: &mut Vec<(usize, f64, Option<EvaluatedRoute>)>| {
+        let batch = &batches[row];
+        evaluations += 1;
+        match marginal_cost(vehicle, &batch.orders, engine, t, config) {
+            MarginalCost::Feasible { cost_secs, route } => {
+                // Incumbency tie-break: when reshuffling re-offers orders the
+                // vehicle already holds, near-equal costs must not bounce the
+                // order to a different vehicle every window (that would reset
+                // its first mile forever). A small bonus per already-held
+                // order keeps ties with the incumbent without overriding any
+                // genuine improvement.
+                let incumbency = batch
+                    .orders
+                    .iter()
+                    .filter(|o| vehicle.tentative.contains(&o.id))
+                    .count() as f64;
+                let weight =
+                    (cost_secs - INCUMBENCY_BONUS_SECS * incumbency).min(config.rejection_penalty_secs);
+                entries.push((row, weight, Some(route)));
+            }
+            MarginalCost::Infeasible => {
+                // Leave the implicit Ω edge in place.
+            }
+        }
+    };
+
+    if degree_cap == usize::MAX || degree_cap >= batches.len() {
+        // Dense construction: evaluate every batch (the vanilla-KM path and
+        // the "no BFS" ablation).
+        for row in 0..batches.len() {
+            evaluate(row, &mut entries);
+        }
+        return VehicleEdges { col, entries, evaluations };
+    }
+
+    // Sparsified construction (Algorithm 2): best-first expansion from the
+    // vehicle's location, optionally under the vehicle-sensitive weight.
+    let network = engine.network();
+    let source_pos = network.position(vehicle.location);
+    let heading_pos = vehicle.heading.map(|n| network.position(n));
+    let use_angular = config.use_angular_distance && heading_pos.is_some();
+    let max_beta = network.max_travel_time().as_secs_f64().max(1e-9);
+    let gamma = config.gamma;
+
+    let expansion: Expansion<'_> = if use_angular {
+        let heading_pos = heading_pos.expect("checked above");
+        Expansion::with_weight(network, vehicle.location, t, move |eid| {
+            let edge = network.edge(eid);
+            let adist = angular_distance(source_pos, heading_pos, network.position(edge.to));
+            let beta = network.travel_time(eid, t).as_secs_f64();
+            (1.0 - gamma) * adist + gamma * beta / max_beta
+        })
+    } else {
+        Expansion::new(network, vehicle.location, t)
+    };
+
+    let mut degree = 0usize;
+    for settled in expansion {
+        if degree >= degree_cap {
+            break;
+        }
+        // Stop expanding once even the straight-line quickest path exceeds
+        // the first-mile bound: no batch out there can be feasible.
+        if !use_angular && settled.travel_time > config.max_first_mile {
+            break;
+        }
+        let Some(rows) = batches_by_start.get(&settled.node) else { continue };
+        for &row in rows {
+            if degree >= degree_cap {
+                break;
+            }
+            degree += 1;
+            evaluate(row, &mut entries);
+        }
+    }
+
+    VehicleEdges { col, entries, evaluations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batching::singleton_batches;
+    use crate::order::{Order, OrderId};
+    use foodmatch_roadnet::generators::GridCityBuilder;
+    use foodmatch_roadnet::{CongestionProfile, Duration, NodeId};
+
+    fn setup() -> (ShortestPathEngine, GridCityBuilder) {
+        let b = GridCityBuilder::new(8, 8)
+            .congestion(CongestionProfile::free_flow())
+            .major_every(0);
+        (ShortestPathEngine::cached(b.build()), b)
+    }
+
+    fn order(id: u64, r: NodeId, c: NodeId) -> Order {
+        Order::new(OrderId(id), r, c, TimePoint::from_hms(12, 30, 0), 1, Duration::from_mins(8.0))
+    }
+
+    fn vehicles_at(nodes: &[NodeId]) -> Vec<VehicleSnapshot> {
+        nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| VehicleSnapshot::idle(VehicleId(i as u32), n))
+            .collect()
+    }
+
+    #[test]
+    fn dense_graph_prices_every_feasible_pair() {
+        let (engine, b) = setup();
+        let t = TimePoint::from_hms(12, 30, 0);
+        let config = DispatchConfig { use_bfs_sparsification: false, ..Default::default() };
+        let orders = vec![order(1, b.node_at(1, 1), b.node_at(5, 5)), order(2, b.node_at(6, 2), b.node_at(2, 6))];
+        let batches = singleton_batches(&orders, &engine, t).batches;
+        let vehicles = vehicles_at(&[b.node_at(0, 0), b.node_at(7, 7), b.node_at(3, 3)]);
+        let graph = build_food_graph(&batches, &vehicles, &engine, t, &config);
+        assert_eq!(graph.batch_count(), 2);
+        assert_eq!(graph.vehicle_count(), 3);
+        // Every (batch, vehicle) pair on a connected free-flow grid is
+        // feasible, so all six edges carry a true cost and a route.
+        assert_eq!(graph.costs.explicit_entries(), 6);
+        assert_eq!(graph.routes.len(), 6);
+        assert_eq!(graph.evaluations, 6);
+        let dense = graph.costs.to_dense();
+        for r in 0..2 {
+            for c in 0..3 {
+                assert!(dense.get(r, c) < config.rejection_penalty_secs);
+            }
+        }
+    }
+
+    #[test]
+    fn sparsified_graph_caps_vehicle_degree() {
+        let (engine, b) = setup();
+        let t = TimePoint::from_hms(12, 30, 0);
+        // Force a tiny degree cap: k_factor 1 with equal orders and vehicles
+        // gives k = 1.
+        let config = DispatchConfig { k_factor: 1.0, ..Default::default() };
+        let orders: Vec<Order> = (0..4)
+            .map(|i| order(i, b.node_at(2 * i as usize, 1), b.node_at(2 * i as usize, 6)))
+            .collect();
+        let batches = singleton_batches(&orders, &engine, t).batches;
+        let vehicles =
+            vehicles_at(&[b.node_at(0, 0), b.node_at(2, 0), b.node_at(4, 0), b.node_at(6, 0)]);
+        let graph = build_food_graph(&batches, &vehicles, &engine, t, &config);
+        // Each vehicle has at most one explicit (non-Ω) edge.
+        let dense = graph.costs.to_dense();
+        for c in 0..4 {
+            let explicit = (0..4).filter(|&r| dense.get(r, c) < config.rejection_penalty_secs).count();
+            assert!(explicit <= 1, "vehicle {c} has {explicit} explicit edges");
+        }
+        // Sparsification must have saved marginal-cost evaluations.
+        assert!(graph.evaluations <= 8, "expected ≤ 2 per vehicle, got {}", graph.evaluations);
+    }
+
+    #[test]
+    fn sparsified_edges_point_to_nearby_batches() {
+        // Lemma 1: a batch with a non-Ω edge must be among the k closest
+        // batch start nodes of that vehicle (measured by quickest path).
+        let (engine, b) = setup();
+        let t = TimePoint::from_hms(12, 30, 0);
+        let config = DispatchConfig { k_factor: 2.0, use_angular_distance: false, ..Default::default() };
+        let orders: Vec<Order> = (0..6)
+            .map(|i| order(i, b.node_at(i as usize, i as usize), b.node_at(7, i as usize)))
+            .collect();
+        let batches = singleton_batches(&orders, &engine, t).batches;
+        let vehicles = vehicles_at(&[b.node_at(0, 0)]);
+        let k = config.degree_cap(batches.len(), vehicles.len());
+        let graph = build_food_graph(&batches, &vehicles, &engine, t, &config);
+        let dense = graph.costs.to_dense();
+
+        // Rank batches by network distance from the vehicle.
+        let mut by_distance: Vec<(f64, usize)> = batches
+            .iter()
+            .enumerate()
+            .map(|(row, batch)| {
+                let d = engine
+                    .travel_time(vehicles[0].location, batch.first_pickup(), t)
+                    .unwrap()
+                    .as_secs_f64();
+                (d, row)
+            })
+            .collect();
+        by_distance.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let closest: Vec<usize> = by_distance.iter().take(k).map(|&(_, r)| r).collect();
+
+        for row in 0..batches.len() {
+            if dense.get(row, 0) < config.rejection_penalty_secs {
+                assert!(
+                    closest.contains(&row),
+                    "batch {row} got a real edge but is not among the {k} closest"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fully_loaded_vehicle_gets_only_omega_edges() {
+        let (engine, b) = setup();
+        let t = TimePoint::from_hms(12, 30, 0);
+        let config = DispatchConfig::default();
+        let orders = vec![order(10, b.node_at(1, 1), b.node_at(2, 2))];
+        let batches = singleton_batches(&orders, &engine, t).batches;
+        let mut full = VehicleSnapshot::idle(VehicleId(0), b.node_at(1, 2));
+        full.committed = (0..3)
+            .map(|i| crate::vehicle::CommittedOrder {
+                order: order(i, b.node_at(0, 0), b.node_at(0, 1)),
+                picked_up: true,
+            })
+            .collect();
+        let graph = build_food_graph(&batches, &[full], &engine, t, &config);
+        assert_eq!(graph.costs.explicit_entries(), 0);
+        assert_eq!(graph.evaluations, 0);
+    }
+
+    #[test]
+    fn angular_distance_biases_edges_towards_the_heading() {
+        let (engine, b) = setup();
+        let t = TimePoint::from_hms(12, 30, 0);
+        // Vehicle at the grid centre heading east; two equidistant batches,
+        // one east and one west. With γ = 0 (pure angular) and k = 1 the
+        // eastern batch must get the single real edge.
+        let config = DispatchConfig { k_factor: 0.5, gamma: 0.0, ..Default::default() };
+        let east = order(1, b.node_at(3, 6), b.node_at(0, 6));
+        let west = order(2, b.node_at(3, 0), b.node_at(0, 0));
+        let batches = singleton_batches(&[east, west], &engine, t).batches;
+        let mut vehicle = VehicleSnapshot::idle(VehicleId(0), b.node_at(3, 3));
+        vehicle.heading = Some(b.node_at(3, 4));
+        let graph = build_food_graph(&batches, &[vehicle], &engine, t, &config);
+        let dense = graph.costs.to_dense();
+        let east_row = batches.iter().position(|batch| batch.orders[0].id == OrderId(1)).unwrap();
+        let west_row = 1 - east_row;
+        assert!(dense.get(east_row, 0) < config.rejection_penalty_secs, "east batch should be reachable");
+        assert_eq!(dense.get(west_row, 0), config.rejection_penalty_secs, "west batch should be pruned");
+    }
+
+    #[test]
+    fn empty_inputs_produce_empty_graph() {
+        let (engine, b) = setup();
+        let t = TimePoint::from_hms(12, 30, 0);
+        let config = DispatchConfig::default();
+        let graph = build_food_graph(&[], &vehicles_at(&[b.node_at(0, 0)]), &engine, t, &config);
+        assert_eq!(graph.routes.len(), 0);
+        assert_eq!(graph.evaluations, 0);
+    }
+
+    #[test]
+    fn parallel_and_serial_construction_agree() {
+        let (engine, b) = setup();
+        let t = TimePoint::from_hms(12, 30, 0);
+        let config = DispatchConfig { use_bfs_sparsification: false, ..Default::default() };
+        let orders: Vec<Order> = (0..5)
+            .map(|i| order(i, b.node_at(i as usize, 2), b.node_at(i as usize + 1, 6)))
+            .collect();
+        let batches = singleton_batches(&orders, &engine, t).batches;
+        // 9 vehicles crosses the parallel threshold (8).
+        let vehicle_nodes: Vec<NodeId> = (0..9).map(|i| b.node_at(i % 8, 7 - (i % 8))).collect();
+        let vehicles = vehicles_at(&vehicle_nodes);
+        let parallel = build_food_graph(&batches, &vehicles, &engine, t, &config);
+        let serial_vehicles = &vehicles[..7]; // below the threshold ⇒ serial path
+        let serial = build_food_graph(&batches, serial_vehicles, &engine, t, &config);
+        let dense_parallel = parallel.costs.to_dense();
+        let dense_serial = serial.costs.to_dense();
+        for r in 0..batches.len() {
+            for c in 0..serial_vehicles.len() {
+                assert!((dense_parallel.get(r, c) - dense_serial.get(r, c)).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Assignment policies: the Greedy baseline (§III), vanilla Kuhn–Munkres
+//! (§IV-A), the full FOODMATCH pipeline (§IV), and a Reyes-style baseline
+//! (§V-C).
+//!
+//! A policy is a stateless-ish object that answers one accumulation window
+//! at a time: given a [`WindowSnapshot`] it returns an [`AssignmentOutcome`].
+//! The driving loop (the simulator) owns everything else — vehicle movement,
+//! pickup/drop-off bookkeeping, rejection of stale orders, and the decision
+//! of which orders are eligible for reshuffling, which it makes by asking
+//! [`DispatchPolicy::uses_reshuffling`].
+
+mod foodmatch;
+mod greedy;
+mod km;
+mod reyes;
+
+pub use foodmatch::FoodMatchPolicy;
+pub use greedy::GreedyPolicy;
+pub use km::KuhnMunkresPolicy;
+pub use reyes::ReyesPolicy;
+
+use crate::config::DispatchConfig;
+use crate::window::{AssignmentOutcome, VehicleAssignment, WindowSnapshot};
+use foodmatch_roadnet::ShortestPathEngine;
+use std::collections::HashSet;
+
+/// A dispatch policy: maps one accumulation window to an assignment.
+pub trait DispatchPolicy: Send {
+    /// Short human-readable name used in reports ("FoodMatch", "Greedy", …).
+    fn name(&self) -> &'static str;
+
+    /// Whether the driving loop should put assigned-but-not-picked-up orders
+    /// back into the unassigned pool for this policy (§IV-D2 reshuffling).
+    fn uses_reshuffling(&self, _config: &DispatchConfig) -> bool {
+        false
+    }
+
+    /// Computes the assignment for one window.
+    fn assign(
+        &mut self,
+        window: &WindowSnapshot,
+        engine: &ShortestPathEngine,
+        config: &DispatchConfig,
+    ) -> AssignmentOutcome;
+}
+
+/// The policies benchmarked in the paper, as a convenient factory enum.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PolicyKind {
+    /// The Greedy baseline of §III.
+    Greedy,
+    /// Vanilla Kuhn–Munkres matching without batching/BFS/angular/reshuffle.
+    KuhnMunkres,
+    /// The full FOODMATCH pipeline (optimisations controlled by the config).
+    FoodMatch,
+    /// The Reyes et al. style baseline (Haversine costs, same-restaurant
+    /// batching only).
+    Reyes,
+}
+
+impl PolicyKind {
+    /// All benchmarked policies.
+    pub const ALL: [PolicyKind; 4] =
+        [PolicyKind::Greedy, PolicyKind::KuhnMunkres, PolicyKind::FoodMatch, PolicyKind::Reyes];
+
+    /// Instantiates the policy.
+    pub fn build(self) -> Box<dyn DispatchPolicy> {
+        match self {
+            PolicyKind::Greedy => Box::new(GreedyPolicy::new()),
+            PolicyKind::KuhnMunkres => Box::new(KuhnMunkresPolicy::new()),
+            PolicyKind::FoodMatch => Box::new(FoodMatchPolicy::new()),
+            PolicyKind::Reyes => Box::new(ReyesPolicy::new()),
+        }
+    }
+
+    /// The display name of the policy.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Greedy => "Greedy",
+            PolicyKind::KuhnMunkres => "KM",
+            PolicyKind::FoodMatch => "FoodMatch",
+            PolicyKind::Reyes => "Reyes",
+        }
+    }
+}
+
+/// Assembles an [`AssignmentOutcome`] from per-vehicle batches, filling the
+/// `unassigned` list with every window order that no batch covers.
+pub(crate) fn outcome_from_assignments(
+    window: &WindowSnapshot,
+    assignments: Vec<VehicleAssignment>,
+) -> AssignmentOutcome {
+    let assigned: HashSet<_> =
+        assignments.iter().flat_map(|a| a.orders.iter().copied()).collect();
+    let unassigned = window
+        .orders
+        .iter()
+        .map(|o| o.id)
+        .filter(|id| !assigned.contains(id))
+        .collect();
+    let outcome = AssignmentOutcome { assignments, unassigned };
+    debug_assert!(outcome.validate(window).is_ok(), "policy produced an inconsistent outcome");
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::order::{Order, OrderId};
+    use crate::vehicle::{VehicleId, VehicleSnapshot};
+    use foodmatch_roadnet::{Duration, NodeId, TimePoint};
+
+    fn window() -> WindowSnapshot {
+        let t = TimePoint::from_hms(12, 0, 0);
+        WindowSnapshot::new(
+            t,
+            vec![
+                Order::new(OrderId(1), NodeId(0), NodeId(1), t, 1, Duration::ZERO),
+                Order::new(OrderId(2), NodeId(1), NodeId(2), t, 1, Duration::ZERO),
+            ],
+            vec![VehicleSnapshot::idle(VehicleId(0), NodeId(0))],
+        )
+    }
+
+    #[test]
+    fn policy_kind_builds_matching_names() {
+        for kind in PolicyKind::ALL {
+            let policy = kind.build();
+            assert_eq!(policy.name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn outcome_from_assignments_fills_unassigned() {
+        let w = window();
+        let outcome = outcome_from_assignments(
+            &w,
+            vec![VehicleAssignment { vehicle: VehicleId(0), orders: vec![OrderId(1)] }],
+        );
+        assert_eq!(outcome.assigned_order_count(), 1);
+        assert_eq!(outcome.unassigned, vec![OrderId(2)]);
+        outcome.validate(&w).unwrap();
+    }
+
+    #[test]
+    fn only_foodmatch_reshuffles_by_default() {
+        let config = DispatchConfig::default();
+        assert!(PolicyKind::FoodMatch.build().uses_reshuffling(&config));
+        assert!(!PolicyKind::Greedy.build().uses_reshuffling(&config));
+        assert!(!PolicyKind::KuhnMunkres.build().uses_reshuffling(&config));
+        assert!(!PolicyKind::Reyes.build().uses_reshuffling(&config));
+        let no_reshuffle = DispatchConfig { use_reshuffle: false, ..config };
+        assert!(!PolicyKind::FoodMatch.build().uses_reshuffling(&no_reshuffle));
+    }
+}

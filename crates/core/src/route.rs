@@ -1,0 +1,628 @@
+//! Route plans and the exhaustive quickest-route planner (Definition 3).
+//!
+//! A route plan is a sequence of pick-up and drop-off stops in which every
+//! order's restaurant appears before its customer. Because `MAXO` is small
+//! (3 at Swiggy), the paper — and this reproduction — finds the *quickest*
+//! plan by enumerating all feasible permutations; we add branch-and-bound
+//! pruning and reuse a small pairwise distance matrix so each evaluation
+//! costs a handful of shortest-path queries rather than hundreds.
+//!
+//! Two entry points are provided:
+//!
+//! * [`plan_optimal_route`] — plan for a vehicle standing at a known node
+//!   (used for marginal costs, Greedy, KM, FoodMatch edges).
+//! * [`plan_optimal_route_free_start`] — plan where the vehicle is assumed to
+//!   start at the first pick-up of the plan itself; this is the "simulated
+//!   vehicle" of the batching stage (§IV-B1).
+
+use crate::order::{Order, OrderId};
+use foodmatch_roadnet::{Duration, NodeId, ShortestPathEngine, TimePoint};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Whether a stop picks food up from a restaurant or drops it off at the
+/// customer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum StopAction {
+    /// Collect the order at its restaurant node.
+    Pickup,
+    /// Deliver the order at its customer node.
+    Dropoff,
+}
+
+/// One stop of a route plan.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Stop {
+    /// The order being picked up or dropped off.
+    pub order: OrderId,
+    /// The road-network node of the stop.
+    pub node: NodeId,
+    /// Pickup or drop-off.
+    pub action: StopAction,
+}
+
+/// An ordered sequence of stops fulfilling a set of orders (Definition 3).
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct RoutePlan {
+    /// The stops in visiting order.
+    pub stops: Vec<Stop>,
+}
+
+impl RoutePlan {
+    /// An empty plan (vehicle with nothing to do).
+    pub fn empty() -> Self {
+        RoutePlan { stops: Vec::new() }
+    }
+
+    /// True if the plan contains no stops.
+    pub fn is_empty(&self) -> bool {
+        self.stops.is_empty()
+    }
+
+    /// The node of the first stop, if any.
+    pub fn first_node(&self) -> Option<NodeId> {
+        self.stops.first().map(|s| s.node)
+    }
+
+    /// The node of the first *pick-up* stop, if any — `π[1]^r` in the
+    /// paper's notation, the anchor used by the sparsified FoodGraph.
+    pub fn first_pickup_node(&self) -> Option<NodeId> {
+        self.stops.iter().find(|s| s.action == StopAction::Pickup).map(|s| s.node)
+    }
+
+    /// Checks that the plan is structurally valid for the given orders:
+    /// every not-yet-picked-up order has exactly one pickup followed (not
+    /// necessarily immediately) by exactly one drop-off, every picked-up
+    /// order has exactly one drop-off and no pickup, stops reference the
+    /// right nodes, and no foreign orders appear.
+    pub fn validate(&self, orders: &[PlannedOrder]) -> Result<(), String> {
+        let mut expected: HashMap<OrderId, &PlannedOrder> =
+            orders.iter().map(|p| (p.order.id, p)).collect();
+        let mut pickup_seen: HashMap<OrderId, usize> = HashMap::new();
+        let mut dropoff_seen: HashMap<OrderId, usize> = HashMap::new();
+
+        for (idx, stop) in self.stops.iter().enumerate() {
+            let Some(planned) = expected.get(&stop.order) else {
+                return Err(format!("stop {idx} references unknown order {}", stop.order));
+            };
+            match stop.action {
+                StopAction::Pickup => {
+                    if planned.picked_up {
+                        return Err(format!("order {} is already on board but has a pickup stop", stop.order));
+                    }
+                    if stop.node != planned.order.restaurant {
+                        return Err(format!("pickup for {} is not at its restaurant", stop.order));
+                    }
+                    if pickup_seen.insert(stop.order, idx).is_some() {
+                        return Err(format!("order {} is picked up twice", stop.order));
+                    }
+                }
+                StopAction::Dropoff => {
+                    if stop.node != planned.order.customer {
+                        return Err(format!("drop-off for {} is not at its customer", stop.order));
+                    }
+                    if !planned.picked_up && !pickup_seen.contains_key(&stop.order) {
+                        return Err(format!("order {} is dropped off before being picked up", stop.order));
+                    }
+                    if dropoff_seen.insert(stop.order, idx).is_some() {
+                        return Err(format!("order {} is dropped off twice", stop.order));
+                    }
+                }
+            }
+        }
+
+        for (id, planned) in expected.drain() {
+            if !dropoff_seen.contains_key(&id) {
+                return Err(format!("order {id} is never dropped off"));
+            }
+            if !planned.picked_up && !pickup_seen.contains_key(&id) {
+                return Err(format!("order {id} is never picked up"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An order together with its pickup state, as input to the route planner.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PlannedOrder {
+    /// The order to plan for.
+    pub order: Order,
+    /// Whether the food is already on board the vehicle.
+    pub picked_up: bool,
+}
+
+impl PlannedOrder {
+    /// A not-yet-picked-up order.
+    pub fn pending(order: Order) -> Self {
+        PlannedOrder { order, picked_up: false }
+    }
+
+    /// An order already on board (only its drop-off remains).
+    pub fn on_board(order: Order) -> Self {
+        PlannedOrder { order, picked_up: true }
+    }
+}
+
+/// Projected delivery of one order under an evaluated route plan.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProjectedDelivery {
+    /// The order delivered.
+    pub order: OrderId,
+    /// When the plan projects the drop-off to happen.
+    pub delivered_at: TimePoint,
+    /// The extra delivery time (Definition 7) of the order under this plan,
+    /// in seconds.
+    pub xdt_secs: f64,
+}
+
+/// The quickest route plan for a set of orders together with its cost
+/// break-down.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EvaluatedRoute {
+    /// The stop sequence.
+    pub plan: RoutePlan,
+    /// Sum of per-order extra delivery times (the `Cost(v, O)` of Eq. 4), in
+    /// seconds.
+    pub cost_secs: f64,
+    /// Total driving time of the plan (waiting at restaurants excluded).
+    pub driving_time: Duration,
+    /// Total time spent waiting at restaurants for food to become ready.
+    pub waiting_time: Duration,
+    /// Projected delivery time and XDT of every order.
+    pub deliveries: Vec<ProjectedDelivery>,
+    /// Node where the plan starts (the vehicle location, or the first stop
+    /// for free-start plans).
+    pub start_node: NodeId,
+    /// Projected completion time of the final stop.
+    pub finish_at: TimePoint,
+}
+
+impl EvaluatedRoute {
+    /// The node of the first pick-up stop, if any.
+    pub fn first_pickup_node(&self) -> Option<NodeId> {
+        self.plan.first_pickup_node()
+    }
+}
+
+/// Plans the quickest route for `orders` starting from `start` at
+/// `start_time`.
+///
+/// Returns `None` if any required node is unreachable from the tour. With no
+/// orders the result is an empty plan of zero cost.
+///
+/// # Panics
+/// Panics if more than five orders are supplied (exhaustive search would
+/// blow up; the paper's `MAXO` is 3).
+pub fn plan_optimal_route(
+    start: NodeId,
+    start_time: TimePoint,
+    orders: &[PlannedOrder],
+    engine: &ShortestPathEngine,
+) -> Option<EvaluatedRoute> {
+    plan_route_inner(Some(start), start_time, orders, engine)
+}
+
+/// Plans the quickest route where the vehicle is assumed to already stand at
+/// the first stop of the plan (zero first leg). This is the "simulated
+/// vehicle" used to weigh order-graph edges during batching (§IV-B1).
+pub fn plan_optimal_route_free_start(
+    start_time: TimePoint,
+    orders: &[PlannedOrder],
+    engine: &ShortestPathEngine,
+) -> Option<EvaluatedRoute> {
+    plan_route_inner(None, start_time, orders, engine)
+}
+
+fn plan_route_inner(
+    start: Option<NodeId>,
+    start_time: TimePoint,
+    orders: &[PlannedOrder],
+    engine: &ShortestPathEngine,
+) -> Option<EvaluatedRoute> {
+    assert!(orders.len() <= 5, "exhaustive route planning is limited to 5 orders, got {}", orders.len());
+
+    if orders.is_empty() {
+        let node = start.unwrap_or(NodeId(0));
+        return Some(EvaluatedRoute {
+            plan: RoutePlan::empty(),
+            cost_secs: 0.0,
+            driving_time: Duration::ZERO,
+            waiting_time: Duration::ZERO,
+            deliveries: Vec::new(),
+            start_node: node,
+            finish_at: start_time,
+        });
+    }
+
+    // Gather the distinct nodes the tour can touch and build a small
+    // travel-time matrix over them with one one-to-many query per node.
+    let mut nodes: Vec<NodeId> = Vec::new();
+    let mut index_of = HashMap::new();
+    let intern = |node: NodeId, nodes: &mut Vec<NodeId>, index_of: &mut HashMap<NodeId, usize>| {
+        *index_of.entry(node).or_insert_with(|| {
+            nodes.push(node);
+            nodes.len() - 1
+        })
+    };
+    if let Some(s) = start {
+        intern(s, &mut nodes, &mut index_of);
+    }
+    for planned in orders {
+        if !planned.picked_up {
+            intern(planned.order.restaurant, &mut nodes, &mut index_of);
+        }
+        intern(planned.order.customer, &mut nodes, &mut index_of);
+    }
+
+    let mut matrix = vec![vec![None; nodes.len()]; nodes.len()];
+    for (i, &from) in nodes.iter().enumerate() {
+        let row = engine.travel_times_to_many(from, &nodes, start_time);
+        for (j, d) in row.into_iter().enumerate() {
+            matrix[i][j] = d.map(|d| d.as_secs_f64());
+        }
+    }
+
+    // Shortest delivery time per order (Definition 6), needed for XDT.
+    let mut sdt_secs = Vec::with_capacity(orders.len());
+    for planned in orders {
+        let sp = engine
+            .travel_time(planned.order.restaurant, planned.order.customer, start_time)?
+            .as_secs_f64();
+        sdt_secs.push(planned.order.prep_time.as_secs_f64() + sp);
+    }
+
+    let mut search = Search {
+        orders,
+        sdt_secs: &sdt_secs,
+        matrix: &matrix,
+        index_of: &index_of,
+        best: None,
+        best_cost: f64::INFINITY,
+    };
+    let initial_state: Vec<OrderState> = orders
+        .iter()
+        .map(|p| if p.picked_up { OrderState::OnBoard } else { OrderState::NeedsPickup })
+        .collect();
+    let start_idx = start.map(|s| index_of[&s]);
+    search.explore(
+        start_idx,
+        start_time,
+        initial_state,
+        Vec::new(),
+        0.0,
+        0.0,
+        0.0,
+        Vec::new(),
+    );
+
+    let best = search.best?;
+    let start_node = start.unwrap_or_else(|| best.plan.first_node().expect("non-empty plan"));
+    Some(EvaluatedRoute { start_node, ..best })
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum OrderState {
+    NeedsPickup,
+    OnBoard,
+    Delivered,
+}
+
+struct Search<'a> {
+    orders: &'a [PlannedOrder],
+    sdt_secs: &'a [f64],
+    matrix: &'a [Vec<Option<f64>>],
+    index_of: &'a HashMap<NodeId, usize>,
+    best: Option<EvaluatedRoute>,
+    best_cost: f64,
+}
+
+impl Search<'_> {
+    #[allow(clippy::too_many_arguments)]
+    fn explore(
+        &mut self,
+        current: Option<usize>,
+        now: TimePoint,
+        states: Vec<OrderState>,
+        stops: Vec<Stop>,
+        cost_so_far: f64,
+        driving_so_far: f64,
+        waiting_so_far: f64,
+        deliveries: Vec<ProjectedDelivery>,
+    ) {
+        // Branch-and-bound: accumulated XDT only grows as more orders are
+        // delivered, so any partial cost at or above the best is hopeless.
+        if cost_so_far >= self.best_cost {
+            return;
+        }
+        if states.iter().all(|s| *s == OrderState::Delivered) {
+            self.best_cost = cost_so_far;
+            self.best = Some(EvaluatedRoute {
+                plan: RoutePlan { stops },
+                cost_secs: cost_so_far,
+                driving_time: Duration::from_secs_f64(driving_so_far),
+                waiting_time: Duration::from_secs_f64(waiting_so_far),
+                deliveries,
+                start_node: NodeId(0), // overwritten by the caller
+                finish_at: now,
+            });
+            return;
+        }
+
+        for (i, state) in states.iter().enumerate() {
+            let planned = &self.orders[i];
+            let (target, action) = match state {
+                OrderState::NeedsPickup => (planned.order.restaurant, StopAction::Pickup),
+                OrderState::OnBoard => (planned.order.customer, StopAction::Dropoff),
+                OrderState::Delivered => continue,
+            };
+            let target_idx = self.index_of[&target];
+            let travel = match current {
+                Some(cur) => match self.matrix[cur][target_idx] {
+                    Some(t) => t,
+                    None => continue, // unreachable along this branch
+                },
+                None => 0.0,
+            };
+            let arrival = now + Duration::from_secs_f64(travel);
+
+            let mut next_states = states.clone();
+            let mut next_stops = stops.clone();
+            next_stops.push(Stop { order: planned.order.id, node: target, action });
+            let mut next_deliveries = deliveries.clone();
+            let mut next_cost = cost_so_far;
+            let mut next_wait = waiting_so_far;
+            let next_now;
+            match action {
+                StopAction::Pickup => {
+                    next_states[i] = OrderState::OnBoard;
+                    let ready = planned.order.ready_at();
+                    let depart = arrival.max(ready);
+                    next_wait += depart.saturating_since(arrival).as_secs_f64();
+                    next_now = depart;
+                }
+                StopAction::Dropoff => {
+                    next_states[i] = OrderState::Delivered;
+                    let edt = arrival.saturating_since(planned.order.placed_at).as_secs_f64();
+                    let xdt = edt - self.sdt_secs[i];
+                    next_cost += xdt;
+                    next_deliveries.push(ProjectedDelivery {
+                        order: planned.order.id,
+                        delivered_at: arrival,
+                        xdt_secs: xdt,
+                    });
+                    next_now = arrival;
+                }
+            }
+            self.explore(
+                Some(target_idx),
+                next_now,
+                next_states,
+                next_stops,
+                next_cost,
+                driving_so_far + travel,
+                next_wait,
+                next_deliveries,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foodmatch_roadnet::generators::GridCityBuilder;
+    use foodmatch_roadnet::{CongestionProfile, RoadClass};
+
+    /// A free-flow 5×5 grid, 250 m spacing, all local roads.
+    fn grid() -> (foodmatch_roadnet::RoadNetwork, GridCityBuilder) {
+        let b = GridCityBuilder::new(5, 5)
+            .congestion(CongestionProfile::free_flow())
+            .major_every(0);
+        (b.build(), b)
+    }
+
+    fn edge_secs() -> f64 {
+        250.0 / RoadClass::Local.free_flow_speed_mps()
+    }
+
+    fn order(id: u64, restaurant: NodeId, customer: NodeId, placed_hms: (u32, u32), prep_mins: f64) -> Order {
+        Order::new(
+            OrderId(id),
+            restaurant,
+            customer,
+            TimePoint::from_hms(placed_hms.0, placed_hms.1, 0),
+            1,
+            Duration::from_mins(prep_mins),
+        )
+    }
+
+    #[test]
+    fn empty_order_set_gives_empty_plan() {
+        let (net, _) = grid();
+        let engine = ShortestPathEngine::cached(net);
+        let r = plan_optimal_route(NodeId(0), TimePoint::from_hms(12, 0, 0), &[], &engine).unwrap();
+        assert!(r.plan.is_empty());
+        assert_eq!(r.cost_secs, 0.0);
+        assert_eq!(r.driving_time, Duration::ZERO);
+    }
+
+    #[test]
+    fn single_order_route_is_pickup_then_dropoff() {
+        let (net, b) = grid();
+        let engine = ShortestPathEngine::cached(net);
+        let start = b.node_at(0, 0);
+        let o = order(1, b.node_at(0, 2), b.node_at(4, 2), (12, 0), 5.0);
+        let t = TimePoint::from_hms(12, 0, 0);
+        let r = plan_optimal_route(start, t, &[PlannedOrder::pending(o)], &engine).unwrap();
+        assert_eq!(r.plan.stops.len(), 2);
+        assert_eq!(r.plan.stops[0].action, StopAction::Pickup);
+        assert_eq!(r.plan.stops[1].action, StopAction::Dropoff);
+        assert_eq!(r.first_pickup_node(), Some(o.restaurant));
+        r.plan.validate(&[PlannedOrder::pending(o)]).unwrap();
+        // First mile = 2 edges, prep 5 min = 300 s > first mile, last mile = 4 edges.
+        let first_mile = 2.0 * edge_secs();
+        let last_mile = 4.0 * edge_secs();
+        let expected_edt = first_mile.max(300.0) + last_mile;
+        let expected_xdt = expected_edt - (300.0 + last_mile);
+        assert!((r.cost_secs - expected_xdt).abs() < 1e-6, "cost {} vs {}", r.cost_secs, expected_xdt);
+        assert!((r.waiting_time.as_secs_f64() - (300.0 - first_mile)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn waiting_disappears_when_prep_is_short() {
+        let (net, b) = grid();
+        let engine = ShortestPathEngine::cached(net);
+        let start = b.node_at(0, 0);
+        let o = order(1, b.node_at(0, 4), b.node_at(4, 4), (12, 0), 0.5);
+        let t = TimePoint::from_hms(12, 0, 0);
+        let r = plan_optimal_route(start, t, &[PlannedOrder::pending(o)], &engine).unwrap();
+        assert_eq!(r.waiting_time, Duration::ZERO);
+        // Prep finished before the vehicle arrived, so XDT = first mile − prep
+        // (EDT = first + last, SDT = prep + last).
+        assert!((r.cost_secs - (4.0 * edge_secs() - 30.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn on_board_order_only_needs_dropoff() {
+        let (net, b) = grid();
+        let engine = ShortestPathEngine::cached(net);
+        let start = b.node_at(2, 2);
+        let o = order(1, b.node_at(0, 0), b.node_at(4, 4), (11, 30), 10.0);
+        let r = plan_optimal_route(start, TimePoint::from_hms(12, 0, 0), &[PlannedOrder::on_board(o)], &engine)
+            .unwrap();
+        assert_eq!(r.plan.stops.len(), 1);
+        assert_eq!(r.plan.stops[0].action, StopAction::Dropoff);
+        r.plan.validate(&[PlannedOrder::on_board(o)]).unwrap();
+    }
+
+    #[test]
+    fn two_orders_prefer_the_cheaper_interleaving() {
+        let (net, b) = grid();
+        let engine = ShortestPathEngine::cached(net);
+        // Both restaurants near the start, customers on the far side: the
+        // optimal plan picks up both before dropping off either.
+        let o1 = order(1, b.node_at(0, 1), b.node_at(4, 3), (12, 0), 1.0);
+        let o2 = order(2, b.node_at(0, 2), b.node_at(4, 4), (12, 0), 1.0);
+        let start = b.node_at(0, 0);
+        let t = TimePoint::from_hms(12, 5, 0);
+        let orders = [PlannedOrder::pending(o1), PlannedOrder::pending(o2)];
+        let r = plan_optimal_route(start, t, &orders, &engine).unwrap();
+        r.plan.validate(&orders).unwrap();
+        let pickups_first = r.plan.stops[0].action == StopAction::Pickup
+            && r.plan.stops[1].action == StopAction::Pickup;
+        assert!(pickups_first, "expected both pickups before any drop-off: {:?}", r.plan.stops);
+    }
+
+    #[test]
+    fn optimal_route_beats_naive_sequential_plan() {
+        let (net, b) = grid();
+        let engine = ShortestPathEngine::cached(net);
+        let start = b.node_at(2, 0);
+        let o1 = order(1, b.node_at(0, 2), b.node_at(0, 4), (12, 0), 2.0);
+        let o2 = order(2, b.node_at(4, 2), b.node_at(4, 4), (12, 0), 2.0);
+        let o3 = order(3, b.node_at(2, 2), b.node_at(2, 4), (12, 0), 2.0);
+        let t = TimePoint::from_hms(12, 0, 0);
+        let orders =
+            [PlannedOrder::pending(o1), PlannedOrder::pending(o2), PlannedOrder::pending(o3)];
+        let best = plan_optimal_route(start, t, &orders, &engine).unwrap();
+        best.plan.validate(&orders).unwrap();
+
+        // Hand-rolled "serve orders one at a time in id order" plan cost.
+        let mut naive_cost = 0.0;
+        let mut now = t;
+        let mut loc = start;
+        for planned in &orders {
+            let o = planned.order;
+            let to_rest = engine.travel_time(loc, o.restaurant, t).unwrap();
+            let arrive = now + to_rest;
+            let depart = arrive.max(o.ready_at());
+            let to_cust = engine.travel_time(o.restaurant, o.customer, t).unwrap();
+            let delivered = depart + to_cust;
+            let sdt = o.prep_time.as_secs_f64() + to_cust.as_secs_f64();
+            naive_cost += delivered.saturating_since(o.placed_at).as_secs_f64() - sdt;
+            now = delivered;
+            loc = o.customer;
+        }
+        assert!(best.cost_secs <= naive_cost + 1e-6, "optimal {} > naive {naive_cost}", best.cost_secs);
+    }
+
+    #[test]
+    fn free_start_plan_starts_at_a_restaurant() {
+        let (net, b) = grid();
+        let engine = ShortestPathEngine::cached(net);
+        let o1 = order(1, b.node_at(1, 1), b.node_at(3, 3), (12, 0), 3.0);
+        let o2 = order(2, b.node_at(1, 2), b.node_at(3, 4), (12, 0), 3.0);
+        let orders = [PlannedOrder::pending(o1), PlannedOrder::pending(o2)];
+        let r = plan_optimal_route_free_start(TimePoint::from_hms(12, 0, 0), &orders, &engine).unwrap();
+        r.plan.validate(&orders).unwrap();
+        assert_eq!(r.start_node, r.plan.first_node().unwrap());
+        assert_eq!(r.plan.stops[0].action, StopAction::Pickup);
+    }
+
+    #[test]
+    fn single_order_free_start_has_zero_cost() {
+        // A lone order with a simulated vehicle parked at its restaurant
+        // achieves exactly the shortest delivery time, so XDT = 0 — this is
+        // what makes the initial AvgCost of the order graph zero.
+        let (net, b) = grid();
+        let engine = ShortestPathEngine::cached(net);
+        let o = order(1, b.node_at(2, 2), b.node_at(0, 0), (12, 0), 6.0);
+        let r = plan_optimal_route_free_start(
+            TimePoint::from_hms(12, 0, 0),
+            &[PlannedOrder::pending(o)],
+            &engine,
+        )
+        .unwrap();
+        assert!(r.cost_secs.abs() < 1e-6, "expected zero XDT, got {}", r.cost_secs);
+    }
+
+    #[test]
+    fn unreachable_customer_returns_none() {
+        use foodmatch_roadnet::{GeoPoint, RoadNetworkBuilder};
+        let mut builder = RoadNetworkBuilder::new();
+        let a = builder.add_node(GeoPoint::new(0.0, 0.0));
+        let bnode = builder.add_node(GeoPoint::new(0.0, 0.01));
+        let island = builder.add_node(GeoPoint::new(1.0, 1.0));
+        builder.add_bidirectional(a, bnode, 500.0, RoadClass::Local);
+        let net = builder.build();
+        let engine = ShortestPathEngine::cached(net);
+        let o = Order::new(OrderId(1), bnode, island, TimePoint::MIDNIGHT, 1, Duration::ZERO);
+        assert!(plan_optimal_route(a, TimePoint::MIDNIGHT, &[PlannedOrder::pending(o)], &engine).is_none());
+    }
+
+    #[test]
+    fn validate_rejects_malformed_plans() {
+        let o = order(1, NodeId(1), NodeId(2), (12, 0), 5.0);
+        let planned = [PlannedOrder::pending(o)];
+        // Drop-off before pickup.
+        let bad = RoutePlan {
+            stops: vec![
+                Stop { order: o.id, node: o.customer, action: StopAction::Dropoff },
+                Stop { order: o.id, node: o.restaurant, action: StopAction::Pickup },
+            ],
+        };
+        assert!(bad.validate(&planned).is_err());
+        // Missing drop-off.
+        let incomplete = RoutePlan {
+            stops: vec![Stop { order: o.id, node: o.restaurant, action: StopAction::Pickup }],
+        };
+        assert!(incomplete.validate(&planned).is_err());
+        // Unknown order.
+        let foreign = RoutePlan {
+            stops: vec![Stop { order: OrderId(99), node: NodeId(1), action: StopAction::Pickup }],
+        };
+        assert!(foreign.validate(&planned).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to 5 orders")]
+    fn too_many_orders_panics() {
+        let (net, b) = grid();
+        let engine = ShortestPathEngine::cached(net);
+        let orders: Vec<PlannedOrder> = (0..6)
+            .map(|i| PlannedOrder::pending(order(i, b.node_at(0, 0), b.node_at(1, 1), (12, 0), 1.0)))
+            .collect();
+        let _ = plan_optimal_route(b.node_at(2, 2), TimePoint::from_hms(12, 0, 0), &orders, &engine);
+    }
+}

@@ -1,0 +1,113 @@
+//! Greedy bipartite matcher.
+//!
+//! Repeatedly picks the globally cheapest unmatched `(row, column)` pair
+//! until `min(rows, cols)` pairs are matched. This mirrors the decision rule
+//! of the paper's Greedy baseline (§III) at the matching layer, and serves as
+//! a reference point for the Kuhn–Munkres solver: the Hungarian total cost
+//! can never exceed the greedy total cost.
+
+use crate::matrix::{Assignment, CostMatrix};
+
+/// Solves the assignment problem greedily.
+///
+/// The result matches `min(rows, cols)` pairs but is generally not optimal.
+pub fn solve(costs: &CostMatrix) -> Assignment {
+    let rows = costs.rows();
+    let cols = costs.cols();
+    let target = rows.min(cols);
+
+    // Sort all cells once by cost; ties broken by (row, col) for determinism.
+    let mut cells: Vec<(usize, usize)> =
+        (0..rows).flat_map(|r| (0..cols).map(move |c| (r, c))).collect();
+    cells.sort_by(|&(r1, c1), &(r2, c2)| {
+        costs
+            .get(r1, c1)
+            .partial_cmp(&costs.get(r2, c2))
+            .expect("costs are finite")
+            .then_with(|| (r1, c1).cmp(&(r2, c2)))
+    });
+
+    let mut row_to_col = vec![None; rows];
+    let mut col_to_row = vec![None; cols];
+    let mut total_cost = 0.0;
+    let mut matched = 0;
+    for (r, c) in cells {
+        if matched == target {
+            break;
+        }
+        if row_to_col[r].is_none() && col_to_row[c].is_none() {
+            row_to_col[r] = Some(c);
+            col_to_row[c] = Some(r);
+            total_cost += costs.get(r, c);
+            matched += 1;
+        }
+    }
+
+    Assignment { row_to_col, col_to_row, total_cost }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hungarian;
+
+    #[test]
+    fn greedy_matches_min_dimension_pairs() {
+        let costs = CostMatrix::from_rows(&[
+            vec![5.0, 1.0, 2.0],
+            vec![4.0, 2.0, 3.0],
+        ]);
+        let a = solve(&costs);
+        assert_eq!(a.matched_pairs(), 2);
+        assert!(a.is_consistent());
+    }
+
+    #[test]
+    fn greedy_picks_cheapest_cell_first() {
+        let costs = CostMatrix::from_rows(&[
+            vec![9.0, 1.0],
+            vec![2.0, 8.0],
+        ]);
+        let a = solve(&costs);
+        assert_eq!(a.row_to_col, vec![Some(1), Some(0)]);
+        assert!((a.total_cost - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_can_be_suboptimal_but_never_beats_hungarian() {
+        let costs = CostMatrix::from_rows(&[
+            vec![0.0, 1.0],
+            vec![1.0, 100.0],
+        ]);
+        let greedy = solve(&costs);
+        let optimal = hungarian::solve(&costs);
+        assert!((greedy.total_cost - 100.0).abs() < 1e-9);
+        assert!((optimal.total_cost - 2.0).abs() < 1e-9);
+        assert!(optimal.total_cost <= greedy.total_cost);
+    }
+
+    #[test]
+    fn greedy_vs_hungarian_on_random_matrices() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let rows = rng.random_range(1..=7);
+            let cols = rng.random_range(1..=7);
+            let costs = CostMatrix::from_fn(rows, cols, |_, _| rng.random_range(0.0..50.0));
+            let greedy = solve(&costs);
+            let optimal = hungarian::solve(&costs);
+            assert_eq!(greedy.matched_pairs(), rows.min(cols));
+            assert!(optimal.total_cost <= greedy.total_cost + 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_ties() {
+        let costs = CostMatrix::filled(3, 3, 1.0);
+        let a = solve(&costs);
+        let b = solve(&costs);
+        assert_eq!(a, b);
+        assert_eq!(a.matched_pairs(), 3);
+    }
+}

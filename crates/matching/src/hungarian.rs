@@ -1,0 +1,262 @@
+//! The Kuhn–Munkres (Hungarian) algorithm for rectangular cost matrices.
+//!
+//! This is the matching engine behind the paper's FoodGraph assignment
+//! (§IV-A): given costs between order batches (rows) and vehicles (columns),
+//! it finds the assignment of `min(rows, cols)` pairs with minimum total
+//! cost. The implementation is the classic potentials-based formulation
+//! (sometimes called the Jonker–Volgenant variant of Kuhn–Munkres), running
+//! in `O(rows² · cols)` after internally transposing so that rows ≤ columns —
+//! i.e. the Bourgeois–Lassalle rectangular extension the paper cites.
+
+use crate::matrix::{Assignment, CostMatrix};
+
+/// Solves the minimum-cost assignment problem for `costs`.
+///
+/// Every row is matched to a distinct column when `rows ≤ cols`; otherwise
+/// every column is matched to a distinct row. The returned
+/// [`Assignment::total_cost`] is the sum of matched entries.
+pub fn solve(costs: &CostMatrix) -> Assignment {
+    if costs.rows() <= costs.cols() {
+        solve_wide(costs)
+    } else {
+        // Transpose, solve, and swap the two directions back.
+        let transposed = costs.transposed();
+        let solved = solve_wide(&transposed);
+        Assignment {
+            row_to_col: solved.col_to_row,
+            col_to_row: solved.row_to_col,
+            total_cost: solved.total_cost,
+        }
+    }
+}
+
+/// Core solver requiring `rows ≤ cols`.
+fn solve_wide(costs: &CostMatrix) -> Assignment {
+    let n = costs.rows();
+    let m = costs.cols();
+    debug_assert!(n <= m);
+
+    // Potentials for rows (u) and columns (v); p[j] is the row (1-based)
+    // matched to column j, with column 0 acting as the virtual root.
+    let mut u = vec![0.0_f64; n + 1];
+    let mut v = vec![0.0_f64; m + 1];
+    let mut p = vec![0_usize; m + 1];
+    let mut way = vec![0_usize; m + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0_usize;
+        let mut minv = vec![f64::INFINITY; m + 1];
+        let mut used = vec![false; m + 1];
+
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0_usize;
+            for j in 1..=m {
+                if used[j] {
+                    continue;
+                }
+                let cur = costs.get(i0 - 1, j - 1) - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            debug_assert!(delta.is_finite(), "augmenting path must exist in a complete matrix");
+            for j in 0..=m {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+
+        // Augment along the alternating path recorded in `way`.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut row_to_col = vec![None; n];
+    let mut col_to_row = vec![None; m];
+    let mut total_cost = 0.0;
+    for j in 1..=m {
+        if p[j] != 0 {
+            let row = p[j] - 1;
+            let col = j - 1;
+            row_to_col[row] = Some(col);
+            col_to_row[col] = Some(row);
+            total_cost += costs.get(row, col);
+        }
+    }
+
+    let assignment = Assignment { row_to_col, col_to_row, total_cost };
+    debug_assert!(assignment.is_consistent());
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force minimum assignment cost over all injections of the smaller
+    /// side into the larger side. Only usable for tiny matrices.
+    fn brute_force_cost(costs: &CostMatrix) -> f64 {
+        fn recurse(costs: &CostMatrix, row: usize, used: &mut Vec<bool>) -> f64 {
+            if row == costs.rows() {
+                return 0.0;
+            }
+            let mut best = f64::INFINITY;
+            for col in 0..costs.cols() {
+                if !used[col] {
+                    used[col] = true;
+                    let candidate = costs.get(row, col) + recurse(costs, row + 1, used);
+                    used[col] = false;
+                    if candidate < best {
+                        best = candidate;
+                    }
+                }
+            }
+            best
+        }
+        if costs.rows() <= costs.cols() {
+            recurse(costs, 0, &mut vec![false; costs.cols()])
+        } else {
+            let t = costs.transposed();
+            recurse(&t, 0, &mut vec![false; t.cols()])
+        }
+    }
+
+    #[test]
+    fn square_matrix_known_answer() {
+        // Classic example: optimal assignment is (0,1), (1,0), (2,2) = 1+2+3.
+        let costs = CostMatrix::from_rows(&[
+            vec![4.0, 1.0, 3.0],
+            vec![2.0, 0.0, 5.0],
+            vec![3.0, 2.0, 3.0],
+        ]);
+        let a = solve(&costs);
+        assert_eq!(a.matched_pairs(), 3);
+        assert!((a.total_cost - brute_force_cost(&costs)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hungarian_beats_locally_greedy_choices() {
+        // The situation highlighted by the paper's Example 5/6: the greedy
+        // pairing (taking the globally cheapest edge first) is forced into an
+        // expensive completion, while the global matching accepts one
+        // slightly worse edge to achieve a lower total.
+        let costs = CostMatrix::from_rows(&[
+            vec![0.0, 1.0],
+            vec![1.0, 100.0],
+        ]);
+        let a = solve(&costs);
+        assert!((a.total_cost - 2.0).abs() < 1e-9);
+        assert_eq!(a.row_to_col, vec![Some(1), Some(0)]);
+        assert_eq!(a.total_cost, brute_force_cost(&costs));
+    }
+
+    #[test]
+    fn wide_matrix_matches_all_rows() {
+        let costs = CostMatrix::from_rows(&[
+            vec![10.0, 2.0, 8.0, 4.0],
+            vec![7.0, 3.0, 6.0, 1.0],
+        ]);
+        let a = solve(&costs);
+        assert_eq!(a.matched_pairs(), 2);
+        assert!((a.total_cost - brute_force_cost(&costs)).abs() < 1e-9);
+        assert!(a.is_consistent());
+    }
+
+    #[test]
+    fn tall_matrix_matches_all_columns() {
+        let costs = CostMatrix::from_rows(&[
+            vec![10.0, 2.0],
+            vec![7.0, 3.0],
+            vec![1.0, 9.0],
+            vec![5.0, 5.0],
+        ]);
+        let a = solve(&costs);
+        assert_eq!(a.matched_pairs(), 2);
+        assert!((a.total_cost - brute_force_cost(&costs)).abs() < 1e-9);
+        assert!(a.is_consistent());
+    }
+
+    #[test]
+    fn single_cell_matrix() {
+        let costs = CostMatrix::from_rows(&[vec![42.0]]);
+        let a = solve(&costs);
+        assert_eq!(a.row_to_col, vec![Some(0)]);
+        assert_eq!(a.total_cost, 42.0);
+    }
+
+    #[test]
+    fn identical_costs_still_produce_perfect_matching() {
+        let costs = CostMatrix::filled(4, 4, 3.0);
+        let a = solve(&costs);
+        assert_eq!(a.matched_pairs(), 4);
+        assert!((a.total_cost - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_costs_are_supported() {
+        let costs = CostMatrix::from_rows(&[
+            vec![-5.0, 2.0, 1.0],
+            vec![3.0, -2.0, 0.0],
+            vec![4.0, 1.0, -1.0],
+        ]);
+        let a = solve(&costs);
+        assert!((a.total_cost - brute_force_cost(&costs)).abs() < 1e-9);
+        assert!((a.total_cost - (-8.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_penalty_entries_are_avoided_when_possible() {
+        let omega = 7200.0;
+        let costs = CostMatrix::from_rows(&[
+            vec![omega, 10.0, omega],
+            vec![20.0, omega, omega],
+            vec![omega, omega, 5.0],
+        ]);
+        let a = solve(&costs);
+        assert!((a.total_cost - 35.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matches_brute_force_on_many_random_instances() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(2024);
+        for trial in 0..200 {
+            let rows = rng.random_range(1..=5);
+            let cols = rng.random_range(1..=5);
+            let costs = CostMatrix::from_fn(rows, cols, |_, _| rng.random_range(0.0..100.0));
+            let a = solve(&costs);
+            let expected = brute_force_cost(&costs);
+            assert!(
+                (a.total_cost - expected).abs() < 1e-6,
+                "trial {trial}: hungarian {} vs brute force {expected}\n{costs}",
+                a.total_cost
+            );
+            assert_eq!(a.matched_pairs(), rows.min(cols));
+            assert!(a.is_consistent());
+        }
+    }
+}

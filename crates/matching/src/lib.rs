@@ -1,0 +1,46 @@
+//! # foodmatch-matching
+//!
+//! Minimum-weight bipartite matching substrate for the FoodMatch
+//! reproduction.
+//!
+//! The paper assigns order batches to vehicles by building a bipartite
+//! "FoodGraph" and computing a minimum-weight perfect matching with the
+//! Kuhn–Munkres algorithm, using the Bourgeois–Lassalle extension to
+//! rectangular matrices (reference [19]) because the number of batches and
+//! the number of vehicles rarely agree. This crate provides:
+//!
+//! * [`CostMatrix`] — a dense rectangular cost matrix.
+//! * [`SparseCostMatrix`] — a sparse builder used by the sparsified FoodGraph
+//!   of Algorithm 2, where most entries are the rejection penalty Ω.
+//! * [`hungarian::solve`] — the Kuhn–Munkres solver (O(n²·m) with
+//!   potentials), which matches every row when `rows ≤ cols`, and every
+//!   column otherwise, i.e. `min(|U1|, |U2|)` pairs as required by the
+//!   paper's LP formulation in §IV-A.
+//! * [`greedy::solve`] — the locally-optimal matcher used as a reference
+//!   point in tests and ablation benchmarks.
+//!
+//! The crate is deliberately free of food-delivery concepts: it is a reusable
+//! assignment-problem library.
+//!
+//! ```
+//! use foodmatch_matching::{CostMatrix, solve_hungarian};
+//!
+//! // Two workers, three tasks.
+//! let costs = CostMatrix::from_rows(&[
+//!     vec![4.0, 1.0, 3.0],
+//!     vec![2.0, 0.0, 5.0],
+//! ]);
+//! let assignment = solve_hungarian(&costs);
+//! assert_eq!(assignment.matched_pairs(), 2);
+//! assert!(assignment.total_cost <= 4.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod greedy;
+pub mod hungarian;
+pub mod matrix;
+
+pub use hungarian::solve as solve_hungarian;
+pub use matrix::{Assignment, CostMatrix, SparseCostMatrix};

@@ -1,0 +1,472 @@
+//! Time-sliced shortest paths.
+//!
+//! The paper writes `SP(u, v, t)` for the length of the quickest path from
+//! `u` to `v` "at time `t`": edge weights are evaluated at the query time and
+//! treated as static for the duration of the query (the same snapshot
+//! semantics used when building the FoodGraph). This module provides:
+//!
+//! * [`shortest_travel_time`] / [`shortest_path`] — one-to-one queries,
+//!   optionally returning the node sequence.
+//! * [`one_to_many`] — distances from one source to a set of targets with a
+//!   single partial Dijkstra run (used heavily by the cost model).
+//! * [`one_to_all`] — a full shortest-path tree (used to build hub labels and
+//!   reference results in tests).
+//! * [`Expansion`] — a lazy best-first iterator yielding nodes in ascending
+//!   distance from a source, which is exactly the primitive Algorithm 2 needs
+//!   to find the `k` nearest batch start nodes of a vehicle, and which also
+//!   accepts a custom edge-weight function so the vehicle-sensitive weight
+//!   `α(v, e, t)` of Eq. 8 can be plugged in.
+
+use crate::graph::RoadNetwork;
+use crate::ids::{EdgeId, NodeId};
+use crate::timeofday::{Duration, TimePoint};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// The result of a point-to-point shortest-path query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PathResult {
+    /// Total traversal time of the path.
+    pub travel_time: Duration,
+    /// Total length of the path in meters.
+    pub length_m: f64,
+    /// The node sequence from source to target (inclusive).
+    pub nodes: Vec<NodeId>,
+}
+
+/// Entry in the Dijkstra priority queue; ordered so the smallest cost pops
+/// first from Rust's max-heap.
+#[derive(Clone, Copy, Debug)]
+struct QueueEntry {
+    cost: f64,
+    node: NodeId,
+}
+
+impl PartialEq for QueueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cost == other.cost && self.node == other.node
+    }
+}
+impl Eq for QueueEntry {}
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the minimum cost first.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .expect("costs are never NaN")
+            .then_with(|| other.node.0.cmp(&self.node.0))
+    }
+}
+
+/// Shortest (quickest) travel time from `source` to `target` at time `t`, or
+/// `None` if `target` is unreachable.
+pub fn shortest_travel_time(
+    network: &RoadNetwork,
+    source: NodeId,
+    target: NodeId,
+    t: TimePoint,
+) -> Option<Duration> {
+    if source == target {
+        return Some(Duration::ZERO);
+    }
+    let mut expansion = Expansion::new(network, source, t);
+    for settled in expansion.by_ref() {
+        if settled.node == target {
+            return Some(settled.travel_time);
+        }
+    }
+    None
+}
+
+/// Shortest path (node sequence, travel time, length) from `source` to
+/// `target` at time `t`, or `None` if unreachable.
+pub fn shortest_path(
+    network: &RoadNetwork,
+    source: NodeId,
+    target: NodeId,
+    t: TimePoint,
+) -> Option<PathResult> {
+    let n = network.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent_edge: Vec<Option<EdgeId>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[source.index()] = 0.0;
+    heap.push(QueueEntry { cost: 0.0, node: source });
+
+    while let Some(QueueEntry { cost, node }) = heap.pop() {
+        if cost > dist[node.index()] {
+            continue;
+        }
+        if node == target {
+            break;
+        }
+        for (eid, edge) in network.out_edges(node) {
+            let next = cost + network.travel_time(eid, t).as_secs_f64();
+            if next < dist[edge.to.index()] {
+                dist[edge.to.index()] = next;
+                parent_edge[edge.to.index()] = Some(eid);
+                heap.push(QueueEntry { cost: next, node: edge.to });
+            }
+        }
+    }
+
+    if dist[target.index()].is_infinite() {
+        return None;
+    }
+
+    // Reconstruct the node sequence by walking parent edges back to source.
+    let mut nodes = vec![target];
+    let mut length_m = 0.0;
+    let mut cursor = target;
+    while cursor != source {
+        let eid = parent_edge[cursor.index()].expect("reached node must have a parent edge");
+        let edge = network.edge(eid);
+        length_m += edge.length_m;
+        cursor = edge.from;
+        nodes.push(cursor);
+    }
+    nodes.reverse();
+
+    Some(PathResult {
+        travel_time: Duration::from_secs_f64(dist[target.index()]),
+        length_m,
+        nodes,
+    })
+}
+
+/// Travel times from `source` to each node in `targets` at time `t`.
+///
+/// Runs a single Dijkstra that stops as soon as every reachable target has
+/// been settled. Unreachable targets map to `None`.
+pub fn one_to_many(
+    network: &RoadNetwork,
+    source: NodeId,
+    targets: &[NodeId],
+    t: TimePoint,
+) -> Vec<Option<Duration>> {
+    let mut remaining: std::collections::HashSet<NodeId> = targets.iter().copied().collect();
+    let mut found: std::collections::HashMap<NodeId, Duration> =
+        std::collections::HashMap::with_capacity(targets.len());
+
+    if remaining.contains(&source) {
+        found.insert(source, Duration::ZERO);
+        remaining.remove(&source);
+    }
+
+    if !remaining.is_empty() {
+        let mut expansion = Expansion::new(network, source, t);
+        for settled in expansion.by_ref() {
+            if remaining.remove(&settled.node) {
+                found.insert(settled.node, settled.travel_time);
+                if remaining.is_empty() {
+                    break;
+                }
+            }
+        }
+    }
+
+    targets.iter().map(|n| found.get(n).copied()).collect()
+}
+
+/// Travel times from `source` to every node of the network at time `t`
+/// (`None` for unreachable nodes).
+pub fn one_to_all(network: &RoadNetwork, source: NodeId, t: TimePoint) -> Vec<Option<Duration>> {
+    let mut out = vec![None; network.node_count()];
+    out[source.index()] = Some(Duration::ZERO);
+    for settled in Expansion::new(network, source, t) {
+        out[settled.node.index()] = Some(settled.travel_time);
+    }
+    out
+}
+
+/// A node settled by a best-first [`Expansion`], together with its distance
+/// from the source under the expansion's weight function and the accumulated
+/// *temporal* distance (β-weights), which may differ when a custom weight is
+/// in use.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Settled {
+    /// The settled node.
+    pub node: NodeId,
+    /// Distance from the source under the expansion's weight function.
+    pub weight: f64,
+    /// Travel time from the source accumulated along the same tree path.
+    pub travel_time: Duration,
+}
+
+/// Lazy best-first expansion of the road network from a source node.
+///
+/// Yields nodes in non-decreasing order of accumulated weight. With the
+/// default weight (the temporal edge weight `β(e, t)`) this is plain
+/// Dijkstra; Algorithm 2 of the paper swaps in the vehicle-sensitive weight
+/// `α(v, e, t)` (Eq. 8) via [`Expansion::with_weight`], so nodes pop in an
+/// order that blends travel time with angular distance while the true travel
+/// time along the tree path is still tracked for cost computations.
+pub struct Expansion<'a> {
+    network: &'a RoadNetwork,
+    t: TimePoint,
+    /// Weight of edge `eid` leaving a node settled at weight `w`; `None`
+    /// means "use β(e, t)".
+    weight_fn: Option<Box<dyn Fn(EdgeId) -> f64 + 'a>>,
+    dist: Vec<f64>,
+    time: Vec<f64>,
+    settled: Vec<bool>,
+    heap: BinaryHeap<QueueEntry>,
+    yielded_source: bool,
+    source: NodeId,
+}
+
+impl<'a> Expansion<'a> {
+    /// Starts a best-first expansion from `source` using the temporal edge
+    /// weight `β(e, t)`.
+    pub fn new(network: &'a RoadNetwork, source: NodeId, t: TimePoint) -> Self {
+        Self::build(network, source, t, None)
+    }
+
+    /// Starts a best-first expansion from `source` using a caller-supplied
+    /// edge weight (must be non-negative and finite for every edge).
+    pub fn with_weight(
+        network: &'a RoadNetwork,
+        source: NodeId,
+        t: TimePoint,
+        weight: impl Fn(EdgeId) -> f64 + 'a,
+    ) -> Self {
+        Self::build(network, source, t, Some(Box::new(weight)))
+    }
+
+    fn build(
+        network: &'a RoadNetwork,
+        source: NodeId,
+        t: TimePoint,
+        weight_fn: Option<Box<dyn Fn(EdgeId) -> f64 + 'a>>,
+    ) -> Self {
+        let n = network.node_count();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut time = vec![f64::INFINITY; n];
+        dist[source.index()] = 0.0;
+        time[source.index()] = 0.0;
+        let mut heap = BinaryHeap::new();
+        heap.push(QueueEntry { cost: 0.0, node: source });
+        Expansion {
+            network,
+            t,
+            weight_fn,
+            dist,
+            time,
+            settled: vec![false; n],
+            heap,
+            yielded_source: false,
+            source,
+        }
+    }
+
+    fn edge_weight(&self, eid: EdgeId) -> f64 {
+        match &self.weight_fn {
+            Some(f) => {
+                let w = f(eid);
+                debug_assert!(w.is_finite() && w >= 0.0, "custom edge weight must be non-negative");
+                w
+            }
+            None => self.network.travel_time(eid, self.t).as_secs_f64(),
+        }
+    }
+}
+
+impl Iterator for Expansion<'_> {
+    type Item = Settled;
+
+    fn next(&mut self) -> Option<Settled> {
+        if !self.yielded_source {
+            self.yielded_source = true;
+            self.settled[self.source.index()] = true;
+            // Relax the source's out-edges before yielding it so that the
+            // iterator is usable even if the caller stops immediately after.
+            self.relax(self.source);
+            return Some(Settled { node: self.source, weight: 0.0, travel_time: Duration::ZERO });
+        }
+        while let Some(QueueEntry { cost, node }) = self.heap.pop() {
+            if self.settled[node.index()] || cost > self.dist[node.index()] {
+                continue;
+            }
+            self.settled[node.index()] = true;
+            self.relax(node);
+            return Some(Settled {
+                node,
+                weight: cost,
+                travel_time: Duration::from_secs_f64(self.time[node.index()]),
+            });
+        }
+        None
+    }
+}
+
+impl Expansion<'_> {
+    fn relax(&mut self, node: NodeId) {
+        let base_w = self.dist[node.index()];
+        let base_t = self.time[node.index()];
+        for (eid, edge) in self.network.out_edges(node) {
+            if self.settled[edge.to.index()] {
+                continue;
+            }
+            let w = base_w + self.edge_weight(eid);
+            if w < self.dist[edge.to.index()] {
+                self.dist[edge.to.index()] = w;
+                self.time[edge.to.index()] =
+                    base_t + self.network.travel_time(eid, self.t).as_secs_f64();
+                self.heap.push(QueueEntry { cost: w, node: edge.to });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::congestion::{CongestionProfile, RoadClass};
+    use crate::geo::GeoPoint;
+    use crate::graph::RoadNetworkBuilder;
+
+    /// A 2x3 grid with uniform 1000 m local edges (free flow ~144.9 s each).
+    fn grid_2x3() -> RoadNetwork {
+        let mut b = RoadNetworkBuilder::new().congestion(CongestionProfile::free_flow());
+        let mut ids = Vec::new();
+        for r in 0..2 {
+            for c in 0..3 {
+                ids.push(b.add_node(GeoPoint::new(r as f64 * 0.009, c as f64 * 0.009)));
+            }
+        }
+        let at = |r: usize, c: usize| ids[r * 3 + c];
+        for r in 0..2 {
+            for c in 0..3 {
+                if c + 1 < 3 {
+                    b.add_bidirectional(at(r, c), at(r, c + 1), 1000.0, RoadClass::Local);
+                }
+                if r + 1 < 2 {
+                    b.add_bidirectional(at(r, c), at(r + 1, c), 1000.0, RoadClass::Local);
+                }
+            }
+        }
+        b.build()
+    }
+
+    fn edge_secs() -> f64 {
+        1000.0 / RoadClass::Local.free_flow_speed_mps()
+    }
+
+    #[test]
+    fn travel_time_matches_manhattan_distance_on_grid() {
+        let net = grid_2x3();
+        let t = TimePoint::from_hms(10, 0, 0);
+        let d = shortest_travel_time(&net, NodeId(0), NodeId(5), t).unwrap();
+        assert!((d.as_secs_f64() - 3.0 * edge_secs()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn source_equals_target_is_zero() {
+        let net = grid_2x3();
+        let t = TimePoint::MIDNIGHT;
+        assert_eq!(shortest_travel_time(&net, NodeId(2), NodeId(2), t), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn path_reconstruction_is_consistent() {
+        let net = grid_2x3();
+        let t = TimePoint::from_hms(8, 0, 0);
+        let path = shortest_path(&net, NodeId(0), NodeId(5), t).unwrap();
+        assert_eq!(path.nodes.first(), Some(&NodeId(0)));
+        assert_eq!(path.nodes.last(), Some(&NodeId(5)));
+        assert_eq!(path.nodes.len(), 4);
+        assert!((path.length_m - 3000.0).abs() < 1e-6);
+        // Path travel time must equal the sum of its edge travel times.
+        let mut total = 0.0;
+        for pair in path.nodes.windows(2) {
+            let (eid, _) = net
+                .out_edges(pair[0])
+                .find(|(_, e)| e.to == pair[1])
+                .expect("consecutive path nodes are adjacent");
+            total += net.travel_time(eid, t).as_secs_f64();
+        }
+        assert!((total - path.travel_time.as_secs_f64()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unreachable_target_returns_none() {
+        // Two disconnected nodes.
+        let mut b = RoadNetworkBuilder::new();
+        let a = b.add_node(GeoPoint::new(0.0, 0.0));
+        let c = b.add_node(GeoPoint::new(0.0, 0.1));
+        let d = b.add_node(GeoPoint::new(0.0, 0.2));
+        b.add_edge(a, c, 100.0, RoadClass::Local);
+        let net = b.build();
+        assert_eq!(shortest_travel_time(&net, a, d, TimePoint::MIDNIGHT), None);
+        assert!(shortest_path(&net, a, d, TimePoint::MIDNIGHT).is_none());
+    }
+
+    #[test]
+    fn one_to_many_matches_individual_queries() {
+        let net = grid_2x3();
+        let t = TimePoint::from_hms(13, 0, 0);
+        let targets = [NodeId(1), NodeId(4), NodeId(5), NodeId(0)];
+        let batch = one_to_many(&net, NodeId(0), &targets, t);
+        for (i, &target) in targets.iter().enumerate() {
+            let single = shortest_travel_time(&net, NodeId(0), target, t);
+            assert_eq!(batch[i], single, "mismatch for {target}");
+        }
+    }
+
+    #[test]
+    fn one_to_all_covers_connected_grid() {
+        let net = grid_2x3();
+        let d = one_to_all(&net, NodeId(0), TimePoint::MIDNIGHT);
+        assert_eq!(d.len(), 6);
+        assert!(d.iter().all(|x| x.is_some()));
+        assert_eq!(d[0], Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn expansion_yields_nodes_in_nondecreasing_order() {
+        let net = grid_2x3();
+        let weights: Vec<f64> =
+            Expansion::new(&net, NodeId(0), TimePoint::MIDNIGHT).map(|s| s.weight).collect();
+        assert_eq!(weights.len(), 6);
+        for pair in weights.windows(2) {
+            assert!(pair[0] <= pair[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn expansion_with_custom_weight_changes_order_but_keeps_travel_time() {
+        let net = grid_2x3();
+        let t = TimePoint::MIDNIGHT;
+        // A weight that strongly prefers edges leading to higher node ids.
+        let expansion = Expansion::with_weight(&net, NodeId(0), t, |eid| {
+            let e = net.edge(eid);
+            1000.0 - f64::from(e.to.0)
+        });
+        for settled in expansion {
+            if settled.node != NodeId(0) {
+                // Travel time along the chosen tree path can never beat the
+                // true shortest travel time.
+                let best = shortest_travel_time(&net, NodeId(0), settled.node, t).unwrap();
+                assert!(settled.travel_time.as_secs_f64() + 1e-9 >= best.as_secs_f64());
+            }
+        }
+    }
+
+    #[test]
+    fn congestion_lengthens_peak_paths() {
+        let mut b = RoadNetworkBuilder::new().congestion(CongestionProfile::metropolitan());
+        let a = b.add_node(GeoPoint::new(0.0, 0.0));
+        let c = b.add_node(GeoPoint::new(0.0, 0.02));
+        b.add_bidirectional(a, c, 2000.0, RoadClass::Arterial);
+        let net = b.build();
+        let night = shortest_travel_time(&net, a, c, TimePoint::from_hms(3, 0, 0)).unwrap();
+        let dinner = shortest_travel_time(&net, a, c, TimePoint::from_hms(20, 0, 0)).unwrap();
+        assert!(dinner > night);
+    }
+}

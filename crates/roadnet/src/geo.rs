@@ -1,0 +1,178 @@
+//! Geodesic helpers: haversine distance, bearing (Definition 10 in the paper)
+//! and the angular distance used to anticipate vehicle movement (§IV-D1).
+//!
+//! The paper's angular distance of a vehicle `v` (currently at `source`,
+//! heading to `dest`) with respect to a candidate node `u` is
+//!
+//! ```text
+//! adist(v, u, t) = (1 - cos(Θ(source, dest) - Θ(source, u))) / 2
+//! ```
+//!
+//! where `Θ` is the initial great-circle bearing between two points. The value
+//! lies in `[0, 1]`: 0 when `u` lies exactly in the direction of travel, 1
+//! when it lies in the diametrically opposite direction.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean Earth radius in meters (IUGG value), used by the haversine formula.
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+/// A geographic point in degrees of latitude and longitude.
+#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Latitude in degrees, positive north.
+    pub lat: f64,
+    /// Longitude in degrees, positive east.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point from latitude/longitude in degrees.
+    pub fn new(lat: f64, lon: f64) -> Self {
+        GeoPoint { lat, lon }
+    }
+
+    /// Great-circle distance to `other` in meters.
+    pub fn distance_m(self, other: GeoPoint) -> f64 {
+        haversine_meters(self, other)
+    }
+
+    /// Initial great-circle bearing towards `other`, in radians in `[0, 2π)`.
+    pub fn bearing_to(self, other: GeoPoint) -> f64 {
+        bearing(self, other)
+    }
+}
+
+/// Haversine (great-circle) distance between two points, in meters.
+///
+/// This is the distance function used by the Reyes et al. baseline, which the
+/// paper criticises for ignoring the road network; we keep it around both for
+/// that baseline and for generating realistic edge lengths in synthetic
+/// cities.
+pub fn haversine_meters(a: GeoPoint, b: GeoPoint) -> f64 {
+    let lat1 = a.lat.to_radians();
+    let lat2 = b.lat.to_radians();
+    let dlat = (b.lat - a.lat).to_radians();
+    let dlon = (b.lon - a.lon).to_radians();
+
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_M * h.sqrt().min(1.0).asin()
+}
+
+/// Initial great-circle bearing from `s` towards `t` (Definition 10),
+/// rendered in radians in the range `[0, 2π)`.
+///
+/// Follows the paper's formulation: `Θ(s, t) = atan2(X, Y)` with
+/// `X = cos(φ_t)·sin(λ_t − λ_s)` and
+/// `Y = cos(φ_s)·sin(φ_t) − sin(φ_s)·cos(φ_t)·cos(λ_t − λ_s)`.
+pub fn bearing(s: GeoPoint, t: GeoPoint) -> f64 {
+    let phi_s = s.lat.to_radians();
+    let phi_t = t.lat.to_radians();
+    let dlon = (t.lon - s.lon).to_radians();
+
+    let x = phi_t.cos() * dlon.sin();
+    let y = phi_s.cos() * phi_t.sin() - phi_s.sin() * phi_t.cos() * dlon.cos();
+    let theta = x.atan2(y);
+    theta.rem_euclid(std::f64::consts::TAU)
+}
+
+/// Angular distance between the direction of travel (`source → dest`) and the
+/// direction towards a candidate node (`source → candidate`), in `[0, 1]`.
+///
+/// Returns 0 when the two points are in the same direction, 1 when they are
+/// diametrically opposite. When `source` coincides with either endpoint the
+/// bearing is undefined; we return 0.5 — a neutral value that neither favours
+/// nor penalises the candidate, matching the intent of Eq. 8.
+pub fn angular_distance(source: GeoPoint, dest: GeoPoint, candidate: GeoPoint) -> f64 {
+    const EPS_M: f64 = 0.5;
+    if haversine_meters(source, dest) < EPS_M || haversine_meters(source, candidate) < EPS_M {
+        return 0.5;
+    }
+    let theta_dest = bearing(source, dest);
+    let theta_cand = bearing(source, candidate);
+    (1.0 - (theta_dest - theta_cand).cos()) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-6;
+
+    #[test]
+    fn haversine_zero_for_identical_points() {
+        let p = GeoPoint::new(12.97, 77.59);
+        assert!(haversine_meters(p, p) < TOL);
+    }
+
+    #[test]
+    fn haversine_known_distance() {
+        // One degree of latitude is roughly 111.2 km.
+        let a = GeoPoint::new(12.0, 77.0);
+        let b = GeoPoint::new(13.0, 77.0);
+        let d = haversine_meters(a, b);
+        assert!((d - 111_195.0).abs() < 200.0, "got {d}");
+    }
+
+    #[test]
+    fn haversine_is_symmetric() {
+        let a = GeoPoint::new(12.9, 77.6);
+        let b = GeoPoint::new(13.1, 77.7);
+        assert!((haversine_meters(a, b) - haversine_meters(b, a)).abs() < TOL);
+    }
+
+    #[test]
+    fn bearing_cardinal_directions() {
+        let origin = GeoPoint::new(0.0, 0.0);
+        let north = GeoPoint::new(1.0, 0.0);
+        let east = GeoPoint::new(0.0, 1.0);
+        let south = GeoPoint::new(-1.0, 0.0);
+        let west = GeoPoint::new(0.0, -1.0);
+        assert!(bearing(origin, north).abs() < 1e-3);
+        assert!((bearing(origin, east) - std::f64::consts::FRAC_PI_2).abs() < 1e-3);
+        assert!((bearing(origin, south) - std::f64::consts::PI).abs() < 1e-3);
+        assert!((bearing(origin, west) - 3.0 * std::f64::consts::FRAC_PI_2).abs() < 1e-3);
+    }
+
+    #[test]
+    fn bearing_is_in_range() {
+        let a = GeoPoint::new(12.9, 77.6);
+        for (lat, lon) in [(13.0, 77.0), (12.0, 78.0), (12.9, 77.6001), (12.8, 77.5)] {
+            let b = bearing(a, GeoPoint::new(lat, lon));
+            assert!((0.0..std::f64::consts::TAU).contains(&b), "bearing {b} out of range");
+        }
+    }
+
+    #[test]
+    fn angular_distance_same_direction_is_zero() {
+        let source = GeoPoint::new(0.0, 0.0);
+        let dest = GeoPoint::new(0.0, 1.0);
+        let candidate = GeoPoint::new(0.0, 0.5);
+        assert!(angular_distance(source, dest, candidate) < 1e-9);
+    }
+
+    #[test]
+    fn angular_distance_opposite_direction_is_one() {
+        let source = GeoPoint::new(0.0, 0.0);
+        let dest = GeoPoint::new(0.0, 1.0);
+        let candidate = GeoPoint::new(0.0, -1.0);
+        assert!((angular_distance(source, dest, candidate) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn angular_distance_perpendicular_is_half() {
+        let source = GeoPoint::new(0.0, 0.0);
+        let dest = GeoPoint::new(0.0, 1.0);
+        let candidate = GeoPoint::new(1.0, 0.0);
+        let d = angular_distance(source, dest, candidate);
+        assert!((d - 0.5).abs() < 1e-3, "got {d}");
+    }
+
+    #[test]
+    fn angular_distance_degenerate_is_neutral() {
+        let p = GeoPoint::new(10.0, 10.0);
+        let q = GeoPoint::new(10.1, 10.1);
+        assert_eq!(angular_distance(p, p, q), 0.5);
+        assert_eq!(angular_distance(p, q, p), 0.5);
+    }
+}

@@ -1,0 +1,422 @@
+//! The road network graph (Definition 1 of the paper).
+//!
+//! A [`RoadNetwork`] is a weighted directed graph whose nodes are road
+//! intersections (with geographic coordinates) and whose edges are road
+//! segments. The temporal weight `β(e, t)` of an edge is its free-flow
+//! traversal time scaled by the [`CongestionProfile`] multiplier of its road
+//! class at the hour slot containing `t`.
+//!
+//! The adjacency structure is CSR-like (a flat edge array plus per-node
+//! offsets) so that neighbour iteration during Dijkstra touches contiguous
+//! memory. Networks are immutable once built; construction goes through
+//! [`RoadNetworkBuilder`].
+
+use crate::congestion::{CongestionProfile, RoadClass};
+use crate::geo::GeoPoint;
+use crate::ids::{EdgeId, NodeId};
+use crate::timeofday::{Duration, TimePoint};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Metadata stored for every node (road intersection).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NodeRecord {
+    /// Geographic position of the intersection.
+    pub position: GeoPoint,
+}
+
+/// Metadata stored for every directed edge (road segment).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EdgeRecord {
+    /// Tail of the edge (the segment is traversed `from → to`).
+    pub from: NodeId,
+    /// Head of the edge.
+    pub to: NodeId,
+    /// Length of the segment in meters.
+    pub length_m: f64,
+    /// Free-flow traversal time in seconds.
+    pub free_flow_secs: f64,
+    /// Functional class, controlling congestion sensitivity.
+    pub class: RoadClass,
+}
+
+/// An immutable, time-dependent road network.
+///
+/// Cloning a `RoadNetwork` is cheap: the underlying storage is shared behind
+/// an [`Arc`], which lets the dispatcher, simulator and multiple worker
+/// threads reference the same network without copies.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RoadNetwork {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Inner {
+    nodes: Vec<NodeRecord>,
+    edges: Vec<EdgeRecord>,
+    /// CSR offsets: out-edges of node `u` are `edge_order[offsets[u]..offsets[u+1]]`.
+    offsets: Vec<u32>,
+    /// Edge ids sorted by tail node.
+    edge_order: Vec<EdgeId>,
+    congestion: CongestionProfile,
+}
+
+impl RoadNetwork {
+    /// Number of nodes in the network.
+    pub fn node_count(&self) -> usize {
+        self.inner.nodes.len()
+    }
+
+    /// Number of directed edges in the network.
+    pub fn edge_count(&self) -> usize {
+        self.inner.edges.len()
+    }
+
+    /// Iterates over all node ids in dense order.
+    pub fn node_ids(&self) -> impl DoubleEndedIterator<Item = NodeId> + ExactSizeIterator + '_ {
+        (0..self.node_count() as u32).map(NodeId)
+    }
+
+    /// Iterates over all edge ids in dense order.
+    pub fn edge_ids(&self) -> impl DoubleEndedIterator<Item = EdgeId> + ExactSizeIterator + '_ {
+        (0..self.edge_count() as u32).map(EdgeId)
+    }
+
+    /// Returns the record of `node`.
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range for this network.
+    pub fn node(&self, node: NodeId) -> &NodeRecord {
+        &self.inner.nodes[node.index()]
+    }
+
+    /// Returns the geographic position of `node`.
+    pub fn position(&self, node: NodeId) -> GeoPoint {
+        self.node(node).position
+    }
+
+    /// Returns the record of `edge`.
+    ///
+    /// # Panics
+    /// Panics if `edge` is out of range for this network.
+    pub fn edge(&self, edge: EdgeId) -> &EdgeRecord {
+        &self.inner.edges[edge.index()]
+    }
+
+    /// The congestion profile used to evaluate `β(e, t)`.
+    pub fn congestion(&self) -> &CongestionProfile {
+        &self.inner.congestion
+    }
+
+    /// Out-edges of `node`, as `(EdgeId, &EdgeRecord)` pairs.
+    pub fn out_edges(&self, node: NodeId) -> impl Iterator<Item = (EdgeId, &EdgeRecord)> + '_ {
+        let lo = self.inner.offsets[node.index()] as usize;
+        let hi = self.inner.offsets[node.index() + 1] as usize;
+        self.inner.edge_order[lo..hi].iter().map(move |&eid| (eid, &self.inner.edges[eid.index()]))
+    }
+
+    /// Out-degree of `node`.
+    pub fn out_degree(&self, node: NodeId) -> usize {
+        let lo = self.inner.offsets[node.index()] as usize;
+        let hi = self.inner.offsets[node.index() + 1] as usize;
+        hi - lo
+    }
+
+    /// Temporal weight `β(e, t)`: the time needed to traverse `edge` when the
+    /// traversal starts at time `t` (Definition 1).
+    pub fn travel_time(&self, edge: EdgeId, t: TimePoint) -> Duration {
+        let rec = &self.inner.edges[edge.index()];
+        let mult = self.inner.congestion.multiplier(rec.class, t.hour_slot());
+        Duration::from_secs_f64(rec.free_flow_secs * mult)
+    }
+
+    /// The largest possible `β(e, t)` over all edges and hours, used to
+    /// normalise temporal distance in the vehicle-sensitive weight of Eq. 8.
+    pub fn max_travel_time(&self) -> Duration {
+        let max_free = self
+            .inner
+            .edges
+            .iter()
+            .map(|e| e.free_flow_secs)
+            .fold(0.0_f64, f64::max);
+        Duration::from_secs_f64(max_free * self.inner.congestion.max_multiplier())
+    }
+
+    /// Straight-line (haversine) distance between two nodes, in meters.
+    pub fn haversine_between(&self, a: NodeId, b: NodeId) -> f64 {
+        self.position(a).distance_m(self.position(b))
+    }
+
+    /// Returns the node nearest to `point` by straight-line distance.
+    ///
+    /// This mirrors the paper's handling of vehicles that are not exactly on
+    /// an intersection: "we approximate its location to the closest node in
+    /// the road network". Linear scan — adequate for the network sizes used in
+    /// the experiments, and only called when snapping external positions.
+    ///
+    /// # Panics
+    /// Panics if the network has no nodes.
+    pub fn nearest_node(&self, point: GeoPoint) -> NodeId {
+        assert!(!self.inner.nodes.is_empty(), "nearest_node on empty network");
+        let mut best = NodeId(0);
+        let mut best_d = f64::INFINITY;
+        for (idx, rec) in self.inner.nodes.iter().enumerate() {
+            let d = rec.position.distance_m(point);
+            if d < best_d {
+                best_d = d;
+                best = NodeId::from_index(idx);
+            }
+        }
+        best
+    }
+
+    /// Total length of all edges, in meters. Useful for workload statistics.
+    pub fn total_edge_length_m(&self) -> f64 {
+        self.inner.edges.iter().map(|e| e.length_m).sum()
+    }
+}
+
+/// Incremental builder for [`RoadNetwork`].
+///
+/// Nodes must be added before edges referencing them. The builder validates
+/// endpoints and edge attributes eagerly so that a constructed network is
+/// always internally consistent.
+#[derive(Debug, Default)]
+pub struct RoadNetworkBuilder {
+    nodes: Vec<NodeRecord>,
+    edges: Vec<EdgeRecord>,
+    congestion: Option<CongestionProfile>,
+}
+
+impl RoadNetworkBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the congestion profile (defaults to
+    /// [`CongestionProfile::metropolitan`] if never called).
+    pub fn congestion(mut self, profile: CongestionProfile) -> Self {
+        self.congestion = Some(profile);
+        self
+    }
+
+    /// Adds a node at `position` and returns its id.
+    pub fn add_node(&mut self, position: GeoPoint) -> NodeId {
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(NodeRecord { position });
+        id
+    }
+
+    /// Adds a directed edge with an explicit length and road class. The
+    /// free-flow travel time is derived from the class's free-flow speed.
+    ///
+    /// # Panics
+    /// Panics if either endpoint has not been added, if the endpoints are
+    /// equal, or if `length_m` is not a positive finite number.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, length_m: f64, class: RoadClass) -> EdgeId {
+        assert!(from.index() < self.nodes.len(), "edge tail {from} not in builder");
+        assert!(to.index() < self.nodes.len(), "edge head {to} not in builder");
+        assert_ne!(from, to, "self-loop edges are not allowed");
+        assert!(length_m.is_finite() && length_m > 0.0, "edge length must be positive, got {length_m}");
+        let id = EdgeId::from_index(self.edges.len());
+        self.edges.push(EdgeRecord {
+            from,
+            to,
+            length_m,
+            free_flow_secs: length_m / class.free_flow_speed_mps(),
+            class,
+        });
+        id
+    }
+
+    /// Adds a pair of directed edges `a → b` and `b → a` with the same length
+    /// and class, returning both ids.
+    pub fn add_bidirectional(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        length_m: f64,
+        class: RoadClass,
+    ) -> (EdgeId, EdgeId) {
+        (self.add_edge(a, b, length_m, class), self.add_edge(b, a, length_m, class))
+    }
+
+    /// Adds a directed edge whose length is the haversine distance between
+    /// the endpoints' positions.
+    pub fn add_edge_geodesic(&mut self, from: NodeId, to: NodeId, class: RoadClass) -> EdgeId {
+        let length = self.nodes[from.index()].position.distance_m(self.nodes[to.index()].position);
+        self.add_edge(from, to, length.max(1.0), class)
+    }
+
+    /// Current number of nodes added.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Current number of edges added.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalises the builder into an immutable [`RoadNetwork`].
+    ///
+    /// # Panics
+    /// Panics if no nodes were added.
+    pub fn build(self) -> RoadNetwork {
+        assert!(!self.nodes.is_empty(), "a road network needs at least one node");
+        let node_count = self.nodes.len();
+
+        // Counting sort of edges by tail node into a CSR layout.
+        let mut counts = vec![0u32; node_count + 1];
+        for edge in &self.edges {
+            counts[edge.from.index() + 1] += 1;
+        }
+        for i in 0..node_count {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut edge_order = vec![EdgeId(0); self.edges.len()];
+        for (idx, edge) in self.edges.iter().enumerate() {
+            let slot = cursor[edge.from.index()] as usize;
+            edge_order[slot] = EdgeId::from_index(idx);
+            cursor[edge.from.index()] += 1;
+        }
+
+        RoadNetwork {
+            inner: Arc::new(Inner {
+                nodes: self.nodes,
+                edges: self.edges,
+                offsets,
+                edge_order,
+                congestion: self.congestion.unwrap_or_default(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeofday::TimePoint;
+
+    fn tiny_network() -> RoadNetwork {
+        // Three nodes in a line with a shortcut back.
+        let mut b = RoadNetworkBuilder::new().congestion(CongestionProfile::free_flow());
+        let n0 = b.add_node(GeoPoint::new(0.0, 0.0));
+        let n1 = b.add_node(GeoPoint::new(0.0, 0.01));
+        let n2 = b.add_node(GeoPoint::new(0.0, 0.02));
+        b.add_edge(n0, n1, 1000.0, RoadClass::Arterial);
+        b.add_edge(n1, n2, 1000.0, RoadClass::Local);
+        b.add_edge(n2, n0, 2500.0, RoadClass::Collector);
+        b.build()
+    }
+
+    #[test]
+    fn builder_produces_expected_counts() {
+        let net = tiny_network();
+        assert_eq!(net.node_count(), 3);
+        assert_eq!(net.edge_count(), 3);
+        assert_eq!(net.out_degree(NodeId(0)), 1);
+        assert_eq!(net.out_degree(NodeId(1)), 1);
+        assert_eq!(net.out_degree(NodeId(2)), 1);
+    }
+
+    #[test]
+    fn out_edges_report_correct_heads() {
+        let net = tiny_network();
+        let heads: Vec<NodeId> = net.out_edges(NodeId(0)).map(|(_, e)| e.to).collect();
+        assert_eq!(heads, vec![NodeId(1)]);
+        let heads: Vec<NodeId> = net.out_edges(NodeId(2)).map(|(_, e)| e.to).collect();
+        assert_eq!(heads, vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn travel_time_uses_free_flow_speed() {
+        let net = tiny_network();
+        let t = TimePoint::from_hms(4, 0, 0);
+        // 1000 m arterial at ~13.9 m/s ≈ 72 s.
+        let tt = net.travel_time(EdgeId(0), t).as_secs_f64();
+        assert!((tt - 1000.0 / RoadClass::Arterial.free_flow_speed_mps()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn travel_time_reacts_to_congestion() {
+        let mut b = RoadNetworkBuilder::new().congestion(CongestionProfile::metropolitan());
+        let a = b.add_node(GeoPoint::new(0.0, 0.0));
+        let c = b.add_node(GeoPoint::new(0.0, 0.01));
+        b.add_edge(a, c, 1000.0, RoadClass::Arterial);
+        let net = b.build();
+        let night = net.travel_time(EdgeId(0), TimePoint::from_hms(3, 0, 0));
+        let dinner = net.travel_time(EdgeId(0), TimePoint::from_hms(19, 30, 0));
+        assert!(dinner > night);
+    }
+
+    #[test]
+    fn nearest_node_snaps_to_closest() {
+        let net = tiny_network();
+        let snapped = net.nearest_node(GeoPoint::new(0.0, 0.0119));
+        assert_eq!(snapped, NodeId(1));
+    }
+
+    #[test]
+    fn bidirectional_adds_two_edges() {
+        let mut b = RoadNetworkBuilder::new();
+        let a = b.add_node(GeoPoint::new(0.0, 0.0));
+        let c = b.add_node(GeoPoint::new(0.0, 0.01));
+        let (e1, e2) = b.add_bidirectional(a, c, 500.0, RoadClass::Local);
+        let net = b.build();
+        assert_eq!(net.edge(e1).from, a);
+        assert_eq!(net.edge(e2).from, c);
+        assert_eq!(net.edge(e1).to, c);
+        assert_eq!(net.edge(e2).to, a);
+    }
+
+    #[test]
+    fn geodesic_edge_length_matches_haversine() {
+        let mut b = RoadNetworkBuilder::new();
+        let a = b.add_node(GeoPoint::new(12.0, 77.0));
+        let c = b.add_node(GeoPoint::new(12.0, 77.01));
+        let e = b.add_edge_geodesic(a, c, RoadClass::Collector);
+        let net = b.build();
+        let expected = net.position(a).distance_m(net.position(c));
+        assert!((net.edge(e).length_m - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_travel_time_bounds_every_edge() {
+        let net = tiny_network();
+        let cap = net.max_travel_time();
+        for e in net.edge_ids() {
+            for h in 0..24 {
+                let t = TimePoint::from_hms(h, 0, 0);
+                assert!(net.travel_time(e, t) <= cap);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loops_rejected() {
+        let mut b = RoadNetworkBuilder::new();
+        let a = b.add_node(GeoPoint::new(0.0, 0.0));
+        b.add_edge(a, a, 10.0, RoadClass::Local);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge length must be positive")]
+    fn non_positive_length_rejected() {
+        let mut b = RoadNetworkBuilder::new();
+        let a = b.add_node(GeoPoint::new(0.0, 0.0));
+        let c = b.add_node(GeoPoint::new(0.0, 0.01));
+        b.add_edge(a, c, 0.0, RoadClass::Local);
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let net = tiny_network();
+        let clone = net.clone();
+        assert!(Arc::ptr_eq(&net.inner, &clone.inner));
+    }
+}

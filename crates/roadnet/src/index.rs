@@ -1,0 +1,348 @@
+//! A unified façade over the shortest-path backends.
+//!
+//! Higher layers (route planning, batching, FoodGraph construction, the
+//! simulator) issue a very large number of `SP(u, v, t)` queries. The paper
+//! accelerates these with hub labels; we expose three interchangeable
+//! engines behind [`ShortestPathEngine`]:
+//!
+//! * [`EngineKind::Dijkstra`] — no index, every query runs Dijkstra. Baseline
+//!   and reference implementation.
+//! * [`EngineKind::Cached`] — Dijkstra plus a per-slot memo of `(source,
+//!   target) → travel time`, which pays off because dispatch repeatedly asks
+//!   about the same restaurant/customer nodes within a window.
+//! * [`EngineKind::HubLabels`] — exact hub labels built lazily per hour slot
+//!   (see [`crate::hub_labels`]).
+//!
+//! The engine is `Send + Sync` (interior mutability uses [`parking_lot`]
+//! locks) so FoodGraph construction can fan out per-vehicle work across
+//! threads while sharing one engine.
+
+use crate::dijkstra;
+use crate::graph::RoadNetwork;
+use crate::hub_labels::HubLabelIndex;
+use crate::ids::NodeId;
+use crate::timeofday::{Duration, HourSlot, TimePoint};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Which backend a [`ShortestPathEngine`] uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EngineKind {
+    /// Plain Dijkstra per query.
+    Dijkstra,
+    /// Dijkstra with a per-hour-slot memoisation cache.
+    Cached,
+    /// Lazily built exact hub labels per hour slot.
+    HubLabels,
+}
+
+/// Shared, thread-safe shortest-path oracle over a [`RoadNetwork`].
+#[derive(Clone)]
+pub struct ShortestPathEngine {
+    inner: Arc<EngineInner>,
+}
+
+struct EngineInner {
+    network: RoadNetwork,
+    kind: EngineKind,
+    /// Memo for [`EngineKind::Cached`]: slot → (source, target) → seconds
+    /// (`f64::INFINITY` encodes "unreachable").
+    cache: [Mutex<HashMap<(NodeId, NodeId), f64>>; HourSlot::COUNT],
+    /// Lazily built hub-label indexes for [`EngineKind::HubLabels`].
+    labels: [RwLock<Option<Arc<HubLabelIndex>>>; HourSlot::COUNT],
+    queries: AtomicU64,
+}
+
+impl ShortestPathEngine {
+    /// Creates an engine of the given kind over `network`.
+    pub fn new(network: RoadNetwork, kind: EngineKind) -> Self {
+        ShortestPathEngine {
+            inner: Arc::new(EngineInner {
+                network,
+                kind,
+                cache: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+                labels: std::array::from_fn(|_| RwLock::new(None)),
+                queries: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Convenience constructor for a plain-Dijkstra engine.
+    pub fn dijkstra(network: RoadNetwork) -> Self {
+        Self::new(network, EngineKind::Dijkstra)
+    }
+
+    /// Convenience constructor for a caching engine (the default used by the
+    /// experiments).
+    pub fn cached(network: RoadNetwork) -> Self {
+        Self::new(network, EngineKind::Cached)
+    }
+
+    /// Convenience constructor for a hub-label engine.
+    pub fn hub_labels(network: RoadNetwork) -> Self {
+        Self::new(network, EngineKind::HubLabels)
+    }
+
+    /// The underlying road network.
+    pub fn network(&self) -> &RoadNetwork {
+        &self.inner.network
+    }
+
+    /// Which backend this engine uses.
+    pub fn kind(&self) -> EngineKind {
+        self.inner.kind
+    }
+
+    /// Number of point-to-point queries answered so far (for benchmarks).
+    pub fn query_count(&self) -> u64 {
+        self.inner.queries.load(Ordering::Relaxed)
+    }
+
+    /// `SP(source, target, t)`: shortest travel time at time `t`, or `None`
+    /// if the target is unreachable.
+    pub fn travel_time(&self, source: NodeId, target: NodeId, t: TimePoint) -> Option<Duration> {
+        self.inner.queries.fetch_add(1, Ordering::Relaxed);
+        if source == target {
+            return Some(Duration::ZERO);
+        }
+        match self.inner.kind {
+            EngineKind::Dijkstra => {
+                dijkstra::shortest_travel_time(&self.inner.network, source, target, t)
+            }
+            EngineKind::Cached => self.cached_travel_time(source, target, t),
+            EngineKind::HubLabels => self.labels_for(t.hour_slot()).travel_time(source, target),
+        }
+    }
+
+    /// Travel times from `source` to several `targets` in a single backend
+    /// pass where the backend supports it.
+    pub fn travel_times_to_many(
+        &self,
+        source: NodeId,
+        targets: &[NodeId],
+        t: TimePoint,
+    ) -> Vec<Option<Duration>> {
+        self.inner.queries.fetch_add(targets.len() as u64, Ordering::Relaxed);
+        match self.inner.kind {
+            EngineKind::Dijkstra => dijkstra::one_to_many(&self.inner.network, source, targets, t),
+            EngineKind::Cached => {
+                // Answer what the cache already knows, then fill the gaps with
+                // a single one-to-many run.
+                let slot = t.hour_slot();
+                let mut out: Vec<Option<Option<Duration>>> = vec![None; targets.len()];
+                {
+                    let cache = self.inner.cache[slot.index()].lock();
+                    for (i, &target) in targets.iter().enumerate() {
+                        if source == target {
+                            out[i] = Some(Some(Duration::ZERO));
+                        } else if let Some(&secs) = cache.get(&(source, target)) {
+                            out[i] = Some(decode(secs));
+                        }
+                    }
+                }
+                let missing: Vec<NodeId> = targets
+                    .iter()
+                    .zip(&out)
+                    .filter(|(_, o)| o.is_none())
+                    .map(|(&n, _)| n)
+                    .collect();
+                if !missing.is_empty() {
+                    let answers = dijkstra::one_to_many(&self.inner.network, source, &missing, t);
+                    let mut cache = self.inner.cache[slot.index()].lock();
+                    let mut it = answers.into_iter();
+                    for (i, &target) in targets.iter().enumerate() {
+                        if out[i].is_none() {
+                            let answer = it.next().expect("one answer per missing target");
+                            cache.insert((source, target), encode(answer));
+                            out[i] = Some(answer);
+                        }
+                    }
+                }
+                out.into_iter().map(|o| o.expect("all targets answered")).collect()
+            }
+            EngineKind::HubLabels => {
+                let index = self.labels_for(t.hour_slot());
+                targets.iter().map(|&target| index.travel_time(source, target)).collect()
+            }
+        }
+    }
+
+    /// Shortest path with node sequence and length; always computed with
+    /// Dijkstra (only the simulator needs full paths, and only once per
+    /// accepted route plan leg).
+    pub fn shortest_path(
+        &self,
+        source: NodeId,
+        target: NodeId,
+        t: TimePoint,
+    ) -> Option<dijkstra::PathResult> {
+        dijkstra::shortest_path(&self.inner.network, source, target, t)
+    }
+
+    /// Forces construction of the hub-label index for `slot` (no-op for other
+    /// engine kinds). Useful to move index construction out of measured
+    /// sections in benchmarks.
+    pub fn warm_up(&self, slot: HourSlot) {
+        if self.inner.kind == EngineKind::HubLabels {
+            let _ = self.labels_for_slot(slot);
+        }
+    }
+
+    fn cached_travel_time(&self, source: NodeId, target: NodeId, t: TimePoint) -> Option<Duration> {
+        let slot = t.hour_slot();
+        if let Some(&secs) = self.inner.cache[slot.index()].lock().get(&(source, target)) {
+            return decode(secs);
+        }
+        let answer = dijkstra::shortest_travel_time(&self.inner.network, source, target, t);
+        self.inner.cache[slot.index()].lock().insert((source, target), encode(answer));
+        answer
+    }
+
+    fn labels_for(&self, slot: HourSlot) -> Arc<HubLabelIndex> {
+        self.labels_for_slot(slot)
+    }
+
+    fn labels_for_slot(&self, slot: HourSlot) -> Arc<HubLabelIndex> {
+        if let Some(index) = self.inner.labels[slot.index()].read().as_ref() {
+            return Arc::clone(index);
+        }
+        let mut guard = self.inner.labels[slot.index()].write();
+        if let Some(index) = guard.as_ref() {
+            return Arc::clone(index);
+        }
+        let index = Arc::new(HubLabelIndex::build(&self.inner.network, slot));
+        *guard = Some(Arc::clone(&index));
+        index
+    }
+}
+
+fn encode(d: Option<Duration>) -> f64 {
+    d.map_or(f64::INFINITY, Duration::as_secs_f64)
+}
+
+fn decode(secs: f64) -> Option<Duration> {
+    if secs.is_finite() {
+        Some(Duration::from_secs_f64(secs))
+    } else {
+        None
+    }
+}
+
+impl std::fmt::Debug for ShortestPathEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShortestPathEngine")
+            .field("kind", &self.inner.kind)
+            .field("nodes", &self.inner.network.node_count())
+            .field("queries", &self.query_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::GridCityBuilder;
+
+    fn sample_pairs(net: &RoadNetwork) -> Vec<(NodeId, NodeId)> {
+        let nodes: Vec<NodeId> = net.node_ids().collect();
+        let mut pairs = Vec::new();
+        for (i, &a) in nodes.iter().enumerate().step_by(5) {
+            for &b in nodes.iter().skip(i % 3).step_by(7) {
+                pairs.push((a, b));
+            }
+        }
+        pairs
+    }
+
+    #[test]
+    fn all_engines_agree() {
+        let net = GridCityBuilder::new(6, 6).build();
+        let t = TimePoint::from_hms(13, 15, 0);
+        let reference = ShortestPathEngine::dijkstra(net.clone());
+        let cached = ShortestPathEngine::cached(net.clone());
+        let labels = ShortestPathEngine::hub_labels(net.clone());
+        for (a, b) in sample_pairs(&net) {
+            let expected = reference.travel_time(a, b, t);
+            for engine in [&cached, &labels] {
+                let got = engine.travel_time(a, b, t);
+                match (expected, got) {
+                    (None, None) => {}
+                    (Some(x), Some(y)) => assert!(
+                        (x.as_secs_f64() - y.as_secs_f64()).abs() < 1e-6,
+                        "{a}->{b}: {x:?} vs {y:?} with {:?}",
+                        engine.kind()
+                    ),
+                    other => panic!("{a}->{b}: {other:?} with {:?}", engine.kind()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cached_engine_answers_repeat_queries_identically() {
+        let net = GridCityBuilder::new(5, 5).build();
+        let engine = ShortestPathEngine::cached(net.clone());
+        let t = TimePoint::from_hms(19, 0, 0);
+        let first = engine.travel_time(NodeId(0), NodeId(24), t);
+        let second = engine.travel_time(NodeId(0), NodeId(24), t);
+        assert_eq!(first, second);
+        assert!(engine.query_count() >= 2);
+    }
+
+    #[test]
+    fn to_many_matches_pointwise_queries() {
+        let net = GridCityBuilder::new(5, 4).build();
+        let t = TimePoint::from_hms(12, 0, 0);
+        let targets: Vec<NodeId> = net.node_ids().step_by(3).collect();
+        for kind in [EngineKind::Dijkstra, EngineKind::Cached, EngineKind::HubLabels] {
+            let engine = ShortestPathEngine::new(net.clone(), kind);
+            let batch = engine.travel_times_to_many(NodeId(1), &targets, t);
+            for (i, &target) in targets.iter().enumerate() {
+                assert_eq!(batch[i], engine.travel_time(NodeId(1), target, t), "kind {kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cached_to_many_mixes_cache_hits_and_misses() {
+        let net = GridCityBuilder::new(5, 4).build();
+        let engine = ShortestPathEngine::cached(net.clone());
+        let t = TimePoint::from_hms(9, 0, 0);
+        // Prime part of the cache.
+        let _ = engine.travel_time(NodeId(0), NodeId(3), t);
+        let targets: Vec<NodeId> = vec![NodeId(3), NodeId(7), NodeId(0), NodeId(11)];
+        let batch = engine.travel_times_to_many(NodeId(0), &targets, t);
+        let reference = ShortestPathEngine::dijkstra(net);
+        for (i, &target) in targets.iter().enumerate() {
+            assert_eq!(batch[i], reference.travel_time(NodeId(0), target, t));
+        }
+    }
+
+    #[test]
+    fn engine_is_shareable_across_threads() {
+        let net = GridCityBuilder::new(6, 6).build();
+        let engine = ShortestPathEngine::hub_labels(net.clone());
+        let t = TimePoint::from_hms(12, 0, 0);
+        let expected = engine.travel_time(NodeId(0), NodeId(35), t);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let engine = engine.clone();
+                scope.spawn(move || {
+                    assert_eq!(engine.travel_time(NodeId(0), NodeId(35), t), expected);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn warm_up_builds_labels_once() {
+        let net = GridCityBuilder::new(4, 4).build();
+        let engine = ShortestPathEngine::hub_labels(net);
+        engine.warm_up(HourSlot::new(12));
+        // Second warm-up must not panic or rebuild into inconsistency.
+        engine.warm_up(HourSlot::new(12));
+        assert!(engine.travel_time(NodeId(0), NodeId(15), TimePoint::from_hms(12, 5, 0)).is_some());
+    }
+}

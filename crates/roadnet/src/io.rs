@@ -1,0 +1,256 @@
+//! Compact binary snapshots of road networks.
+//!
+//! Generating a large random city (and especially building hub labels over
+//! it) is much slower than reading it back from disk, so the experiment
+//! harness snapshots generated networks. The format is a small hand-rolled
+//! binary codec built on the [`bytes`] crate: a magic number, a version, the
+//! node table (lat/lon), the edge table (endpoints, length, class) and the
+//! congestion table.
+
+use crate::congestion::{CongestionProfile, RoadClass};
+use crate::geo::GeoPoint;
+use crate::graph::{RoadNetwork, RoadNetworkBuilder};
+use crate::ids::NodeId;
+use crate::timeofday::HourSlot;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+use std::path::Path;
+
+/// Magic number identifying a FoodMatch road-network snapshot.
+const MAGIC: u32 = 0x464D_524E; // "FMRN"
+/// Current snapshot format version.
+const VERSION: u16 = 1;
+
+/// Errors that can occur while decoding a snapshot.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The buffer is too short or structurally truncated.
+    Truncated,
+    /// The magic number or version did not match.
+    BadHeader {
+        /// The magic value found in the buffer.
+        magic: u32,
+        /// The version found in the buffer.
+        version: u16,
+    },
+    /// An enum discriminant or index was out of range.
+    Corrupt(&'static str),
+    /// An underlying filesystem error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Truncated => write!(f, "snapshot buffer is truncated"),
+            SnapshotError::BadHeader { magic, version } => {
+                write!(f, "not a road-network snapshot (magic {magic:#x}, version {version})")
+            }
+            SnapshotError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(value: std::io::Error) -> Self {
+        SnapshotError::Io(value)
+    }
+}
+
+/// Serialises a road network into a compact binary snapshot.
+pub fn to_bytes(network: &RoadNetwork) -> Bytes {
+    let mut buf = BytesMut::with_capacity(32 + network.node_count() * 16 + network.edge_count() * 24);
+    buf.put_u32(MAGIC);
+    buf.put_u16(VERSION);
+
+    buf.put_u32(network.node_count() as u32);
+    for node in network.node_ids() {
+        let p = network.position(node);
+        buf.put_f64(p.lat);
+        buf.put_f64(p.lon);
+    }
+
+    buf.put_u32(network.edge_count() as u32);
+    for edge_id in network.edge_ids() {
+        let e = network.edge(edge_id);
+        buf.put_u32(e.from.0);
+        buf.put_u32(e.to.0);
+        buf.put_f64(e.length_m);
+        buf.put_u8(class_to_u8(e.class));
+    }
+
+    for class in RoadClass::ALL {
+        for slot in HourSlot::all() {
+            buf.put_f64(network.congestion().multiplier(class, slot));
+        }
+    }
+    buf.freeze()
+}
+
+/// Reconstructs a road network from a snapshot produced by [`to_bytes`].
+pub fn from_bytes(mut data: &[u8]) -> Result<RoadNetwork, SnapshotError> {
+    if data.remaining() < 6 {
+        return Err(SnapshotError::Truncated);
+    }
+    let magic = data.get_u32();
+    let version = data.get_u16();
+    if magic != MAGIC || version != VERSION {
+        return Err(SnapshotError::BadHeader { magic, version });
+    }
+
+    if data.remaining() < 4 {
+        return Err(SnapshotError::Truncated);
+    }
+    let node_count = data.get_u32() as usize;
+    if data.remaining() < node_count * 16 {
+        return Err(SnapshotError::Truncated);
+    }
+    let mut builder = RoadNetworkBuilder::new();
+    for _ in 0..node_count {
+        let lat = data.get_f64();
+        let lon = data.get_f64();
+        builder.add_node(GeoPoint::new(lat, lon));
+    }
+
+    if data.remaining() < 4 {
+        return Err(SnapshotError::Truncated);
+    }
+    let edge_count = data.get_u32() as usize;
+    // Each edge record is 4 + 4 + 8 + 1 = 17 bytes.
+    if data.remaining() < edge_count * 17 {
+        return Err(SnapshotError::Truncated);
+    }
+    for _ in 0..edge_count {
+        let from = data.get_u32();
+        let to = data.get_u32();
+        let length = data.get_f64();
+        let class = class_from_u8(data.get_u8())?;
+        if from as usize >= node_count || to as usize >= node_count {
+            return Err(SnapshotError::Corrupt("edge endpoint out of range"));
+        }
+        builder.add_edge(NodeId(from), NodeId(to), length, class);
+    }
+
+    let table_len = 3 * HourSlot::COUNT * 8;
+    if data.remaining() < table_len {
+        return Err(SnapshotError::Truncated);
+    }
+    let mut table = [[1.0_f64; HourSlot::COUNT]; 3];
+    for row in table.iter_mut() {
+        for cell in row.iter_mut() {
+            *cell = data.get_f64();
+        }
+    }
+    Ok(builder.congestion(CongestionProfile::from_table(table)).build())
+}
+
+/// Writes a snapshot of `network` to `path`.
+pub fn save(network: &RoadNetwork, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+    std::fs::write(path, to_bytes(network))?;
+    Ok(())
+}
+
+/// Loads a snapshot previously written by [`save`].
+pub fn load(path: impl AsRef<Path>) -> Result<RoadNetwork, SnapshotError> {
+    let data = std::fs::read(path)?;
+    from_bytes(&data)
+}
+
+fn class_to_u8(class: RoadClass) -> u8 {
+    match class {
+        RoadClass::Arterial => 0,
+        RoadClass::Collector => 1,
+        RoadClass::Local => 2,
+    }
+}
+
+fn class_from_u8(value: u8) -> Result<RoadClass, SnapshotError> {
+    match value {
+        0 => Ok(RoadClass::Arterial),
+        1 => Ok(RoadClass::Collector),
+        2 => Ok(RoadClass::Local),
+        _ => Err(SnapshotError::Corrupt("unknown road class")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{GridCityBuilder, RandomCityBuilder};
+    use crate::timeofday::TimePoint;
+
+    fn assert_networks_equal(a: &RoadNetwork, b: &RoadNetwork) {
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+        for n in a.node_ids() {
+            assert_eq!(a.position(n), b.position(n));
+        }
+        for e in a.edge_ids() {
+            assert_eq!(a.edge(e), b.edge(e));
+        }
+        for slot in HourSlot::all() {
+            for class in RoadClass::ALL {
+                assert_eq!(a.congestion().multiplier(class, slot), b.congestion().multiplier(class, slot));
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_grid() {
+        let net = GridCityBuilder::new(4, 4).build();
+        let decoded = from_bytes(&to_bytes(&net)).unwrap();
+        assert_networks_equal(&net, &decoded);
+    }
+
+    #[test]
+    fn roundtrip_preserves_random_city_travel_times() {
+        let net = RandomCityBuilder::new(60).seed(11).build();
+        let decoded = from_bytes(&to_bytes(&net)).unwrap();
+        assert_networks_equal(&net, &decoded);
+        let t = TimePoint::from_hms(19, 0, 0);
+        for e in net.edge_ids().take(20) {
+            assert_eq!(net.travel_time(e, t), decoded.travel_time(e, t));
+        }
+    }
+
+    #[test]
+    fn save_and_load_via_filesystem() {
+        let net = GridCityBuilder::new(3, 5).build();
+        let dir = std::env::temp_dir().join("foodmatch-roadnet-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("net.fmrn");
+        save(&net, &path).unwrap();
+        let decoded = load(&path).unwrap();
+        assert_networks_equal(&net, &decoded);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn truncated_buffer_is_rejected() {
+        let net = GridCityBuilder::new(3, 3).build();
+        let bytes = to_bytes(&net);
+        let err = from_bytes(&bytes[..bytes.len() / 2]).unwrap_err();
+        assert!(matches!(err, SnapshotError::Truncated));
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected() {
+        let err = from_bytes(&[0u8; 64]).unwrap_err();
+        assert!(matches!(err, SnapshotError::BadHeader { .. }));
+    }
+
+    #[test]
+    fn corrupt_class_is_rejected() {
+        let net = GridCityBuilder::new(2, 2).build();
+        let mut bytes = to_bytes(&net).to_vec();
+        // Corrupt the first edge's class byte: header(6) + count(4) + 4 nodes * 16 +
+        // count(4) + from(4) + to(4) + length(8) = offset of the class byte.
+        let offset = 6 + 4 + 4 * 16 + 4 + 4 + 4 + 8;
+        bytes[offset] = 99;
+        let err = from_bytes(&bytes).unwrap_err();
+        assert!(matches!(err, SnapshotError::Corrupt(_)));
+    }
+}

@@ -1,0 +1,65 @@
+//! # foodmatch-roadnet
+//!
+//! Road-network substrate for the FoodMatch reproduction ("Batching and
+//! Matching for Food Delivery in Dynamic Road Networks", ICDE 2021).
+//!
+//! The paper models a city as a weighted directed graph `G = (V, E, β)`
+//! (Definition 1) where `β(e, t)` is the time needed to traverse road segment
+//! `e` at time-of-day `t`. Every higher layer of the system — route planning,
+//! batching, the FoodGraph, and the simulator — consumes the network solely
+//! through the interfaces exposed here:
+//!
+//! * [`RoadNetwork`] — the graph itself with per-edge lengths, free-flow
+//!   travel times and road classes, plus node geometry (latitude/longitude).
+//! * [`CongestionProfile`] — hour-of-day travel-time multipliers per road
+//!   class, giving the time dependence of `β(e, t)`.
+//! * [`dijkstra`] — exact time-sliced shortest paths, one-to-one, one-to-many
+//!   and a lazy best-first [`dijkstra::Expansion`] iterator used by the
+//!   sparsified FoodGraph construction (Algorithm 2 in the paper).
+//! * [`HubLabelIndex`] — a pruned hub-labelling distance oracle standing in
+//!   for the hierarchical hub labels the paper uses for fast distance queries.
+//! * [`ShortestPathEngine`] — a façade that picks between plain Dijkstra, a
+//!   memoising cache and hub labels, so callers do not care which index backs
+//!   a query.
+//! * [`generators`] — synthetic city generators (grid and random-geometric)
+//!   that replace the proprietary OpenStreetMap/Swiggy extracts used in the
+//!   paper's evaluation.
+//! * [`geo`] — haversine distances, bearings (Definition 10) and the angular
+//!   distance used by the vehicle-sensitive edge weight (Eq. 8).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use foodmatch_roadnet::{generators::GridCityBuilder, ShortestPathEngine, TimePoint};
+//!
+//! let network = GridCityBuilder::new(6, 6).build();
+//! let engine = ShortestPathEngine::dijkstra(network.clone());
+//! let a = network.node_ids().next().unwrap();
+//! let b = network.node_ids().last().unwrap();
+//! let t = TimePoint::from_hms(12, 30, 0);
+//! let travel = engine.travel_time(a, b, t).expect("grid is connected");
+//! assert!(travel.as_secs_f64() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod congestion;
+pub mod dijkstra;
+pub mod generators;
+pub mod geo;
+pub mod graph;
+pub mod hub_labels;
+pub mod ids;
+pub mod index;
+pub mod io;
+pub mod timeofday;
+
+pub use congestion::{CongestionProfile, RoadClass};
+pub use dijkstra::{Expansion, PathResult};
+pub use geo::{angular_distance, bearing, haversine_meters, GeoPoint};
+pub use graph::{EdgeRecord, NodeRecord, RoadNetwork, RoadNetworkBuilder};
+pub use hub_labels::HubLabelIndex;
+pub use ids::{EdgeId, NodeId};
+pub use index::{EngineKind, ShortestPathEngine};
+pub use timeofday::{Duration, HourSlot, TimePoint};

@@ -1,0 +1,520 @@
+//! The window-stepped delivery simulation.
+//!
+//! The simulation advances in accumulation windows of length Δ, exactly the
+//! loop of Fig. 5 in the paper:
+//!
+//! 1. advance every vehicle along its itinerary to the window-close time,
+//!    recording pickups, deliveries, driven distance and restaurant waits;
+//! 2. pull newly placed orders into the unassigned pool and reject orders
+//!    that have waited longer than the deadline;
+//! 3. build a [`WindowSnapshot`] — with reshuffling, orders that are assigned
+//!    but not yet picked up re-enter the pool and their vehicles' snapshots
+//!    drop them from the committed set;
+//! 4. call the dispatch policy (its wall-clock time is measured for the
+//!    overflow metric);
+//! 5. apply the assignment: reshuffled orders move between vehicles, every
+//!    vehicle whose order set changed gets a fresh quickest route plan.
+//!
+//! After the workload horizon ends, a drain phase keeps the clock running
+//! (still assigning leftover orders) until every order is delivered or
+//! rejected, so the metrics always account for the full order set.
+
+use crate::fleet::{CarriedOrder, FleetEvent, VehicleState};
+use crate::metrics::{MetricsCollector, SimulationReport, WindowStats};
+use foodmatch_core::route::{plan_optimal_route, PlannedOrder};
+use foodmatch_core::{
+    DispatchConfig, DispatchPolicy, Order, OrderId, VehicleId, WindowSnapshot,
+};
+use foodmatch_roadnet::{Duration, NodeId, ShortestPathEngine, TimePoint};
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// A complete simulation scenario: the network, the order stream, and the
+/// fleet's starting positions.
+#[derive(Clone, Debug)]
+pub struct Simulation {
+    /// Shared shortest-path engine over the scenario's road network.
+    pub engine: ShortestPathEngine,
+    /// The full order stream (any order, in any order; sorted internally).
+    pub orders: Vec<Order>,
+    /// Starting node of every vehicle.
+    pub vehicle_starts: Vec<(VehicleId, NodeId)>,
+    /// Dispatcher configuration (window length, capacities, toggles…).
+    pub config: DispatchConfig,
+    /// When the simulated day starts.
+    pub start: TimePoint,
+    /// When the workload horizon ends (orders placed later are ignored).
+    pub end: TimePoint,
+    /// How long after `end` the drain phase may run before giving up.
+    pub drain_limit: Duration,
+}
+
+impl Simulation {
+    /// Creates a simulation with a three-hour drain limit.
+    pub fn new(
+        engine: ShortestPathEngine,
+        orders: Vec<Order>,
+        vehicle_starts: Vec<(VehicleId, NodeId)>,
+        config: DispatchConfig,
+        start: TimePoint,
+        end: TimePoint,
+    ) -> Self {
+        assert!(end > start, "simulation horizon must be non-empty");
+        Simulation {
+            engine,
+            orders,
+            vehicle_starts,
+            config,
+            start,
+            end,
+            drain_limit: Duration::from_hours(3.0),
+        }
+    }
+
+    /// Runs the scenario under `policy` and returns the metrics report.
+    ///
+    /// The scenario itself is immutable, so the same `Simulation` can be run
+    /// repeatedly with different policies or configurations for side-by-side
+    /// comparisons.
+    pub fn run(&self, policy: &mut dyn DispatchPolicy) -> SimulationReport {
+        self.run_with_config(policy, &self.config)
+    }
+
+    /// Runs the scenario under `policy` with an explicit dispatcher
+    /// configuration (used by the parameter-sweep experiments).
+    pub fn run_with_config(
+        &self,
+        policy: &mut dyn DispatchPolicy,
+        config: &DispatchConfig,
+    ) -> SimulationReport {
+        config.validate().expect("invalid dispatch configuration");
+        let reshuffle = policy.uses_reshuffling(config);
+        let delta = config.accumulation_window;
+
+        let mut orders: Vec<Order> = self
+            .orders
+            .iter()
+            .copied()
+            .filter(|o| o.placed_at >= self.start && o.placed_at < self.end)
+            .collect();
+        orders.sort_by(|a, b| a.placed_at.cmp(&b.placed_at).then(a.id.cmp(&b.id)));
+        let total_orders = orders.len();
+
+        let mut vehicles: Vec<VehicleState> = self
+            .vehicle_starts
+            .iter()
+            .map(|&(id, node)| VehicleState::new(id, node))
+            .collect();
+        let vehicle_index: HashMap<VehicleId, usize> =
+            vehicles.iter().enumerate().map(|(i, v)| (v.id, i)).collect();
+
+        let mut collector =
+            MetricsCollector::new(policy.name(), total_orders, self.end - self.start);
+        // SDT of every order, evaluated at placement time (Definition 6).
+        let sdt: HashMap<OrderId, Duration> = orders
+            .iter()
+            .map(|o| {
+                let sdt = self
+                    .engine
+                    .travel_time(o.restaurant, o.customer, o.placed_at)
+                    .map(|sp| o.prep_time + sp)
+                    .unwrap_or(Duration::ZERO);
+                (o.id, sdt)
+            })
+            .collect();
+
+        let mut next_order = 0usize;
+        let mut pending: Vec<Order> = Vec::new();
+        let mut assigned_or_done: HashSet<OrderId> = HashSet::new();
+        let mut delivered: HashSet<OrderId> = HashSet::new();
+
+        let drain_end = self.end + self.drain_limit;
+        let mut window_close = self.start;
+        loop {
+            window_close += delta;
+            if window_close > drain_end {
+                break;
+            }
+            let in_horizon = window_close <= self.end + delta;
+
+            // 1. Advance vehicles and harvest their events.
+            for vehicle in &mut vehicles {
+                for event in vehicle.advance(window_close) {
+                    match event {
+                        FleetEvent::Drove { length_m, load } => {
+                            collector.record_drive(window_close, load, length_m);
+                        }
+                        FleetEvent::PickedUp { at, waited, .. } => {
+                            collector.record_wait(at, waited);
+                        }
+                        FleetEvent::Delivered { order, at } => {
+                            delivered.insert(order);
+                            let placed = self
+                                .orders
+                                .iter()
+                                .find(|o| o.id == order)
+                                .map(|o| o.placed_at)
+                                .unwrap_or(at);
+                            collector.record_delivery(
+                                order,
+                                placed,
+                                at,
+                                sdt.get(&order).copied().unwrap_or(Duration::ZERO),
+                            );
+                        }
+                    }
+                }
+            }
+
+            // 2. New arrivals and deadline rejections.
+            while next_order < orders.len() && orders[next_order].placed_at <= window_close {
+                pending.push(orders[next_order]);
+                next_order += 1;
+            }
+            pending.retain(|o| {
+                let expired = window_close.saturating_since(o.placed_at) > config.rejection_deadline;
+                if expired {
+                    collector.record_rejection(o.id);
+                    assigned_or_done.insert(o.id);
+                }
+                !expired
+            });
+
+            // Termination: past the horizon with nothing left to do.
+            let all_arrived = next_order >= orders.len();
+            let fleet_idle = vehicles.iter().all(VehicleState::is_idle);
+            if window_close > self.end && all_arrived && pending.is_empty() && fleet_idle {
+                break;
+            }
+
+            // 3–4. Snapshot and policy call.
+            if pending.is_empty() && !reshuffle {
+                // Nothing to assign; skip the policy call but keep advancing.
+                continue;
+            }
+            let mut snapshot_orders = pending.clone();
+            if reshuffle {
+                for vehicle in &vehicles {
+                    snapshot_orders.extend(vehicle.unpicked_orders());
+                }
+            }
+            if snapshot_orders.is_empty() {
+                continue;
+            }
+            let snapshots = vehicles.iter().map(|v| v.snapshot(reshuffle)).collect();
+            let window = WindowSnapshot::new(window_close, snapshot_orders, snapshots);
+            let order_count = window.order_count();
+            let vehicle_count = window.vehicle_count();
+
+            let started = Instant::now();
+            let outcome = policy.assign(&window, &self.engine, config);
+            let compute_secs = started.elapsed().as_secs_f64();
+            debug_assert!(outcome.validate(&window).is_ok(), "policy produced invalid outcome");
+
+            if in_horizon {
+                collector.record_window(WindowStats {
+                    closed_at: window_close,
+                    slot: window_close.hour_slot(),
+                    orders: order_count,
+                    vehicles: vehicle_count,
+                    assigned: outcome.assigned_order_count(),
+                    compute_secs,
+                    overflown: compute_secs > delta.as_secs_f64(),
+                });
+            }
+
+            // 5. Apply the assignment.
+            let order_lookup: HashMap<OrderId, Order> =
+                window.orders.iter().map(|o| (o.id, *o)).collect();
+            let mut touched: HashSet<usize> = HashSet::new();
+            // Carried order-id sets before this window's changes; vehicles
+            // whose set is unchanged keep their current itinerary, so partial
+            // progress along an edge is never thrown away by a no-op replan.
+            let carried_before: Vec<Vec<OrderId>> = vehicles
+                .iter()
+                .map(|v| {
+                    let mut ids: Vec<OrderId> = v.carried.iter().map(|c| c.order.id).collect();
+                    ids.sort_unstable();
+                    ids
+                })
+                .collect();
+            let assigned_now: HashSet<OrderId> = outcome
+                .assignments
+                .iter()
+                .flat_map(|a| a.orders.iter().copied())
+                .collect();
+
+            // Detach every order that the matching moved somewhere (it may be
+            // re-attached to the same vehicle below). Orders the matching did
+            // NOT touch keep their incumbent vehicle — reshuffling re-examines
+            // assignments, it never strands an order that already had a ride.
+            for &order_id in &assigned_now {
+                pending.retain(|o| o.id != order_id);
+                for (vi, vehicle) in vehicles.iter_mut().enumerate() {
+                    if vehicle.remove_unpicked(order_id) {
+                        touched.insert(vi);
+                    }
+                }
+            }
+            // Attach the orders to their new vehicles. If a vehicle that
+            // receives a new batch still holds unpicked orders the matching
+            // left untouched and the combination would exceed its capacity,
+            // the untouched ones are released back into the pending pool
+            // (they will be re-offered next window).
+            for assignment in &outcome.assignments {
+                let Some(&vi) = vehicle_index.get(&assignment.vehicle) else { continue };
+                touched.insert(vi);
+                for &order_id in &assignment.orders {
+                    let Some(&order) = order_lookup.get(&order_id) else { continue };
+                    vehicles[vi].carried.push(CarriedOrder { order, picked_up: false });
+                    assigned_or_done.insert(order_id);
+                }
+                let vehicle = &mut vehicles[vi];
+                while vehicle.carried.len() > config.max_orders_per_vehicle
+                    || vehicle.carried.iter().map(|c| c.order.items).sum::<u32>()
+                        > config.max_items_per_vehicle
+                {
+                    // Release the oldest untouched, unpicked order that is not
+                    // part of this window's batch for the vehicle.
+                    let Some(pos) = vehicle
+                        .carried
+                        .iter()
+                        .position(|c| !c.picked_up && !assigned_now.contains(&c.order.id))
+                    else {
+                        break;
+                    };
+                    let released = vehicle.carried.remove(pos);
+                    pending.push(released.order);
+                }
+            }
+            // Replan every vehicle whose carried set actually changed.
+            for vi in touched {
+                let vehicle = &mut vehicles[vi];
+                let mut ids_now: Vec<OrderId> =
+                    vehicle.carried.iter().map(|c| c.order.id).collect();
+                ids_now.sort_unstable();
+                if ids_now == carried_before[vi] {
+                    continue;
+                }
+                let planned: Vec<PlannedOrder> = vehicle
+                    .carried
+                    .iter()
+                    .map(|c| PlannedOrder { order: c.order, picked_up: c.picked_up })
+                    .collect();
+                let carried = vehicle.carried.clone();
+                let route = plan_optimal_route(vehicle.location, window_close, &planned, &self.engine)
+                    .unwrap_or_else(|| foodmatch_core::EvaluatedRoute {
+                        plan: foodmatch_core::RoutePlan::empty(),
+                        cost_secs: 0.0,
+                        driving_time: Duration::ZERO,
+                        waiting_time: Duration::ZERO,
+                        deliveries: Vec::new(),
+                        start_node: vehicle.location,
+                        finish_at: window_close,
+                    });
+                vehicle.install_plan(carried, &route, window_close, &self.engine);
+            }
+        }
+
+        // Anything still pending or on a vehicle when the drain limit hits.
+        for order in &pending {
+            collector.record_rejection(order.id);
+        }
+        for vehicle in &vehicles {
+            for carried in &vehicle.carried {
+                if !delivered.contains(&carried.order.id) {
+                    collector.record_undelivered(carried.order.id);
+                }
+            }
+        }
+        for order in &orders {
+            if !delivered.contains(&order.id)
+                && !assigned_or_done.contains(&order.id)
+                && !pending.iter().any(|p| p.id == order.id)
+            {
+                // Orders that never even entered a window (horizon cut short).
+                collector.record_rejection(order.id);
+            }
+        }
+
+        collector.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foodmatch_core::policies::{FoodMatchPolicy, GreedyPolicy, KuhnMunkresPolicy};
+    use foodmatch_roadnet::generators::GridCityBuilder;
+    use foodmatch_roadnet::CongestionProfile;
+
+    fn grid() -> (ShortestPathEngine, GridCityBuilder) {
+        let b = GridCityBuilder::new(8, 8)
+            .congestion(CongestionProfile::free_flow())
+            .major_every(0);
+        (ShortestPathEngine::cached(b.build()), b)
+    }
+
+    fn order(id: u64, r: NodeId, c: NodeId, placed: TimePoint) -> Order {
+        Order::new(OrderId(id), r, c, placed, 1, Duration::from_mins(8.0))
+    }
+
+    fn small_scenario(engine: &ShortestPathEngine, b: &GridCityBuilder) -> Simulation {
+        let start = TimePoint::from_hms(12, 0, 0);
+        let orders = vec![
+            order(1, b.node_at(1, 1), b.node_at(5, 1), start + Duration::from_mins(1.0)),
+            order(2, b.node_at(1, 2), b.node_at(5, 2), start + Duration::from_mins(2.0)),
+            order(3, b.node_at(6, 6), b.node_at(2, 6), start + Duration::from_mins(10.0)),
+            order(4, b.node_at(6, 5), b.node_at(2, 5), start + Duration::from_mins(12.0)),
+        ];
+        let vehicles = vec![
+            (VehicleId(0), b.node_at(0, 0)),
+            (VehicleId(1), b.node_at(7, 7)),
+        ];
+        Simulation::new(
+            engine.clone(),
+            orders,
+            vehicles,
+            DispatchConfig::default(),
+            start,
+            start + Duration::from_hours(1.0),
+        )
+    }
+
+    #[test]
+    fn every_order_is_delivered_with_ample_supply() {
+        let (engine, b) = grid();
+        let sim = small_scenario(&engine, &b);
+        for mut policy in [
+            Box::new(GreedyPolicy::new()) as Box<dyn DispatchPolicy>,
+            Box::new(KuhnMunkresPolicy::new()),
+            Box::new(FoodMatchPolicy::new()),
+        ] {
+            let report = sim.run(policy.as_mut());
+            assert_eq!(report.total_orders, 4, "{}", report.policy);
+            assert_eq!(report.delivered.len(), 4, "{} delivered", report.policy);
+            assert!(report.rejected.is_empty(), "{} rejected", report.policy);
+            assert!(report.undelivered.is_empty(), "{} undelivered", report.policy);
+            assert!(report.total_km() > 0.0);
+            // Every delivery happens after its order was placed.
+            for d in &report.delivered {
+                assert!(d.delivered_at > d.placed_at);
+            }
+        }
+    }
+
+    #[test]
+    fn deliveries_are_unique_and_account_for_all_orders() {
+        let (engine, b) = grid();
+        let sim = small_scenario(&engine, &b);
+        let report = sim.run(&mut FoodMatchPolicy::new());
+        let mut ids: Vec<u64> = report.delivered.iter().map(|d| d.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), report.delivered.len(), "duplicate deliveries");
+        assert_eq!(
+            report.delivered.len() + report.rejected.len() + report.undelivered.len(),
+            report.total_orders
+        );
+    }
+
+    #[test]
+    fn unreachable_supply_leads_to_rejections() {
+        let (engine, b) = grid();
+        let start = TimePoint::from_hms(12, 0, 0);
+        // No vehicles at all: every order must eventually be rejected.
+        let sim = Simulation::new(
+            engine.clone(),
+            vec![order(1, b.node_at(1, 1), b.node_at(5, 1), start + Duration::from_mins(1.0))],
+            vec![],
+            DispatchConfig::default(),
+            start,
+            start + Duration::from_hours(1.0),
+        );
+        let report = sim.run(&mut GreedyPolicy::new());
+        assert_eq!(report.delivered.len(), 0);
+        assert_eq!(report.rejected.len(), 1);
+        assert!((report.rejection_rate_pct() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let (engine, b) = grid();
+        let sim = small_scenario(&engine, &b);
+        let a = sim.run(&mut FoodMatchPolicy::new());
+        let c = sim.run(&mut FoodMatchPolicy::new());
+        assert_eq!(a.delivered.len(), c.delivered.len());
+        assert!((a.total_xdt_hours() - c.total_xdt_hours()).abs() < 1e-9);
+        assert!((a.total_km() - c.total_km()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn windows_are_recorded_with_the_configured_cadence() {
+        let (engine, b) = grid();
+        let sim = small_scenario(&engine, &b);
+        let report = sim.run(&mut GreedyPolicy::new());
+        assert!(!report.windows.is_empty());
+        for w in &report.windows {
+            assert!(w.vehicles <= 2);
+            assert!(w.compute_secs >= 0.0);
+        }
+    }
+
+    #[test]
+    fn overloaded_fleet_rejects_the_overflow() {
+        let (engine, b) = grid();
+        let start = TimePoint::from_hms(12, 0, 0);
+        // Ten simultaneous orders, one vehicle with MAXO = 3 and a short
+        // rejection deadline: most orders cannot be served in time.
+        let orders: Vec<Order> = (0..10)
+            .map(|i| order(i, b.node_at(0, 4), b.node_at(7, 4), start + Duration::from_mins(1.0)))
+            .collect();
+        let config = DispatchConfig {
+            rejection_deadline: Duration::from_mins(10.0),
+            ..Default::default()
+        };
+        let sim = Simulation::new(
+            engine.clone(),
+            orders,
+            vec![(VehicleId(0), b.node_at(0, 0))],
+            config,
+            start,
+            start + Duration::from_mins(30.0),
+        );
+        let report = sim.run(&mut FoodMatchPolicy::new());
+        assert!(report.rejected.len() >= 4, "expected rejections, got {}", report.rejected.len());
+        assert!(!report.delivered.is_empty(), "the single vehicle should deliver something");
+        assert_eq!(report.delivered.len() + report.rejected.len(), 10);
+    }
+
+    #[test]
+    fn reshuffling_never_loses_orders() {
+        let (engine, b) = grid();
+        let start = TimePoint::from_hms(12, 0, 0);
+        // A burst of orders across two windows so reshuffling has something
+        // to reconsider.
+        let mut orders = Vec::new();
+        for i in 0..6 {
+            orders.push(order(
+                i,
+                b.node_at((i % 3) as usize + 1, 1),
+                b.node_at(6, (i % 4) as usize + 2),
+                start + Duration::from_mins(1.0 + i as f64),
+            ));
+        }
+        let sim = Simulation::new(
+            engine.clone(),
+            orders,
+            vec![(VehicleId(0), b.node_at(0, 0)), (VehicleId(1), b.node_at(7, 7))],
+            DispatchConfig::default(),
+            start,
+            start + Duration::from_hours(1.0),
+        );
+        let report = sim.run(&mut FoodMatchPolicy::new());
+        assert_eq!(
+            report.delivered.len() + report.rejected.len() + report.undelivered.len(),
+            6
+        );
+        assert!(report.undelivered.is_empty());
+    }
+}

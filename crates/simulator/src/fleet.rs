@@ -1,0 +1,467 @@
+//! Runtime vehicle state and movement along route plans.
+//!
+//! The dispatcher only ever sees [`VehicleSnapshot`]s; this module owns the
+//! full picture: which orders a vehicle carries, the itinerary it is
+//! executing (travel legs expanded to individual road edges, waits at
+//! restaurants, pickups and drop-offs), and how far it has progressed. The
+//! simulation advances vehicles window by window; positions between nodes are
+//! snapped to the last reached node, mirroring the paper's "approximate its
+//! location to the closest node" rule.
+
+use foodmatch_core::route::{EvaluatedRoute, StopAction};
+use foodmatch_core::{CommittedOrder, Order, OrderId, VehicleId, VehicleSnapshot};
+use foodmatch_roadnet::{Duration, NodeId, ShortestPathEngine, TimePoint};
+use std::collections::VecDeque;
+
+/// An order currently tied to a vehicle.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CarriedOrder {
+    /// The order.
+    pub order: Order,
+    /// Whether the food has been collected from the restaurant.
+    pub picked_up: bool,
+}
+
+/// One step of a vehicle's itinerary.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ItineraryStep {
+    /// Drive one road edge.
+    Travel {
+        /// Node the edge leaves from.
+        from: NodeId,
+        /// Node the edge arrives at.
+        to: NodeId,
+        /// Departure time.
+        depart: TimePoint,
+        /// Arrival time.
+        arrive: TimePoint,
+        /// Edge length in meters.
+        length_m: f64,
+    },
+    /// Wait at a restaurant until the food is ready.
+    Wait {
+        /// The restaurant node.
+        node: NodeId,
+        /// When the wait starts (arrival at the restaurant).
+        from: TimePoint,
+        /// When the wait ends (food ready).
+        until: TimePoint,
+    },
+    /// Collect an order.
+    Pickup {
+        /// The order collected.
+        order: OrderId,
+        /// When the pickup happens.
+        at: TimePoint,
+    },
+    /// Deliver an order.
+    Dropoff {
+        /// The order delivered.
+        order: OrderId,
+        /// When the drop-off happens.
+        at: TimePoint,
+    },
+}
+
+impl ItineraryStep {
+    /// The simulation time at which this step completes.
+    pub fn completes_at(&self) -> TimePoint {
+        match *self {
+            ItineraryStep::Travel { arrive, .. } => arrive,
+            ItineraryStep::Wait { until, .. } => until,
+            ItineraryStep::Pickup { at, .. } | ItineraryStep::Dropoff { at, .. } => at,
+        }
+    }
+}
+
+/// Events a vehicle reports back to the simulation while advancing.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FleetEvent {
+    /// An order was picked up at `at`; the vehicle had waited `waited` for it.
+    PickedUp {
+        /// The order.
+        order: OrderId,
+        /// Pickup time.
+        at: TimePoint,
+        /// Time spent waiting at the restaurant for this pickup.
+        waited: Duration,
+    },
+    /// An order was delivered at `at`.
+    Delivered {
+        /// The order.
+        order: OrderId,
+        /// Delivery time.
+        at: TimePoint,
+    },
+    /// The vehicle drove one edge while carrying `load` picked-up orders.
+    Drove {
+        /// Meters driven.
+        length_m: f64,
+        /// Number of picked-up orders on board during the edge.
+        load: usize,
+    },
+}
+
+/// Full runtime state of one delivery vehicle.
+#[derive(Clone, Debug)]
+pub struct VehicleState {
+    /// The vehicle's id.
+    pub id: VehicleId,
+    /// Current position, snapped to the last reached node.
+    pub location: NodeId,
+    /// Orders currently assigned to the vehicle (picked up or not).
+    pub carried: Vec<CarriedOrder>,
+    itinerary: VecDeque<ItineraryStep>,
+    /// Waiting time accumulated since the last pickup event (used to
+    /// attribute waits to the right order).
+    pending_wait: Duration,
+}
+
+impl VehicleState {
+    /// Creates an idle vehicle at `location`.
+    pub fn new(id: VehicleId, location: NodeId) -> Self {
+        VehicleState {
+            id,
+            location,
+            carried: Vec::new(),
+            itinerary: VecDeque::new(),
+            pending_wait: Duration::ZERO,
+        }
+    }
+
+    /// True if the vehicle has nothing left to do.
+    pub fn is_idle(&self) -> bool {
+        self.itinerary.is_empty() && self.carried.is_empty()
+    }
+
+    /// Orders assigned but not yet picked up (the reshufflable set).
+    pub fn unpicked_orders(&self) -> Vec<Order> {
+        self.carried.iter().filter(|c| !c.picked_up).map(|c| c.order).collect()
+    }
+
+    /// The node the vehicle is currently driving towards, if any.
+    pub fn heading(&self) -> Option<NodeId> {
+        self.itinerary.iter().find_map(|step| match step {
+            ItineraryStep::Travel { to, .. } => Some(*to),
+            _ => None,
+        })
+    }
+
+    /// Number of picked-up orders currently on board.
+    pub fn onboard_load(&self) -> usize {
+        self.carried.iter().filter(|c| c.picked_up).count()
+    }
+
+    /// The dispatcher-facing snapshot of this vehicle.
+    ///
+    /// `reshuffle` controls which orders count as *committed*: with
+    /// reshuffling enabled only picked-up orders are committed (the rest go
+    /// back into the window's order pool); without it, everything the vehicle
+    /// carries is committed.
+    pub fn snapshot(&self, reshuffle: bool) -> VehicleSnapshot {
+        let committed = self
+            .carried
+            .iter()
+            .filter(|c| c.picked_up || !reshuffle)
+            .map(|c| CommittedOrder { order: c.order, picked_up: c.picked_up })
+            .collect();
+        let tentative = if reshuffle {
+            self.carried.iter().filter(|c| !c.picked_up).map(|c| c.order.id).collect()
+        } else {
+            Vec::new()
+        };
+        VehicleSnapshot {
+            id: self.id,
+            location: self.location,
+            heading: self.heading(),
+            committed,
+            tentative,
+        }
+    }
+
+    /// Detaches every not-yet-picked-up order from the vehicle, returning
+    /// them. Used when reshuffling puts unpicked orders back into the
+    /// window's pool before the new assignment is applied (§IV-D2).
+    pub fn take_unpicked(&mut self) -> Vec<Order> {
+        let removed = self.unpicked_orders();
+        if !removed.is_empty() {
+            self.carried.retain(|c| c.picked_up);
+        }
+        removed
+    }
+
+    /// Removes a not-yet-picked-up order (because it was reshuffled to
+    /// another vehicle or rejected). Returns true if the order was present.
+    pub fn remove_unpicked(&mut self, order: OrderId) -> bool {
+        let before = self.carried.len();
+        self.carried.retain(|c| c.picked_up || c.order.id != order);
+        before != self.carried.len()
+    }
+
+    /// Installs a new set of carried orders and the route plan serving them,
+    /// expanding the plan into an edge-level itinerary starting at the
+    /// vehicle's current location and time.
+    ///
+    /// Legs whose shortest path cannot be found (disconnected network) are
+    /// skipped; affected orders simply never get picked up and will surface
+    /// as undelivered in the report — the synthetic networks used by the
+    /// experiments are connected, so this is a corner case.
+    pub fn install_plan(
+        &mut self,
+        carried: Vec<CarriedOrder>,
+        route: &EvaluatedRoute,
+        now: TimePoint,
+        engine: &ShortestPathEngine,
+    ) {
+        self.carried = carried;
+        self.itinerary.clear();
+        self.pending_wait = Duration::ZERO;
+
+        let mut cursor_node = self.location;
+        let mut cursor_time = now;
+        for stop in &route.plan.stops {
+            // Drive to the stop.
+            if stop.node != cursor_node {
+                let Some(path) = engine.shortest_path(cursor_node, stop.node, cursor_time) else {
+                    continue;
+                };
+                for pair in path.nodes.windows(2) {
+                    let (from, to) = (pair[0], pair[1]);
+                    let network = engine.network();
+                    let Some((eid, edge)) = network.out_edges(from).find(|(_, e)| e.to == to) else {
+                        continue;
+                    };
+                    let tt = network.travel_time(eid, cursor_time);
+                    let depart = cursor_time;
+                    cursor_time += tt;
+                    self.itinerary.push_back(ItineraryStep::Travel {
+                        from,
+                        to,
+                        depart,
+                        arrive: cursor_time,
+                        length_m: edge.length_m,
+                    });
+                }
+                cursor_node = stop.node;
+            }
+            // Handle the stop itself.
+            let order = self
+                .carried
+                .iter()
+                .find(|c| c.order.id == stop.order)
+                .map(|c| c.order);
+            let Some(order) = order else { continue };
+            match stop.action {
+                StopAction::Pickup => {
+                    let ready = order.ready_at();
+                    if ready > cursor_time {
+                        self.itinerary.push_back(ItineraryStep::Wait {
+                            node: stop.node,
+                            from: cursor_time,
+                            until: ready,
+                        });
+                        cursor_time = ready;
+                    }
+                    self.itinerary.push_back(ItineraryStep::Pickup { order: order.id, at: cursor_time });
+                }
+                StopAction::Dropoff => {
+                    self.itinerary.push_back(ItineraryStep::Dropoff { order: order.id, at: cursor_time });
+                }
+            }
+        }
+    }
+
+    /// Advances the vehicle to `until`, returning the events that happened.
+    pub fn advance(&mut self, until: TimePoint) -> Vec<FleetEvent> {
+        let mut events = Vec::new();
+        while let Some(step) = self.itinerary.front().copied() {
+            if step.completes_at() > until {
+                break;
+            }
+            self.itinerary.pop_front();
+            match step {
+                ItineraryStep::Travel { to, length_m, .. } => {
+                    self.location = to;
+                    events.push(FleetEvent::Drove { length_m, load: self.onboard_load() });
+                }
+                ItineraryStep::Wait { from, until: wait_until, .. } => {
+                    self.pending_wait += wait_until - from;
+                }
+                ItineraryStep::Pickup { order, at } => {
+                    if let Some(c) = self.carried.iter_mut().find(|c| c.order.id == order) {
+                        c.picked_up = true;
+                    }
+                    events.push(FleetEvent::PickedUp { order, at, waited: self.pending_wait });
+                    self.pending_wait = Duration::ZERO;
+                }
+                ItineraryStep::Dropoff { order, at } => {
+                    self.carried.retain(|c| c.order.id != order);
+                    events.push(FleetEvent::Delivered { order, at });
+                }
+            }
+        }
+        events
+    }
+
+    /// The time at which the vehicle finishes its current itinerary (`None`
+    /// when idle).
+    pub fn busy_until(&self) -> Option<TimePoint> {
+        self.itinerary.back().map(ItineraryStep::completes_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foodmatch_core::route::{plan_optimal_route, PlannedOrder};
+    use foodmatch_roadnet::generators::GridCityBuilder;
+    use foodmatch_roadnet::CongestionProfile;
+
+    fn setup() -> (ShortestPathEngine, GridCityBuilder) {
+        let b = GridCityBuilder::new(6, 6)
+            .congestion(CongestionProfile::free_flow())
+            .major_every(0);
+        (ShortestPathEngine::cached(b.build()), b)
+    }
+
+    fn order(id: u64, r: NodeId, c: NodeId, t: TimePoint, prep_mins: f64) -> Order {
+        Order::new(OrderId(id), r, c, t, 1, Duration::from_mins(prep_mins))
+    }
+
+    fn install_single(
+        vehicle: &mut VehicleState,
+        o: Order,
+        now: TimePoint,
+        engine: &ShortestPathEngine,
+    ) {
+        let route =
+            plan_optimal_route(vehicle.location, now, &[PlannedOrder::pending(o)], engine).unwrap();
+        vehicle.install_plan(vec![CarriedOrder { order: o, picked_up: false }], &route, now, engine);
+    }
+
+    #[test]
+    fn idle_vehicle_does_nothing() {
+        let (_, b) = setup();
+        let mut v = VehicleState::new(VehicleId(0), b.node_at(0, 0));
+        assert!(v.is_idle());
+        assert!(v.advance(TimePoint::from_hms(23, 0, 0)).is_empty());
+        assert_eq!(v.heading(), None);
+        assert!(v.busy_until().is_none());
+    }
+
+    #[test]
+    fn vehicle_completes_a_single_delivery() {
+        let (engine, b) = setup();
+        let t = TimePoint::from_hms(12, 0, 0);
+        let mut v = VehicleState::new(VehicleId(0), b.node_at(0, 0));
+        let o = order(1, b.node_at(0, 2), b.node_at(3, 2), t, 2.0);
+        install_single(&mut v, o, t, &engine);
+        assert!(!v.is_idle());
+        assert!(v.heading().is_some());
+
+        // Advance far enough for the whole plan to finish.
+        let events = v.advance(TimePoint::from_hms(13, 0, 0));
+        assert!(v.is_idle());
+        let picked = events.iter().any(|e| matches!(e, FleetEvent::PickedUp { order, .. } if *order == o.id));
+        let delivered = events
+            .iter()
+            .any(|e| matches!(e, FleetEvent::Delivered { order, .. } if *order == o.id));
+        assert!(picked && delivered);
+        assert_eq!(v.location, o.customer);
+        // Drove events cover first mile (2 edges) + last mile (3 edges).
+        let edges = events.iter().filter(|e| matches!(e, FleetEvent::Drove { .. })).count();
+        assert_eq!(edges, 5);
+    }
+
+    #[test]
+    fn advancing_in_small_steps_matches_the_plan() {
+        let (engine, b) = setup();
+        let t = TimePoint::from_hms(12, 0, 0);
+        let mut v = VehicleState::new(VehicleId(0), b.node_at(0, 0));
+        let o = order(1, b.node_at(0, 3), b.node_at(5, 3), t, 1.0);
+        install_single(&mut v, o, t, &engine);
+        let deadline = v.busy_until().unwrap();
+
+        let mut step_time = t;
+        let mut delivered_at = None;
+        while step_time < deadline {
+            step_time += Duration::from_mins(1.0);
+            for event in v.advance(step_time) {
+                if let FleetEvent::Delivered { at, .. } = event {
+                    delivered_at = Some(at);
+                }
+            }
+        }
+        assert!(delivered_at.is_some());
+        assert!(v.is_idle());
+        assert_eq!(v.location, o.customer);
+    }
+
+    #[test]
+    fn waiting_is_attributed_to_the_pickup() {
+        let (engine, b) = setup();
+        let t = TimePoint::from_hms(12, 0, 0);
+        let mut v = VehicleState::new(VehicleId(0), b.node_at(0, 1));
+        // Restaurant one edge away but prep takes 10 minutes ⇒ a long wait.
+        let o = order(1, b.node_at(0, 0), b.node_at(2, 0), t, 10.0);
+        install_single(&mut v, o, t, &engine);
+        let events = v.advance(TimePoint::from_hms(12, 30, 0));
+        let waited = events
+            .iter()
+            .find_map(|e| match e {
+                FleetEvent::PickedUp { waited, .. } => Some(*waited),
+                _ => None,
+            })
+            .unwrap();
+        let edge_secs = 250.0 / foodmatch_roadnet::RoadClass::Local.free_flow_speed_mps();
+        assert!((waited.as_secs_f64() - (600.0 - edge_secs)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn snapshot_reflects_reshuffling_policy() {
+        let (engine, b) = setup();
+        let t = TimePoint::from_hms(12, 0, 0);
+        let mut v = VehicleState::new(VehicleId(0), b.node_at(0, 0));
+        let o = order(1, b.node_at(0, 3), b.node_at(4, 3), t, 5.0);
+        install_single(&mut v, o, t, &engine);
+
+        // Before pickup: reshuffle ⇒ order is not committed; no reshuffle ⇒ it is.
+        assert_eq!(v.snapshot(true).committed.len(), 0);
+        assert_eq!(v.snapshot(false).committed.len(), 1);
+        assert_eq!(v.unpicked_orders().len(), 1);
+
+        // After the pickup the order is committed either way.
+        v.advance(TimePoint::from_hms(12, 20, 0));
+        if v.carried.iter().any(|c| c.picked_up) {
+            assert_eq!(v.snapshot(true).committed.len(), 1);
+            assert!(v.unpicked_orders().is_empty());
+        }
+    }
+
+    #[test]
+    fn remove_unpicked_only_touches_unpicked_orders() {
+        let (engine, b) = setup();
+        let t = TimePoint::from_hms(12, 0, 0);
+        let mut v = VehicleState::new(VehicleId(0), b.node_at(0, 0));
+        let o = order(1, b.node_at(0, 2), b.node_at(3, 2), t, 1.0);
+        install_single(&mut v, o, t, &engine);
+        assert!(v.remove_unpicked(o.id));
+        assert!(v.carried.is_empty());
+        assert!(!v.remove_unpicked(o.id));
+    }
+
+    #[test]
+    fn mid_edge_positions_snap_to_the_previous_node() {
+        let (engine, b) = setup();
+        let t = TimePoint::from_hms(12, 0, 0);
+        let mut v = VehicleState::new(VehicleId(0), b.node_at(0, 0));
+        let o = order(1, b.node_at(0, 5), b.node_at(5, 5), t, 0.5);
+        install_single(&mut v, o, t, &engine);
+        // Half an edge's travel time: the vehicle must still report node (0,0)
+        // and head towards (0,1).
+        let half_edge = Duration::from_secs_f64(250.0 / 6.9 / 2.0);
+        v.advance(t + half_edge);
+        assert_eq!(v.location, b.node_at(0, 0));
+        assert_eq!(v.heading(), Some(b.node_at(0, 1)));
+    }
+}

@@ -1,0 +1,34 @@
+//! # foodmatch-sim
+//!
+//! A window-stepped, discrete-event food-delivery simulator for the
+//! FoodMatch reproduction.
+//!
+//! The simulator owns everything the dispatcher (in `foodmatch-core`) does
+//! not: vehicles physically moving along road edges, waiting at restaurants
+//! for food to be prepared, picking up and dropping off orders, the
+//! accumulation-window loop that feeds [`foodmatch_core::WindowSnapshot`]s to
+//! a [`foodmatch_core::DispatchPolicy`], rejection of orders that waited too
+//! long, and the collection of every metric the paper's evaluation reports
+//! (XDT, orders per km, waiting time, rejections, overflown windows, running
+//! time).
+//!
+//! ```no_run
+//! use foodmatch_core::{DispatchConfig, FoodMatchPolicy};
+//! use foodmatch_sim::Simulation;
+//! # fn scenario() -> Simulation { unimplemented!() }
+//!
+//! let sim: Simulation = scenario();
+//! let report = sim.run(&mut FoodMatchPolicy::new());
+//! println!("XDT = {:.1} h/day, O/Km = {:.2}", report.xdt_hours_per_day(), report.orders_per_km());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod engine;
+pub mod fleet;
+pub mod metrics;
+
+pub use engine::Simulation;
+pub use fleet::{CarriedOrder, FleetEvent, ItineraryStep, VehicleState};
+pub use metrics::{DeliveredOrder, MetricsCollector, SimulationReport, WindowStats};

@@ -1,0 +1,435 @@
+//! Metric collection and the simulation report.
+//!
+//! The report exposes exactly the quantities §V of the paper evaluates:
+//!
+//! * **XDT** — extra delivery time (the objective of Problem 1), reported in
+//!   hours per simulated day and per hourly timeslot.
+//! * **O/Km** — orders carried per kilometre driven, the operational
+//!   efficiency metric of §V-B (`Σ k·D_k / Σ D_k` over distances `D_k`
+//!   driven while carrying `k` picked-up orders).
+//! * **WT** — vehicle waiting time at restaurants.
+//! * **Rejections** — orders that stayed unassigned beyond the deadline.
+//! * **Overflown windows** — accumulation windows whose assignment
+//!   computation took longer than Δ (the scalability metric of Fig. 6(f–h)).
+
+use foodmatch_core::OrderId;
+use foodmatch_roadnet::{Duration, HourSlot, TimePoint};
+
+/// Maximum on-board load tracked separately by the O/Km histogram.
+pub const MAX_TRACKED_LOAD: usize = 8;
+
+/// One delivered order and its timing.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeliveredOrder {
+    /// The order.
+    pub id: OrderId,
+    /// When the customer placed it.
+    pub placed_at: TimePoint,
+    /// When it reached the customer.
+    pub delivered_at: TimePoint,
+    /// Its extra delivery time (Definition 7), clamped at zero.
+    pub xdt: Duration,
+    /// The hour slot in which the order was placed (used for per-slot plots).
+    pub slot: HourSlot,
+}
+
+/// Statistics of one accumulation window.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WindowStats {
+    /// When the window closed (assignment time).
+    pub closed_at: TimePoint,
+    /// The hour slot of the window.
+    pub slot: HourSlot,
+    /// Orders presented to the policy.
+    pub orders: usize,
+    /// Vehicles presented to the policy.
+    pub vehicles: usize,
+    /// Orders the policy assigned.
+    pub assigned: usize,
+    /// Wall-clock time the policy needed, in seconds.
+    pub compute_secs: f64,
+    /// Whether the computation exceeded the window length Δ.
+    pub overflown: bool,
+}
+
+/// The complete outcome of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimulationReport {
+    /// Name of the policy that produced this run.
+    pub policy: String,
+    /// Total number of orders offered by the workload.
+    pub total_orders: usize,
+    /// Every delivered order with its timing.
+    pub delivered: Vec<DeliveredOrder>,
+    /// Orders rejected because they stayed unassigned past the deadline.
+    pub rejected: Vec<OrderId>,
+    /// Orders assigned but still undelivered when the simulation was cut off
+    /// (normally empty; non-empty indicates the drain horizon was too short).
+    pub undelivered: Vec<OrderId>,
+    /// Per-window statistics, in chronological order.
+    pub windows: Vec<WindowStats>,
+    /// `distance_by_load_m[slot][k]`: meters driven during `slot` while
+    /// carrying `k` picked-up orders.
+    pub distance_by_load_m: Vec<[f64; MAX_TRACKED_LOAD + 1]>,
+    /// `waiting_by_slot[slot]`: restaurant waiting time accumulated in the slot.
+    pub waiting_by_slot: Vec<Duration>,
+    /// The simulated horizon length (used to normalise to per-day figures).
+    pub horizon: Duration,
+}
+
+impl SimulationReport {
+    /// Total extra delivery time, in hours.
+    pub fn total_xdt_hours(&self) -> f64 {
+        self.delivered.iter().map(|d| d.xdt.as_hours_f64()).sum()
+    }
+
+    /// Total extra delivery time scaled to a 24-hour day, in hours/day.
+    pub fn xdt_hours_per_day(&self) -> f64 {
+        self.total_xdt_hours() / self.horizon_days()
+    }
+
+    /// The objective of Problem 1: total XDT plus Ω per rejection, in seconds.
+    pub fn objective_secs(&self, omega_secs: f64) -> f64 {
+        self.delivered.iter().map(|d| d.xdt.as_secs_f64()).sum::<f64>()
+            + omega_secs * self.rejected.len() as f64
+    }
+
+    /// Mean XDT per delivered order, in minutes.
+    pub fn mean_xdt_mins(&self) -> f64 {
+        if self.delivered.is_empty() {
+            0.0
+        } else {
+            self.total_xdt_hours() * 60.0 / self.delivered.len() as f64
+        }
+    }
+
+    /// Average number of orders per kilometre driven.
+    pub fn orders_per_km(&self) -> f64 {
+        let mut weighted = 0.0;
+        let mut total = 0.0;
+        for per_slot in &self.distance_by_load_m {
+            for (load, meters) in per_slot.iter().enumerate() {
+                weighted += load as f64 * meters;
+                total += meters;
+            }
+        }
+        if total == 0.0 {
+            0.0
+        } else {
+            weighted / total
+        }
+    }
+
+    /// Total kilometres driven by the fleet.
+    pub fn total_km(&self) -> f64 {
+        self.distance_by_load_m.iter().flatten().sum::<f64>() / 1000.0
+    }
+
+    /// Total waiting time at restaurants, in hours.
+    pub fn waiting_hours(&self) -> f64 {
+        self.waiting_by_slot.iter().map(|d| d.as_hours_f64()).sum()
+    }
+
+    /// Waiting time scaled to a 24-hour day, in hours/day.
+    pub fn waiting_hours_per_day(&self) -> f64 {
+        self.waiting_hours() / self.horizon_days()
+    }
+
+    /// Fraction of offered orders that were rejected, in percent.
+    pub fn rejection_rate_pct(&self) -> f64 {
+        if self.total_orders == 0 {
+            0.0
+        } else {
+            100.0 * self.rejected.len() as f64 / self.total_orders as f64
+        }
+    }
+
+    /// Fraction of delivered orders among offered orders, in percent.
+    pub fn delivery_rate_pct(&self) -> f64 {
+        if self.total_orders == 0 {
+            0.0
+        } else {
+            100.0 * self.delivered.len() as f64 / self.total_orders as f64
+        }
+    }
+
+    /// Percentage of windows whose assignment took longer than Δ.
+    ///
+    /// With `peak_only` set, only windows in the lunch/dinner peak slots are
+    /// considered (Fig. 6(g)).
+    pub fn overflow_pct(&self, peak_only: bool) -> f64 {
+        let relevant: Vec<&WindowStats> = self
+            .windows
+            .iter()
+            .filter(|w| !peak_only || w.slot.is_peak())
+            .collect();
+        if relevant.is_empty() {
+            0.0
+        } else {
+            100.0 * relevant.iter().filter(|w| w.overflown).count() as f64 / relevant.len() as f64
+        }
+    }
+
+    /// Mean wall-clock time per window spent inside the policy, in seconds.
+    pub fn mean_window_compute_secs(&self) -> f64 {
+        if self.windows.is_empty() {
+            0.0
+        } else {
+            self.windows.iter().map(|w| w.compute_secs).sum::<f64>() / self.windows.len() as f64
+        }
+    }
+
+    /// Total wall-clock time spent inside the policy, in seconds.
+    pub fn total_compute_secs(&self) -> f64 {
+        self.windows.iter().map(|w| w.compute_secs).sum()
+    }
+
+    /// XDT accumulated per hour slot, in hours.
+    pub fn xdt_hours_by_slot(&self) -> [f64; HourSlot::COUNT] {
+        let mut out = [0.0; HourSlot::COUNT];
+        for d in &self.delivered {
+            out[d.slot.index()] += d.xdt.as_hours_f64();
+        }
+        out
+    }
+
+    /// Orders per km, split by the hour slot in which the driving happened.
+    pub fn orders_per_km_by_slot(&self) -> [f64; HourSlot::COUNT] {
+        let mut out = [0.0; HourSlot::COUNT];
+        for (slot, per_slot) in self.distance_by_load_m.iter().enumerate() {
+            let mut weighted = 0.0;
+            let mut total = 0.0;
+            for (load, meters) in per_slot.iter().enumerate() {
+                weighted += load as f64 * meters;
+                total += meters;
+            }
+            out[slot] = if total == 0.0 { 0.0 } else { weighted / total };
+        }
+        out
+    }
+
+    /// Waiting time per hour slot, in hours.
+    pub fn waiting_hours_by_slot(&self) -> [f64; HourSlot::COUNT] {
+        let mut out = [0.0; HourSlot::COUNT];
+        for (slot, d) in self.waiting_by_slot.iter().enumerate() {
+            out[slot] = d.as_hours_f64();
+        }
+        out
+    }
+
+    fn horizon_days(&self) -> f64 {
+        (self.horizon.as_hours_f64() / 24.0).max(1e-9)
+    }
+}
+
+/// Incrementally accumulates metrics while a simulation runs.
+#[derive(Debug)]
+pub struct MetricsCollector {
+    policy: String,
+    total_orders: usize,
+    horizon: Duration,
+    delivered: Vec<DeliveredOrder>,
+    rejected: Vec<OrderId>,
+    undelivered: Vec<OrderId>,
+    windows: Vec<WindowStats>,
+    distance_by_load_m: Vec<[f64; MAX_TRACKED_LOAD + 1]>,
+    waiting_by_slot: Vec<Duration>,
+}
+
+impl MetricsCollector {
+    /// Creates a collector for a run of the given policy and workload size.
+    pub fn new(policy: impl Into<String>, total_orders: usize, horizon: Duration) -> Self {
+        MetricsCollector {
+            policy: policy.into(),
+            total_orders,
+            horizon,
+            delivered: Vec::new(),
+            rejected: Vec::new(),
+            undelivered: Vec::new(),
+            windows: Vec::new(),
+            distance_by_load_m: vec![[0.0; MAX_TRACKED_LOAD + 1]; HourSlot::COUNT],
+            waiting_by_slot: vec![Duration::ZERO; HourSlot::COUNT],
+        }
+    }
+
+    /// Records a delivered order. `sdt` is its shortest delivery time
+    /// (Definition 6); the XDT is clamped at zero to absorb the tiny
+    /// negative values that time-varying edge weights can produce.
+    pub fn record_delivery(
+        &mut self,
+        id: OrderId,
+        placed_at: TimePoint,
+        delivered_at: TimePoint,
+        sdt: Duration,
+    ) {
+        let edt = delivered_at.saturating_since(placed_at);
+        let xdt = edt.saturating_sub(sdt);
+        self.delivered.push(DeliveredOrder {
+            id,
+            placed_at,
+            delivered_at,
+            xdt,
+            slot: placed_at.hour_slot(),
+        });
+    }
+
+    /// Records a rejected order.
+    pub fn record_rejection(&mut self, id: OrderId) {
+        self.rejected.push(id);
+    }
+
+    /// Records an order left undelivered at the end of the run.
+    pub fn record_undelivered(&mut self, id: OrderId) {
+        self.undelivered.push(id);
+    }
+
+    /// Records one driven edge.
+    pub fn record_drive(&mut self, at: TimePoint, load: usize, length_m: f64) {
+        let slot = at.hour_slot().index();
+        let bucket = load.min(MAX_TRACKED_LOAD);
+        self.distance_by_load_m[slot][bucket] += length_m;
+    }
+
+    /// Records restaurant waiting time.
+    pub fn record_wait(&mut self, at: TimePoint, waited: Duration) {
+        self.waiting_by_slot[at.hour_slot().index()] += waited;
+    }
+
+    /// Records a completed accumulation window.
+    pub fn record_window(&mut self, stats: WindowStats) {
+        self.windows.push(stats);
+    }
+
+    /// Finalises the report.
+    pub fn finish(self) -> SimulationReport {
+        SimulationReport {
+            policy: self.policy,
+            total_orders: self.total_orders,
+            delivered: self.delivered,
+            rejected: self.rejected,
+            undelivered: self.undelivered,
+            windows: self.windows,
+            distance_by_load_m: self.distance_by_load_m,
+            waiting_by_slot: self.waiting_by_slot,
+            horizon: self.horizon,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collector() -> MetricsCollector {
+        MetricsCollector::new("Test", 10, Duration::from_hours(24.0))
+    }
+
+    #[test]
+    fn delivery_xdt_is_clamped_and_sloted() {
+        let mut c = collector();
+        let placed = TimePoint::from_hms(13, 0, 0);
+        c.record_delivery(OrderId(1), placed, TimePoint::from_hms(13, 40, 0), Duration::from_mins(25.0));
+        // Delivered "faster than physically possible" (bad SDT estimate):
+        c.record_delivery(OrderId(2), placed, TimePoint::from_hms(13, 10, 0), Duration::from_mins(20.0));
+        let report = c.finish();
+        assert_eq!(report.delivered.len(), 2);
+        assert!((report.delivered[0].xdt.as_mins_f64() - 15.0).abs() < 1e-9);
+        assert_eq!(report.delivered[1].xdt, Duration::ZERO);
+        assert_eq!(report.delivered[0].slot, HourSlot::new(13));
+        assert!((report.total_xdt_hours() - 0.25).abs() < 1e-9);
+        assert!((report.mean_xdt_mins() - 7.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn orders_per_km_weights_by_load() {
+        let mut c = collector();
+        let noon = TimePoint::from_hms(12, 0, 0);
+        // 2 km empty, 4 km with one order, 4 km with two orders.
+        c.record_drive(noon, 0, 2_000.0);
+        c.record_drive(noon, 1, 4_000.0);
+        c.record_drive(noon, 2, 4_000.0);
+        let report = c.finish();
+        // (0*2 + 1*4 + 2*4) / 10 km = 1.2 orders per km.
+        assert!((report.orders_per_km() - 1.2).abs() < 1e-9);
+        assert!((report.total_km() - 10.0).abs() < 1e-9);
+        let by_slot = report.orders_per_km_by_slot();
+        assert!((by_slot[12] - 1.2).abs() < 1e-9);
+        assert_eq!(by_slot[3], 0.0);
+    }
+
+    #[test]
+    fn objective_adds_rejection_penalty() {
+        let mut c = collector();
+        c.record_delivery(
+            OrderId(1),
+            TimePoint::from_hms(12, 0, 0),
+            TimePoint::from_hms(12, 30, 0),
+            Duration::from_mins(20.0),
+        );
+        c.record_rejection(OrderId(2));
+        let report = c.finish();
+        assert!((report.objective_secs(7200.0) - (600.0 + 7200.0)).abs() < 1e-9);
+        assert!((report.rejection_rate_pct() - 10.0).abs() < 1e-9);
+        assert!((report.delivery_rate_pct() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overflow_statistics_split_peak_and_offpeak() {
+        let mut c = collector();
+        let mk = |hour: u32, overflown: bool| WindowStats {
+            closed_at: TimePoint::from_hms(hour, 0, 0),
+            slot: HourSlot::new(hour as u8),
+            orders: 5,
+            vehicles: 3,
+            assigned: 3,
+            compute_secs: if overflown { 200.0 } else { 0.5 },
+            overflown,
+        };
+        c.record_window(mk(3, false));
+        c.record_window(mk(13, true));
+        c.record_window(mk(20, false));
+        c.record_window(mk(21, true));
+        let report = c.finish();
+        assert!((report.overflow_pct(false) - 50.0).abs() < 1e-9);
+        // Peak windows: 13, 20, 21 → 2 of 3 overflown.
+        assert!((report.overflow_pct(true) - 66.666_666).abs() < 1e-3);
+        assert!(report.mean_window_compute_secs() > 0.0);
+    }
+
+    #[test]
+    fn waiting_time_accumulates_per_slot() {
+        let mut c = collector();
+        c.record_wait(TimePoint::from_hms(19, 10, 0), Duration::from_mins(6.0));
+        c.record_wait(TimePoint::from_hms(19, 50, 0), Duration::from_mins(12.0));
+        c.record_wait(TimePoint::from_hms(9, 0, 0), Duration::from_mins(30.0));
+        let report = c.finish();
+        assert!((report.waiting_hours() - 0.8).abs() < 1e-9);
+        let by_slot = report.waiting_hours_by_slot();
+        assert!((by_slot[19] - 0.3).abs() < 1e-9);
+        assert!((by_slot[9] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_day_scaling_uses_the_horizon() {
+        let mut c = MetricsCollector::new("Test", 4, Duration::from_hours(6.0));
+        c.record_delivery(
+            OrderId(1),
+            TimePoint::from_hms(12, 0, 0),
+            TimePoint::from_hms(13, 0, 0),
+            Duration::from_mins(30.0),
+        );
+        let report = c.finish();
+        // 0.5 h of XDT over a 6 h horizon scales to 2 h/day.
+        assert!((report.xdt_hours_per_day() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_is_well_defined() {
+        let report = collector().finish();
+        assert_eq!(report.total_xdt_hours(), 0.0);
+        assert_eq!(report.orders_per_km(), 0.0);
+        assert_eq!(report.overflow_pct(false), 0.0);
+        assert_eq!(report.mean_window_compute_secs(), 0.0);
+        assert_eq!(report.mean_xdt_mins(), 0.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! # foodmatch-workload
+//!
+//! Synthetic workload generation for the FoodMatch reproduction: city
+//! presets shaped after Table II of the paper, a diurnal demand model with
+//! the lunch/dinner peaks of Fig. 6(a), spatially clustered restaurants with
+//! per-restaurant Gaussian preparation times, and a scenario builder that
+//! turns all of it into a runnable [`foodmatch_sim::Simulation`].
+//!
+//! ```no_run
+//! use foodmatch_workload::{CityId, Scenario, ScenarioOptions};
+//! use foodmatch_core::FoodMatchPolicy;
+//!
+//! let scenario = Scenario::generate(CityId::A, ScenarioOptions::lunch_peak(1));
+//! let report = scenario.into_simulation().run(&mut FoodMatchPolicy::new());
+//! println!("delivered {} orders", report.delivered.len());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod city;
+pub mod demand;
+pub mod scenario;
+
+pub use city::{CityId, CityPreset};
+pub use scenario::{CityStats, GeneratedCity, Restaurant, Scenario, ScenarioOptions};

@@ -1,0 +1,77 @@
+//! End-to-end integration tests: workload generation → dispatch → simulation
+//! → metrics, for every policy the paper benchmarks.
+
+use foodmatch_core::PolicyKind;
+use integration_tests::{small_city_scenario, tiny_scenario};
+
+#[test]
+fn every_policy_completes_a_tiny_day() {
+    let scenario = tiny_scenario(1);
+    let total = scenario.orders.len();
+    assert!(total > 0, "the tiny scenario must contain orders");
+    let simulation = scenario.into_simulation();
+    for kind in PolicyKind::ALL {
+        let mut policy = kind.build();
+        let report = simulation.run(policy.as_mut());
+        assert_eq!(report.total_orders, total, "{}", report.policy);
+        // Conservation: every order is delivered, rejected or (exceptionally)
+        // left undelivered — never lost, never duplicated.
+        assert_eq!(
+            report.delivered.len() + report.rejected.len() + report.undelivered.len(),
+            total,
+            "{} lost orders",
+            report.policy
+        );
+        for d in &report.delivered {
+            assert!(d.delivered_at > d.placed_at, "{}: delivery before placement", report.policy);
+            assert!(d.xdt.as_secs_f64() >= 0.0);
+        }
+        assert!(report.orders_per_km() >= 0.0);
+        assert!(report.waiting_hours() >= 0.0);
+    }
+}
+
+#[test]
+fn foodmatch_serves_most_orders_on_a_small_city() {
+    let scenario = small_city_scenario(3);
+    let total = scenario.orders.len();
+    let report = scenario.into_simulation().run(&mut foodmatch_core::FoodMatchPolicy::new());
+    assert_eq!(report.total_orders, total);
+    assert!(
+        report.delivery_rate_pct() > 80.0,
+        "FoodMatch should deliver most orders with the full fleet, got {:.1}% ({} of {})",
+        report.delivery_rate_pct(),
+        report.delivered.len(),
+        total
+    );
+    assert!(report.undelivered.is_empty(), "orders stranded on vehicles: {:?}", report.undelivered);
+}
+
+#[test]
+fn simulation_reports_are_reproducible() {
+    let report_a = tiny_scenario(7).into_simulation().run(&mut foodmatch_core::FoodMatchPolicy::new());
+    let report_b = tiny_scenario(7).into_simulation().run(&mut foodmatch_core::FoodMatchPolicy::new());
+    assert_eq!(report_a.delivered.len(), report_b.delivered.len());
+    assert_eq!(report_a.rejected.len(), report_b.rejected.len());
+    assert!((report_a.total_xdt_hours() - report_b.total_xdt_hours()).abs() < 1e-9);
+    assert!((report_a.total_km() - report_b.total_km()).abs() < 1e-9);
+}
+
+#[test]
+fn different_seeds_generate_different_days() {
+    let a = tiny_scenario(1);
+    let b = tiny_scenario(2);
+    let placed_a: f64 = a.orders.iter().map(|o| o.placed_at.as_secs_f64()).sum();
+    let placed_b: f64 = b.orders.iter().map(|o| o.placed_at.as_secs_f64()).sum();
+    assert_ne!(placed_a, placed_b, "seeds must change the workload");
+}
+
+#[test]
+fn windows_overflow_flag_is_consistent_with_delta() {
+    let scenario = tiny_scenario(4);
+    let delta = scenario.default_config().accumulation_window.as_secs_f64();
+    let report = scenario.into_simulation().run(&mut foodmatch_core::GreedyPolicy::new());
+    for window in &report.windows {
+        assert_eq!(window.overflown, window.compute_secs > delta);
+    }
+}

@@ -1,0 +1,191 @@
+//! Property-based tests (proptest) for the core invariants the paper's
+//! algorithms rely on.
+
+use foodmatch_core::route::{plan_optimal_route, plan_optimal_route_free_start, PlannedOrder};
+use foodmatch_core::{batch_orders, DispatchConfig, Order, OrderId};
+use foodmatch_matching::{greedy, hungarian, CostMatrix};
+use foodmatch_roadnet::generators::GridCityBuilder;
+use foodmatch_roadnet::{
+    angular_distance, dijkstra, CongestionProfile, GeoPoint, HourSlot, HubLabelIndex, NodeId,
+    ShortestPathEngine, TimePoint,
+};
+use proptest::prelude::*;
+
+fn test_grid() -> (foodmatch_roadnet::RoadNetwork, GridCityBuilder) {
+    let builder = GridCityBuilder::new(6, 6)
+        .congestion(CongestionProfile::metropolitan())
+        .major_every(3);
+    (builder.build(), builder)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Hungarian matching is optimal: no permutation of columns achieves a
+    /// lower total cost, and greedy never beats it.
+    #[test]
+    fn hungarian_is_optimal_and_beats_greedy(
+        rows in 1usize..5,
+        cols in 1usize..5,
+        values in proptest::collection::vec(0.0f64..500.0, 25),
+    ) {
+        let matrix = CostMatrix::from_fn(rows, cols, |r, c| values[(r * 5 + c) % values.len()]);
+        let optimal = hungarian::solve(&matrix);
+        let greedy = greedy::solve(&matrix);
+        prop_assert_eq!(optimal.matched_pairs(), rows.min(cols));
+        prop_assert!(optimal.total_cost <= greedy.total_cost + 1e-9);
+        prop_assert!(optimal.is_consistent());
+
+        // Exhaustive check against every injection of rows into columns.
+        let smaller = rows.min(cols);
+        let mut best = f64::INFINITY;
+        let indices: Vec<usize> = (0..rows.max(cols)).collect();
+        permute(&indices, smaller, &mut Vec::new(), &mut |perm| {
+            let cost: f64 = perm
+                .iter()
+                .enumerate()
+                .map(|(i, &j)| if rows <= cols { matrix.get(i, j) } else { matrix.get(j, i) })
+                .sum();
+            if cost < best {
+                best = cost;
+            }
+        });
+        prop_assert!((optimal.total_cost - best).abs() < 1e-6,
+            "hungarian {} vs exhaustive {}", optimal.total_cost, best);
+    }
+
+    /// Shortest-path travel times satisfy the triangle inequality and all
+    /// engines (Dijkstra, cached, hub labels) agree.
+    #[test]
+    fn shortest_paths_satisfy_triangle_inequality(
+        a in 0u32..36, b in 0u32..36, c in 0u32..36, hour in 0u32..24,
+    ) {
+        let (network, _) = test_grid();
+        let t = TimePoint::from_hms(hour, 15, 0);
+        let engine = ShortestPathEngine::dijkstra(network.clone());
+        let labels = HubLabelIndex::build(&network, HourSlot::new(hour as u8));
+        let (a, b, c) = (NodeId(a), NodeId(b), NodeId(c));
+        let ab = engine.travel_time(a, b, t).unwrap().as_secs_f64();
+        let bc = engine.travel_time(b, c, t).unwrap().as_secs_f64();
+        let ac = engine.travel_time(a, c, t).unwrap().as_secs_f64();
+        prop_assert!(ac <= ab + bc + 1e-6, "triangle inequality violated: {ac} > {ab} + {bc}");
+        let hl_ab = labels.travel_time(a, b).unwrap().as_secs_f64();
+        prop_assert!((hl_ab - ab).abs() < 1e-6, "hub labels disagree with dijkstra");
+        // Dijkstra path reconstruction agrees with the distance.
+        let path = dijkstra::shortest_path(&network, a, b, t).unwrap();
+        prop_assert!((path.travel_time.as_secs_f64() - ab).abs() < 1e-6);
+    }
+
+    /// Angular distance is always within [0, 1].
+    #[test]
+    fn angular_distance_is_bounded(
+        lat1 in -60.0f64..60.0, lon1 in -170.0f64..170.0,
+        lat2 in -60.0f64..60.0, lon2 in -170.0f64..170.0,
+        lat3 in -60.0f64..60.0, lon3 in -170.0f64..170.0,
+    ) {
+        let d = angular_distance(
+            GeoPoint::new(lat1, lon1),
+            GeoPoint::new(lat2, lon2),
+            GeoPoint::new(lat3, lon3),
+        );
+        prop_assert!((0.0..=1.0).contains(&d), "angular distance {d} out of range");
+    }
+
+    /// The optimal route plan always respects pickup-before-drop-off and its
+    /// cost never beats the free-start plan for the same orders (Theorem 2's
+    /// building block).
+    #[test]
+    fn route_plans_respect_precedence_and_free_start_is_cheaper(
+        seed_positions in proptest::collection::vec((0usize..6, 0usize..6), 2..4),
+        start_r in 0usize..6, start_c in 0usize..6,
+    ) {
+        let (network, grid) = test_grid();
+        let engine = ShortestPathEngine::cached(network);
+        let t = TimePoint::from_hms(13, 0, 0);
+        let orders: Vec<PlannedOrder> = seed_positions
+            .iter()
+            .enumerate()
+            .map(|(i, &(r, c))| {
+                let restaurant = grid.node_at(r, c);
+                let customer = grid.node_at(5 - r, 5 - c);
+                // Skip degenerate orders whose restaurant equals the customer.
+                let customer = if customer == restaurant { grid.node_at((r + 1) % 6, c) } else { customer };
+                PlannedOrder::pending(Order::new(
+                    OrderId(i as u64),
+                    restaurant,
+                    customer,
+                    t,
+                    1,
+                    foodmatch_roadnet::Duration::from_mins(6.0),
+                ))
+            })
+            .collect();
+        let anchored = plan_optimal_route(grid.node_at(start_r, start_c), t, &orders, &engine).unwrap();
+        prop_assert!(anchored.plan.validate(&orders).is_ok(), "invalid anchored plan");
+        prop_assert!(anchored.cost_secs >= -1e-6);
+
+        let free = plan_optimal_route_free_start(t, &orders, &engine).unwrap();
+        prop_assert!(free.plan.validate(&orders).is_ok(), "invalid free-start plan");
+        // Removing the first mile can only help.
+        prop_assert!(free.cost_secs <= anchored.cost_secs + 1e-6,
+            "free-start plan {} costs more than anchored {}", free.cost_secs, anchored.cost_secs);
+    }
+
+    /// Batching preserves every order exactly once, respects MAXO/MAXI, and
+    /// its final average cost decomposition is consistent (Theorem 2: the
+    /// total never drops below the sum of singleton costs, which is zero).
+    #[test]
+    fn batching_preserves_orders_and_capacity(
+        seed_positions in proptest::collection::vec((0usize..6, 0usize..6, 1u32..4), 2..7),
+    ) {
+        let (network, grid) = test_grid();
+        let engine = ShortestPathEngine::cached(network);
+        let t = TimePoint::from_hms(13, 0, 0);
+        let config = DispatchConfig::default();
+        let orders: Vec<Order> = seed_positions
+            .iter()
+            .enumerate()
+            .map(|(i, &(r, c, items))| {
+                let restaurant = grid.node_at(r, c);
+                let mut customer = grid.node_at(5 - r, c);
+                if customer == restaurant {
+                    customer = grid.node_at(r, (c + 3) % 6);
+                }
+                Order::new(OrderId(i as u64), restaurant, customer, t, items, foodmatch_roadnet::Duration::from_mins(7.0))
+            })
+            .collect();
+        let outcome = batch_orders(&orders, &engine, t, &config);
+        let mut seen: Vec<u64> = outcome
+            .batches
+            .iter()
+            .flat_map(|b| b.orders.iter().map(|o| o.id.0))
+            .chain(outcome.unplannable.iter().map(|o| o.id.0))
+            .collect();
+        seen.sort_unstable();
+        let mut expected: Vec<u64> = orders.iter().map(|o| o.id.0).collect();
+        expected.sort_unstable();
+        prop_assert_eq!(seen, expected, "orders lost or duplicated by batching");
+        for batch in &outcome.batches {
+            prop_assert!(batch.len() <= config.max_orders_per_vehicle);
+            prop_assert!(batch.total_items() <= config.max_items_per_vehicle);
+            prop_assert!(batch.cost_secs() >= -1e-6, "negative batch cost");
+        }
+        prop_assert!(outcome.final_avg_cost_secs >= -1e-6);
+    }
+}
+
+/// Enumerates all injective mappings of `0..k` into `indices`, calling
+/// `visit` with each mapping.
+fn permute(indices: &[usize], k: usize, current: &mut Vec<usize>, visit: &mut impl FnMut(&[usize])) {
+    if current.len() == k {
+        visit(current);
+        return;
+    }
+    for &index in indices {
+        if !current.contains(&index) {
+            current.push(index);
+            permute(indices, k, current, visit);
+            current.pop();
+        }
+    }
+}

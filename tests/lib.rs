@@ -1,0 +1,35 @@
+//! Shared helpers for the workspace-level integration tests.
+//!
+//! The integration tests exercise the whole stack — synthetic city
+//! generation, the dispatch policies and the simulator — on small scenarios
+//! that run in seconds.
+
+use foodmatch_roadnet::TimePoint;
+use foodmatch_workload::{CityId, Scenario, ScenarioOptions};
+
+/// A small, deterministic GrubHub-sized scenario covering one lunch hour.
+pub fn tiny_scenario(seed: u64) -> Scenario {
+    Scenario::generate(
+        CityId::GrubHub,
+        ScenarioOptions {
+            seed,
+            start: TimePoint::from_hms(12, 0, 0),
+            end: TimePoint::from_hms(13, 0, 0),
+            vehicle_fraction: 1.0,
+        },
+    )
+}
+
+/// A City A lunch-peak scenario — bigger than [`tiny_scenario`] but still
+/// fast enough for CI.
+pub fn small_city_scenario(seed: u64) -> Scenario {
+    Scenario::generate(
+        CityId::A,
+        ScenarioOptions {
+            seed,
+            start: TimePoint::from_hms(12, 0, 0),
+            end: TimePoint::from_hms(13, 30, 0),
+            vehicle_fraction: 1.0,
+        },
+    )
+}
