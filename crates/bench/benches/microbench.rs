@@ -6,8 +6,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use foodmatch_core::{
-    batch_orders, build_food_graph, DispatchConfig, DispatchPolicy, FoodMatchPolicy,
-    GreedyPolicy, KuhnMunkresPolicy, WindowSnapshot,
+    batch_orders, build_food_graph, DispatchConfig, DispatchPolicy, FoodMatchPolicy, GreedyPolicy,
+    KuhnMunkresPolicy, WindowSnapshot,
 };
 use foodmatch_matching::{solve_hungarian, CostMatrix};
 use foodmatch_roadnet::{EngineKind, HourSlot, ShortestPathEngine, TimePoint};
@@ -16,10 +16,14 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
-fn lunch_window(city: CityId, orders: usize) -> (WindowSnapshot, ShortestPathEngine, DispatchConfig) {
+fn lunch_window(
+    city: CityId,
+    orders: usize,
+) -> (WindowSnapshot, ShortestPathEngine, DispatchConfig) {
     let scenario = Scenario::generate(city, ScenarioOptions::lunch_peak(7));
     let engine = ShortestPathEngine::cached(scenario.city.network.clone());
-    let config = DispatchConfig { accumulation_window: scenario.city.preset.delta, ..Default::default() };
+    let config =
+        DispatchConfig { accumulation_window: scenario.city.preset.delta, ..Default::default() };
     let time = TimePoint::from_hms(13, 0, 0);
     let window_orders: Vec<_> = scenario.orders.iter().copied().take(orders).collect();
     let vehicles: Vec<_> = scenario
@@ -36,12 +40,7 @@ fn bench_shortest_paths(c: &mut Criterion) {
     let nodes: Vec<_> = network.node_ids().collect();
     let mut rng = StdRng::seed_from_u64(11);
     let pairs: Vec<_> = (0..64)
-        .map(|_| {
-            (
-                nodes[rng.random_range(0..nodes.len())],
-                nodes[rng.random_range(0..nodes.len())],
-            )
-        })
+        .map(|_| (nodes[rng.random_range(0..nodes.len())], nodes[rng.random_range(0..nodes.len())]))
         .collect();
     let t = TimePoint::from_hms(13, 0, 0);
 
@@ -53,13 +52,17 @@ fn bench_shortest_paths(c: &mut Criterion) {
         for &(a, b) in &pairs {
             black_box(engine.travel_time(a, b, t));
         }
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{kind:?}")), &engine, |b, engine| {
-            b.iter(|| {
-                for &(from, to) in &pairs {
-                    black_box(engine.travel_time(from, to, t));
-                }
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &engine,
+            |b, engine| {
+                b.iter(|| {
+                    for &(from, to) in &pairs {
+                        black_box(engine.travel_time(from, to, t));
+                    }
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -94,11 +97,19 @@ fn bench_foodgraph(c: &mut Criterion) {
     let dense_config = DispatchConfig { use_bfs_sparsification: false, ..config.clone() };
     group.bench_function("dense", |b| {
         b.iter(|| {
-            black_box(build_food_graph(&batches, &window.vehicles, &engine, window.time, &dense_config))
+            black_box(build_food_graph(
+                &batches,
+                &window.vehicles,
+                &engine,
+                window.time,
+                &dense_config,
+            ))
         })
     });
     group.bench_function("sparsified_bfs", |b| {
-        b.iter(|| black_box(build_food_graph(&batches, &window.vehicles, &engine, window.time, &config)))
+        b.iter(|| {
+            black_box(build_food_graph(&batches, &window.vehicles, &engine, window.time, &config))
+        })
     });
     group.finish();
 }

@@ -6,7 +6,7 @@
 //! Algorithm 2: in the paper ~95% of assignments fall within the closest 10%
 //! of orders.
 
-use crate::harness::{ExperimentContext, header};
+use crate::harness::{header, ExperimentContext};
 use foodmatch_core::{DispatchConfig, DispatchPolicy, KuhnMunkresPolicy, WindowSnapshot};
 use foodmatch_core::{VehicleId, VehicleSnapshot};
 use foodmatch_roadnet::ShortestPathEngine;
@@ -23,7 +23,8 @@ pub fn run(ctx: &ExperimentContext) {
 
     let scenario = Scenario::generate(CityId::B, ctx.comparison_options());
     let engine = ShortestPathEngine::cached(scenario.city.network.clone());
-    let config = DispatchConfig { accumulation_window: scenario.city.preset.delta, ..Default::default() };
+    let config =
+        DispatchConfig { accumulation_window: scenario.city.preset.delta, ..Default::default() };
     let delta = config.accumulation_window;
     let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0x4a4a);
     let nodes: Vec<_> = scenario.city.network.node_ids().collect();

@@ -20,7 +20,8 @@ pub fn fig6a(ctx: &ExperimentContext) {
         print!("{:>10}", city.name());
     }
     println!();
-    let ratios: Vec<[f64; 24]> = scenarios.iter().map(|s| s.order_vehicle_ratio_by_slot()).collect();
+    let ratios: Vec<[f64; 24]> =
+        scenarios.iter().map(|s| s.order_vehicle_ratio_by_slot()).collect();
     for slot in 0..24 {
         print!("{slot:>8}");
         for ratio in &ratios {

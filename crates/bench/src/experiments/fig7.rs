@@ -8,10 +8,7 @@ use foodmatch_core::{DispatchConfig, PolicyKind};
 /// XDT improvement over vanilla KM.
 pub fn fig7a(ctx: &ExperimentContext) {
     header("Fig. 7(a) — ablation: XDT improvement over KM");
-    println!(
-        "{:<10} {:>10} {:>14} {:>18}",
-        "City", "B&R %", "B&R+BFS %", "B&R+BFS+A %"
-    );
+    println!("{:<10} {:>10} {:>14} {:>18}", "City", "B&R %", "B&R+BFS %", "B&R+BFS+A %");
     for city in ctx.swiggy_cities() {
         // All variants run on the same scenario; only the config toggles vary.
         let km = run_policies(city, ctx.comparison_options(), &[PolicyKind::KuhnMunkres], |c| c)

@@ -15,7 +15,8 @@ fn sweep_header(extra: &str) {
 /// Fig. 8(a–c): XDT, O/Km and WT as the batching quality threshold η grows.
 pub fn fig8_eta(ctx: &ExperimentContext) {
     header("Fig. 8(a-c) — impact of the batching threshold eta");
-    let etas: &[f64] = if ctx.quick { &[30.0, 60.0, 120.0] } else { &[30.0, 60.0, 90.0, 120.0, 150.0] };
+    let etas: &[f64] =
+        if ctx.quick { &[30.0, 60.0, 120.0] } else { &[30.0, 60.0, 90.0, 120.0, 150.0] };
     sweep_header("eta (s)");
     for city in ctx.swiggy_cities() {
         for &eta in etas {

@@ -16,10 +16,7 @@ pub fn run(ctx: &ExperimentContext) {
 pub fn fig9_abc(ctx: &ExperimentContext) {
     header("Fig. 9(a-c) — impact of the angular weight gamma");
     let gammas: &[f64] = if ctx.quick { &[0.1, 0.5, 0.9] } else { &[0.1, 0.25, 0.5, 0.75, 0.9] };
-    println!(
-        "{:<10} {:>8} {:>12} {:>10} {:>12}",
-        "City", "gamma", "XDT (h/d)", "O/Km", "WT (h/d)"
-    );
+    println!("{:<10} {:>8} {:>12} {:>10} {:>12}", "City", "gamma", "XDT (h/d)", "O/Km", "WT (h/d)");
     for city in ctx.swiggy_cities() {
         for &gamma in gammas {
             let summary = run_city(city, ctx.sweep_options(), PolicyKind::FoodMatch, |c| {

@@ -96,6 +96,25 @@ pub fn find(name: &str) -> Option<&'static Experiment> {
     ALL.iter().find(|e| e.name.eq_ignore_ascii_case(name))
 }
 
+/// The names every registered experiment must carry, in paper order — the
+/// single source of truth for the registry-coverage tests here and in the
+/// workspace-level smoke suite.
+pub const EXPECTED_NAMES: [&str; 13] = [
+    "table2",
+    "fig4a",
+    "fig6a",
+    "fig6b",
+    "fig6cde",
+    "fig6fgh",
+    "fig6ijk",
+    "fig7a",
+    "fig7bcde",
+    "fig8eta",
+    "fig8delta",
+    "fig8k",
+    "fig9",
+];
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,10 +122,7 @@ mod tests {
     #[test]
     fn registry_covers_every_table_and_figure() {
         let names: Vec<&str> = ALL.iter().map(|e| e.name).collect();
-        for expected in [
-            "table2", "fig4a", "fig6a", "fig6b", "fig6cde", "fig6fgh", "fig6ijk", "fig7a",
-            "fig7bcde", "fig8eta", "fig8delta", "fig8k", "fig9",
-        ] {
+        for expected in EXPECTED_NAMES {
             assert!(names.contains(&expected), "missing experiment {expected}");
         }
     }

@@ -2,9 +2,9 @@
 //! runs, and summary extraction.
 
 use foodmatch_core::{DispatchConfig, PolicyKind};
+use foodmatch_roadnet::TimePoint;
 use foodmatch_sim::SimulationReport;
 use foodmatch_workload::{CityId, Scenario, ScenarioOptions};
-use foodmatch_roadnet::TimePoint;
 use std::collections::HashMap;
 
 /// Global options shared by all experiments.

@@ -54,9 +54,7 @@ impl Batch {
     /// The node where the batch's route plan starts — `π[1]^r`, the first
     /// pick-up, which anchors the batch in the sparsified FoodGraph.
     pub fn first_pickup(&self) -> NodeId {
-        self.route
-            .first_pickup_node()
-            .unwrap_or_else(|| self.orders[0].restaurant)
+        self.route.first_pickup_node().unwrap_or_else(|| self.orders[0].restaurant)
     }
 
     /// Ids of the orders in the batch.
@@ -244,7 +242,14 @@ fn push_candidate(
     if weight > config.batching_threshold.as_secs_f64() * merged.len() as f64 {
         return;
     }
-    heap.push(MergeCandidate { weight, i, j, version_i: versions[i], version_j: versions[j], merged });
+    heap.push(MergeCandidate {
+        weight,
+        i,
+        j,
+        version_i: versions[i],
+        version_j: versions[j],
+        merged,
+    });
 }
 
 /// Computes the order-graph edge weight between two batches (Eq. 5) and the
@@ -279,9 +284,8 @@ mod tests {
     use foodmatch_roadnet::{CongestionProfile, Duration};
 
     fn setup() -> (ShortestPathEngine, GridCityBuilder) {
-        let b = GridCityBuilder::new(8, 8)
-            .congestion(CongestionProfile::free_flow())
-            .major_every(0);
+        let b =
+            GridCityBuilder::new(8, 8).congestion(CongestionProfile::free_flow()).major_every(0);
         (ShortestPathEngine::cached(b.build()), b)
     }
 
@@ -346,7 +350,14 @@ mod tests {
         let (engine, b) = setup();
         let t = TimePoint::from_hms(13, 0, 0);
         let heavy = |id: u64| {
-            Order::new(OrderId(id), b.node_at(3, 3), b.node_at(3, 4), t, 6, Duration::from_mins(5.0))
+            Order::new(
+                OrderId(id),
+                b.node_at(3, 3),
+                b.node_at(3, 4),
+                t,
+                6,
+                Duration::from_mins(5.0),
+            )
         };
         let orders = vec![heavy(1), heavy(2)];
         // 6 + 6 = 12 items > MAXI = 10 ⇒ no merge.
@@ -358,14 +369,10 @@ mod tests {
     fn eta_zero_disables_merging_and_large_eta_merges_aggressively() {
         let (engine, b) = setup();
         let t = TimePoint::from_hms(13, 0, 0);
-        let orders: Vec<Order> = (0..4)
-            .map(|i| order(i, b.node_at(2, i as usize), b.node_at(6, i as usize)))
-            .collect();
+        let orders: Vec<Order> =
+            (0..4).map(|i| order(i, b.node_at(2, i as usize), b.node_at(6, i as usize))).collect();
 
-        let strict = DispatchConfig {
-            batching_threshold: Duration::ZERO,
-            ..default_config()
-        };
+        let strict = DispatchConfig { batching_threshold: Duration::ZERO, ..default_config() };
         // AvgCost starts at 0 which is not > 0, so the very first check
         // passes, but after any merge that raises the average above zero the
         // loop stops. With distinct restaurants the first merge already costs
@@ -373,10 +380,8 @@ mod tests {
         let outcome_strict = batch_orders(&orders, &engine, t, &strict);
         assert!(outcome_strict.batches.len() >= 3);
 
-        let generous = DispatchConfig {
-            batching_threshold: Duration::from_mins(60.0),
-            ..default_config()
-        };
+        let generous =
+            DispatchConfig { batching_threshold: Duration::from_mins(60.0), ..default_config() };
         let outcome_generous = batch_orders(&orders, &engine, t, &generous);
         assert!(outcome_generous.batches.len() <= outcome_strict.batches.len());
         // MAXO still binds.
@@ -388,7 +393,13 @@ mod tests {
         let (engine, b) = setup();
         let t = TimePoint::from_hms(13, 0, 0);
         let orders: Vec<Order> = (0..7)
-            .map(|i| order(i, b.node_at((i % 4) as usize, (i % 3) as usize + 1), b.node_at(5, (i % 5) as usize)))
+            .map(|i| {
+                order(
+                    i,
+                    b.node_at((i % 4) as usize, (i % 3) as usize + 1),
+                    b.node_at(5, (i % 5) as usize),
+                )
+            })
             .collect();
         let outcome = batch_orders(&orders, &engine, t, &default_config());
         let mut seen: Vec<u64> = outcome
@@ -405,7 +416,10 @@ mod tests {
     fn singleton_batches_have_zero_cost() {
         let (engine, b) = setup();
         let t = TimePoint::from_hms(13, 0, 0);
-        let orders = vec![order(1, b.node_at(1, 1), b.node_at(4, 4)), order(2, b.node_at(6, 6), b.node_at(2, 2))];
+        let orders = vec![
+            order(1, b.node_at(1, 1), b.node_at(4, 4)),
+            order(2, b.node_at(6, 6), b.node_at(2, 2)),
+        ];
         let outcome = singleton_batches(&orders, &engine, t);
         assert_eq!(outcome.batches.len(), 2);
         for batch in &outcome.batches {
@@ -423,9 +437,18 @@ mod tests {
         let t = TimePoint::from_hms(13, 0, 0);
         let config = default_config();
         let pairs = [
-            (order(1, b.node_at(0, 0), b.node_at(4, 4)), order(2, b.node_at(0, 1), b.node_at(4, 5))),
-            (order(3, b.node_at(2, 2), b.node_at(2, 3)), order(4, b.node_at(5, 5), b.node_at(1, 1))),
-            (order(5, b.node_at(7, 0), b.node_at(0, 7)), order(6, b.node_at(0, 7), b.node_at(7, 0))),
+            (
+                order(1, b.node_at(0, 0), b.node_at(4, 4)),
+                order(2, b.node_at(0, 1), b.node_at(4, 5)),
+            ),
+            (
+                order(3, b.node_at(2, 2), b.node_at(2, 3)),
+                order(4, b.node_at(5, 5), b.node_at(1, 1)),
+            ),
+            (
+                order(5, b.node_at(7, 0), b.node_at(0, 7)),
+                order(6, b.node_at(0, 7), b.node_at(7, 0)),
+            ),
         ];
         for (a, c) in pairs {
             let sa = singleton_batches(&[a], &engine, t).batches.remove(0);

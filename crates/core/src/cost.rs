@@ -121,10 +121,8 @@ pub fn marginal_cost(
     }
     // The 45-minute delivery guarantee bounds the vehicle-to-restaurant
     // distance (§V-B): price pairs beyond it at Ω without planning.
-    let nearest_new_pickup = extra
-        .iter()
-        .filter_map(|o| engine.travel_time(vehicle.location, o.restaurant, t))
-        .min();
+    let nearest_new_pickup =
+        extra.iter().filter_map(|o| engine.travel_time(vehicle.location, o.restaurant, t)).min();
     match nearest_new_pickup {
         Some(first_mile) if first_mile <= config.max_first_mile => {}
         _ => return MarginalCost::Infeasible,
@@ -148,9 +146,8 @@ mod tests {
     use foodmatch_roadnet::{CongestionProfile, NodeId, RoadClass};
 
     fn setup() -> (ShortestPathEngine, GridCityBuilder) {
-        let b = GridCityBuilder::new(6, 6)
-            .congestion(CongestionProfile::free_flow())
-            .major_every(0);
+        let b =
+            GridCityBuilder::new(6, 6).congestion(CongestionProfile::free_flow()).major_every(0);
         (ShortestPathEngine::cached(b.build()), b)
     }
 
@@ -159,7 +156,14 @@ mod tests {
     }
 
     fn order(id: u64, r: NodeId, c: NodeId, prep_mins: f64) -> Order {
-        Order::new(OrderId(id), r, c, TimePoint::from_hms(12, 0, 0), 1, Duration::from_mins(prep_mins))
+        Order::new(
+            OrderId(id),
+            r,
+            c,
+            TimePoint::from_hms(12, 0, 0),
+            1,
+            Duration::from_mins(prep_mins),
+        )
     }
 
     #[test]
@@ -206,9 +210,8 @@ mod tests {
         let loaded_mc = marginal_cost(&loaded, &[new_order], &engine, t, &config)
             .cost_secs()
             .expect("feasible");
-        let idle_mc = marginal_cost(&idle, &[new_order], &engine, t, &config)
-            .cost_secs()
-            .expect("feasible");
+        let idle_mc =
+            marginal_cost(&idle, &[new_order], &engine, t, &config).cost_secs().expect("feasible");
         assert!(loaded_mc >= idle_mc - 1e-6, "loaded {loaded_mc} < idle {idle_mc}");
     }
 
@@ -263,7 +266,13 @@ mod tests {
     fn empty_batch_is_infeasible() {
         let (engine, b) = setup();
         let v = VehicleSnapshot::idle(VehicleId(1), b.node_at(0, 0));
-        let mc = marginal_cost(&v, &[], &engine, TimePoint::from_hms(12, 0, 0), &DispatchConfig::default());
+        let mc = marginal_cost(
+            &v,
+            &[],
+            &engine,
+            TimePoint::from_hms(12, 0, 0),
+            &DispatchConfig::default(),
+        );
         assert!(!mc.is_feasible());
     }
 

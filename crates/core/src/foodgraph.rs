@@ -72,7 +72,11 @@ pub fn build_food_graph(
 ) -> FoodGraph {
     let vehicle_ids: Vec<VehicleId> = vehicles.iter().map(|v| v.id).collect();
     if batches.is_empty() || vehicles.is_empty() {
-        let costs = SparseCostMatrix::new(batches.len().max(1), vehicles.len().max(1), config.rejection_penalty_secs);
+        let costs = SparseCostMatrix::new(
+            batches.len().max(1),
+            vehicles.len().max(1),
+            config.rejection_penalty_secs,
+        );
         return FoodGraph { vehicle_ids, costs, routes: HashMap::new(), evaluations: 0 };
     }
 
@@ -145,7 +149,8 @@ pub fn build_food_graph(
         }
     }
 
-    let mut costs = SparseCostMatrix::new(batches.len(), vehicles.len(), config.rejection_penalty_secs);
+    let mut costs =
+        SparseCostMatrix::new(batches.len(), vehicles.len(), config.rejection_penalty_secs);
     let mut routes = HashMap::new();
     let mut evaluations = 0;
     for edges in per_vehicle {
@@ -200,13 +205,11 @@ fn vehicle_edges(
                 // its first mile forever). A small bonus per already-held
                 // order keeps ties with the incumbent without overriding any
                 // genuine improvement.
-                let incumbency = batch
-                    .orders
-                    .iter()
-                    .filter(|o| vehicle.tentative.contains(&o.id))
-                    .count() as f64;
-                let weight =
-                    (cost_secs - INCUMBENCY_BONUS_SECS * incumbency).min(config.rejection_penalty_secs);
+                let incumbency =
+                    batch.orders.iter().filter(|o| vehicle.tentative.contains(&o.id)).count()
+                        as f64;
+                let weight = (cost_secs - INCUMBENCY_BONUS_SECS * incumbency)
+                    .min(config.rejection_penalty_secs);
                 entries.push((row, weight, Some(route)));
             }
             MarginalCost::Infeasible => {
@@ -277,9 +280,8 @@ mod tests {
     use foodmatch_roadnet::{CongestionProfile, Duration, NodeId};
 
     fn setup() -> (ShortestPathEngine, GridCityBuilder) {
-        let b = GridCityBuilder::new(8, 8)
-            .congestion(CongestionProfile::free_flow())
-            .major_every(0);
+        let b =
+            GridCityBuilder::new(8, 8).congestion(CongestionProfile::free_flow()).major_every(0);
         (ShortestPathEngine::cached(b.build()), b)
     }
 
@@ -300,7 +302,10 @@ mod tests {
         let (engine, b) = setup();
         let t = TimePoint::from_hms(12, 30, 0);
         let config = DispatchConfig { use_bfs_sparsification: false, ..Default::default() };
-        let orders = vec![order(1, b.node_at(1, 1), b.node_at(5, 5)), order(2, b.node_at(6, 2), b.node_at(2, 6))];
+        let orders = vec![
+            order(1, b.node_at(1, 1), b.node_at(5, 5)),
+            order(2, b.node_at(6, 2), b.node_at(2, 6)),
+        ];
         let batches = singleton_batches(&orders, &engine, t).batches;
         let vehicles = vehicles_at(&[b.node_at(0, 0), b.node_at(7, 7), b.node_at(3, 3)]);
         let graph = build_food_graph(&batches, &vehicles, &engine, t, &config);
@@ -336,7 +341,8 @@ mod tests {
         // Each vehicle has at most one explicit (non-Ω) edge.
         let dense = graph.costs.to_dense();
         for c in 0..4 {
-            let explicit = (0..4).filter(|&r| dense.get(r, c) < config.rejection_penalty_secs).count();
+            let explicit =
+                (0..4).filter(|&r| dense.get(r, c) < config.rejection_penalty_secs).count();
             assert!(explicit <= 1, "vehicle {c} has {explicit} explicit edges");
         }
         // Sparsification must have saved marginal-cost evaluations.
@@ -349,7 +355,8 @@ mod tests {
         // batch start nodes of that vehicle (measured by quickest path).
         let (engine, b) = setup();
         let t = TimePoint::from_hms(12, 30, 0);
-        let config = DispatchConfig { k_factor: 2.0, use_angular_distance: false, ..Default::default() };
+        let config =
+            DispatchConfig { k_factor: 2.0, use_angular_distance: false, ..Default::default() };
         let orders: Vec<Order> = (0..6)
             .map(|i| order(i, b.node_at(i as usize, i as usize), b.node_at(7, i as usize)))
             .collect();
@@ -420,8 +427,15 @@ mod tests {
         let dense = graph.costs.to_dense();
         let east_row = batches.iter().position(|batch| batch.orders[0].id == OrderId(1)).unwrap();
         let west_row = 1 - east_row;
-        assert!(dense.get(east_row, 0) < config.rejection_penalty_secs, "east batch should be reachable");
-        assert_eq!(dense.get(west_row, 0), config.rejection_penalty_secs, "west batch should be pruned");
+        assert!(
+            dense.get(east_row, 0) < config.rejection_penalty_secs,
+            "east batch should be reachable"
+        );
+        assert_eq!(
+            dense.get(west_row, 0),
+            config.rejection_penalty_secs,
+            "west batch should be pruned"
+        );
     }
 
     #[test]

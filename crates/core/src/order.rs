@@ -110,13 +110,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one item")]
     fn zero_item_orders_rejected() {
-        let _ = Order::new(
-            OrderId(1),
-            NodeId(0),
-            NodeId(1),
-            TimePoint::MIDNIGHT,
-            0,
-            Duration::ZERO,
-        );
+        let _ =
+            Order::new(OrderId(1), NodeId(0), NodeId(1), TimePoint::MIDNIGHT, 0, Duration::ZERO);
     }
 }

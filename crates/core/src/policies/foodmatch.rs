@@ -119,9 +119,8 @@ mod tests {
     use foodmatch_roadnet::{CongestionProfile, Duration, NodeId, TimePoint};
 
     fn setup() -> (ShortestPathEngine, GridCityBuilder) {
-        let b = GridCityBuilder::new(8, 8)
-            .congestion(CongestionProfile::free_flow())
-            .major_every(0);
+        let b =
+            GridCityBuilder::new(8, 8).congestion(CongestionProfile::free_flow()).major_every(0);
         (ShortestPathEngine::cached(b.build()), b)
     }
 
@@ -219,7 +218,9 @@ mod tests {
         let t = TimePoint::from_hms(13, 0, 0);
         let config = DispatchConfig::default();
         let orders: Vec<Order> = (0..8)
-            .map(|i| order(i, b.node_at(1 + (i % 2) as usize, 1), b.node_at(5, (i % 4) as usize), t))
+            .map(|i| {
+                order(i, b.node_at(1 + (i % 2) as usize, 1), b.node_at(5, (i % 4) as usize), t)
+            })
             .collect();
         let window = WindowSnapshot::new(
             t,
@@ -240,7 +241,8 @@ mod tests {
     fn reshuffling_flag_follows_config() {
         let policy = FoodMatchPolicy::new();
         assert!(policy.uses_reshuffling(&DispatchConfig::default()));
-        assert!(!policy.uses_reshuffling(&DispatchConfig { use_reshuffle: false, ..Default::default() }));
+        assert!(!policy
+            .uses_reshuffling(&DispatchConfig { use_reshuffle: false, ..Default::default() }));
     }
 
     #[test]

@@ -75,7 +75,7 @@ impl DispatchPolicy for GreedyPolicy {
                 }
                 for (vi, cell) in row.iter().enumerate() {
                     if let Some(cost) = cell {
-                        if best.map_or(true, |(b, _, _)| *cost < b) {
+                        if best.is_none_or(|(b, _, _)| *cost < b) {
                             best = Some((*cost, oi, vi));
                         }
                     }
@@ -85,9 +85,7 @@ impl DispatchPolicy for GreedyPolicy {
 
             assigned_orders[oi] = true;
             per_vehicle.entry(vi).or_default().push(oi);
-            working[vi]
-                .committed
-                .push(CommittedOrder { order: orders[oi], picked_up: false });
+            working[vi].committed.push(CommittedOrder { order: orders[oi], picked_up: false });
 
             // The chosen vehicle's marginal costs against the remaining
             // orders change; everything else is untouched.
@@ -120,9 +118,8 @@ mod tests {
     use foodmatch_roadnet::{CongestionProfile, Duration, NodeId, TimePoint};
 
     fn setup() -> (ShortestPathEngine, GridCityBuilder) {
-        let b = GridCityBuilder::new(8, 8)
-            .congestion(CongestionProfile::free_flow())
-            .major_every(0);
+        let b =
+            GridCityBuilder::new(8, 8).congestion(CongestionProfile::free_flow()).major_every(0);
         (ShortestPathEngine::cached(b.build()), b)
     }
 
@@ -162,9 +159,8 @@ mod tests {
     fn one_vehicle_accumulates_orders_up_to_capacity() {
         let (engine, b) = setup();
         let t = TimePoint::from_hms(12, 0, 0);
-        let orders: Vec<Order> = (0..5)
-            .map(|i| order(i, b.node_at(1, 1), b.node_at(2, 2), t))
-            .collect();
+        let orders: Vec<Order> =
+            (0..5).map(|i| order(i, b.node_at(1, 1), b.node_at(2, 2), t)).collect();
         let window = WindowSnapshot::new(
             t,
             orders,

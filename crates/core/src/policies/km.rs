@@ -72,9 +72,8 @@ mod tests {
     use foodmatch_roadnet::{CongestionProfile, Duration, NodeId, TimePoint};
 
     fn setup() -> (ShortestPathEngine, GridCityBuilder) {
-        let b = GridCityBuilder::new(8, 8)
-            .congestion(CongestionProfile::free_flow())
-            .major_every(0);
+        let b =
+            GridCityBuilder::new(8, 8).congestion(CongestionProfile::free_flow()).major_every(0);
         (ShortestPathEngine::cached(b.build()), b)
     }
 
@@ -172,11 +171,8 @@ mod tests {
                 picked_up: true,
             })
             .collect();
-        let window = WindowSnapshot::new(
-            t,
-            vec![order(1, b.node_at(1, 1), b.node_at(2, 2), t)],
-            vec![full],
-        );
+        let window =
+            WindowSnapshot::new(t, vec![order(1, b.node_at(1, 1), b.node_at(2, 2), t)], vec![full]);
         let outcome = KuhnMunkresPolicy::new().assign(&window, &engine, &DispatchConfig::default());
         outcome.validate(&window).unwrap();
         assert_eq!(outcome.assigned_order_count(), 0);

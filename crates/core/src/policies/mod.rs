@@ -90,14 +90,9 @@ pub(crate) fn outcome_from_assignments(
     window: &WindowSnapshot,
     assignments: Vec<VehicleAssignment>,
 ) -> AssignmentOutcome {
-    let assigned: HashSet<_> =
-        assignments.iter().flat_map(|a| a.orders.iter().copied()).collect();
-    let unassigned = window
-        .orders
-        .iter()
-        .map(|o| o.id)
-        .filter(|id| !assigned.contains(id))
-        .collect();
+    let assigned: HashSet<_> = assignments.iter().flat_map(|a| a.orders.iter().copied()).collect();
+    let unassigned =
+        window.orders.iter().map(|o| o.id).filter(|id| !assigned.contains(id)).collect();
     let outcome = AssignmentOutcome { assignments, unassigned };
     debug_assert!(outcome.validate(window).is_ok(), "policy produced an inconsistent outcome");
     outcome

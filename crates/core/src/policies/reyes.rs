@@ -133,9 +133,8 @@ mod tests {
     use foodmatch_roadnet::{CongestionProfile, Duration, NodeId, TimePoint};
 
     fn setup() -> (ShortestPathEngine, GridCityBuilder) {
-        let b = GridCityBuilder::new(8, 8)
-            .congestion(CongestionProfile::free_flow())
-            .major_every(0);
+        let b =
+            GridCityBuilder::new(8, 8).congestion(CongestionProfile::free_flow()).major_every(0);
         (ShortestPathEngine::cached(b.build()), b)
     }
 
@@ -193,9 +192,7 @@ mod tests {
         let window = WindowSnapshot::new(
             t,
             orders,
-            (0..4)
-                .map(|i| VehicleSnapshot::idle(VehicleId(i), b.node_at(i as usize, 0)))
-                .collect(),
+            (0..4).map(|i| VehicleSnapshot::idle(VehicleId(i), b.node_at(i as usize, 0))).collect(),
         );
         let config = DispatchConfig::default();
         let outcome = ReyesPolicy::new().assign(&window, &engine, &config);
@@ -218,11 +215,8 @@ mod tests {
                 picked_up: true,
             })
             .collect();
-        let window = WindowSnapshot::new(
-            t,
-            vec![order(1, b.node_at(4, 4), b.node_at(5, 5), t)],
-            vec![full],
-        );
+        let window =
+            WindowSnapshot::new(t, vec![order(1, b.node_at(4, 4), b.node_at(5, 5), t)], vec![full]);
         let outcome = ReyesPolicy::new().assign(&window, &engine, &DispatchConfig::default());
         assert_eq!(outcome.assigned_order_count(), 0);
     }

@@ -88,7 +88,10 @@ impl RoutePlan {
             match stop.action {
                 StopAction::Pickup => {
                     if planned.picked_up {
-                        return Err(format!("order {} is already on board but has a pickup stop", stop.order));
+                        return Err(format!(
+                            "order {} is already on board but has a pickup stop",
+                            stop.order
+                        ));
                     }
                     if stop.node != planned.order.restaurant {
                         return Err(format!("pickup for {} is not at its restaurant", stop.order));
@@ -102,7 +105,10 @@ impl RoutePlan {
                         return Err(format!("drop-off for {} is not at its customer", stop.order));
                     }
                     if !planned.picked_up && !pickup_seen.contains_key(&stop.order) {
-                        return Err(format!("order {} is dropped off before being picked up", stop.order));
+                        return Err(format!(
+                            "order {} is dropped off before being picked up",
+                            stop.order
+                        ));
                     }
                     if dropoff_seen.insert(stop.order, idx).is_some() {
                         return Err(format!("order {} is dropped off twice", stop.order));
@@ -220,7 +226,11 @@ fn plan_route_inner(
     orders: &[PlannedOrder],
     engine: &ShortestPathEngine,
 ) -> Option<EvaluatedRoute> {
-    assert!(orders.len() <= 5, "exhaustive route planning is limited to 5 orders, got {}", orders.len());
+    assert!(
+        orders.len() <= 5,
+        "exhaustive route planning is limited to 5 orders, got {}",
+        orders.len()
+    );
 
     if orders.is_empty() {
         let node = start.unwrap_or(NodeId(0));
@@ -285,16 +295,7 @@ fn plan_route_inner(
         .map(|p| if p.picked_up { OrderState::OnBoard } else { OrderState::NeedsPickup })
         .collect();
     let start_idx = start.map(|s| index_of[&s]);
-    search.explore(
-        start_idx,
-        start_time,
-        initial_state,
-        Vec::new(),
-        0.0,
-        0.0,
-        0.0,
-        Vec::new(),
-    );
+    search.explore(start_idx, start_time, initial_state, Vec::new(), 0.0, 0.0, 0.0, Vec::new());
 
     let best = search.best?;
     let start_node = start.unwrap_or_else(|| best.plan.first_node().expect("non-empty plan"));
@@ -416,9 +417,8 @@ mod tests {
 
     /// A free-flow 5×5 grid, 250 m spacing, all local roads.
     fn grid() -> (foodmatch_roadnet::RoadNetwork, GridCityBuilder) {
-        let b = GridCityBuilder::new(5, 5)
-            .congestion(CongestionProfile::free_flow())
-            .major_every(0);
+        let b =
+            GridCityBuilder::new(5, 5).congestion(CongestionProfile::free_flow()).major_every(0);
         (b.build(), b)
     }
 
@@ -426,7 +426,13 @@ mod tests {
         250.0 / RoadClass::Local.free_flow_speed_mps()
     }
 
-    fn order(id: u64, restaurant: NodeId, customer: NodeId, placed_hms: (u32, u32), prep_mins: f64) -> Order {
+    fn order(
+        id: u64,
+        restaurant: NodeId,
+        customer: NodeId,
+        placed_hms: (u32, u32),
+        prep_mins: f64,
+    ) -> Order {
         Order::new(
             OrderId(id),
             restaurant,
@@ -465,7 +471,12 @@ mod tests {
         let last_mile = 4.0 * edge_secs();
         let expected_edt = first_mile.max(300.0) + last_mile;
         let expected_xdt = expected_edt - (300.0 + last_mile);
-        assert!((r.cost_secs - expected_xdt).abs() < 1e-6, "cost {} vs {}", r.cost_secs, expected_xdt);
+        assert!(
+            (r.cost_secs - expected_xdt).abs() < 1e-6,
+            "cost {} vs {}",
+            r.cost_secs,
+            expected_xdt
+        );
         assert!((r.waiting_time.as_secs_f64() - (300.0 - first_mile)).abs() < 1e-6);
     }
 
@@ -489,8 +500,13 @@ mod tests {
         let engine = ShortestPathEngine::cached(net);
         let start = b.node_at(2, 2);
         let o = order(1, b.node_at(0, 0), b.node_at(4, 4), (11, 30), 10.0);
-        let r = plan_optimal_route(start, TimePoint::from_hms(12, 0, 0), &[PlannedOrder::on_board(o)], &engine)
-            .unwrap();
+        let r = plan_optimal_route(
+            start,
+            TimePoint::from_hms(12, 0, 0),
+            &[PlannedOrder::on_board(o)],
+            &engine,
+        )
+        .unwrap();
         assert_eq!(r.plan.stops.len(), 1);
         assert_eq!(r.plan.stops[0].action, StopAction::Dropoff);
         r.plan.validate(&[PlannedOrder::on_board(o)]).unwrap();
@@ -544,7 +560,11 @@ mod tests {
             now = delivered;
             loc = o.customer;
         }
-        assert!(best.cost_secs <= naive_cost + 1e-6, "optimal {} > naive {naive_cost}", best.cost_secs);
+        assert!(
+            best.cost_secs <= naive_cost + 1e-6,
+            "optimal {} > naive {naive_cost}",
+            best.cost_secs
+        );
     }
 
     #[test]
@@ -554,7 +574,8 @@ mod tests {
         let o1 = order(1, b.node_at(1, 1), b.node_at(3, 3), (12, 0), 3.0);
         let o2 = order(2, b.node_at(1, 2), b.node_at(3, 4), (12, 0), 3.0);
         let orders = [PlannedOrder::pending(o1), PlannedOrder::pending(o2)];
-        let r = plan_optimal_route_free_start(TimePoint::from_hms(12, 0, 0), &orders, &engine).unwrap();
+        let r =
+            plan_optimal_route_free_start(TimePoint::from_hms(12, 0, 0), &orders, &engine).unwrap();
         r.plan.validate(&orders).unwrap();
         assert_eq!(r.start_node, r.plan.first_node().unwrap());
         assert_eq!(r.plan.stops[0].action, StopAction::Pickup);
@@ -588,7 +609,8 @@ mod tests {
         let net = builder.build();
         let engine = ShortestPathEngine::cached(net);
         let o = Order::new(OrderId(1), bnode, island, TimePoint::MIDNIGHT, 1, Duration::ZERO);
-        assert!(plan_optimal_route(a, TimePoint::MIDNIGHT, &[PlannedOrder::pending(o)], &engine).is_none());
+        assert!(plan_optimal_route(a, TimePoint::MIDNIGHT, &[PlannedOrder::pending(o)], &engine)
+            .is_none());
     }
 
     #[test]
@@ -621,8 +643,11 @@ mod tests {
         let (net, b) = grid();
         let engine = ShortestPathEngine::cached(net);
         let orders: Vec<PlannedOrder> = (0..6)
-            .map(|i| PlannedOrder::pending(order(i, b.node_at(0, 0), b.node_at(1, 1), (12, 0), 1.0)))
+            .map(|i| {
+                PlannedOrder::pending(order(i, b.node_at(0, 0), b.node_at(1, 1), (12, 0), 1.0))
+            })
             .collect();
-        let _ = plan_optimal_route(b.node_at(2, 2), TimePoint::from_hms(12, 0, 0), &orders, &engine);
+        let _ =
+            plan_optimal_route(b.node_at(2, 2), TimePoint::from_hms(12, 0, 0), &orders, &engine);
     }
 }

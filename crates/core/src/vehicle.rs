@@ -72,7 +72,13 @@ pub struct VehicleSnapshot {
 impl VehicleSnapshot {
     /// Creates an idle vehicle snapshot with no committed orders.
     pub fn idle(id: VehicleId, location: NodeId) -> Self {
-        VehicleSnapshot { id, location, heading: None, committed: Vec::new(), tentative: Vec::new() }
+        VehicleSnapshot {
+            id,
+            location,
+            heading: None,
+            committed: Vec::new(),
+            tentative: Vec::new(),
+        }
     }
 
     /// Number of committed orders.

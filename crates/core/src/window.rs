@@ -105,7 +105,10 @@ impl AssignmentOutcome {
         let mut seen_vehicles = HashSet::new();
         for assignment in &self.assignments {
             if !window_vehicles.contains(&assignment.vehicle) {
-                return Err(format!("assignment references unknown vehicle {}", assignment.vehicle));
+                return Err(format!(
+                    "assignment references unknown vehicle {}",
+                    assignment.vehicle
+                ));
             }
             if !seen_vehicles.insert(assignment.vehicle) {
                 return Err(format!("vehicle {} appears in two assignments", assignment.vehicle));
@@ -225,7 +228,10 @@ mod tests {
     fn validation_rejects_missing_orders() {
         let w = window();
         let outcome = AssignmentOutcome {
-            assignments: vec![VehicleAssignment { vehicle: VehicleId(0), orders: vec![OrderId(1)] }],
+            assignments: vec![VehicleAssignment {
+                vehicle: VehicleId(0),
+                orders: vec![OrderId(1)],
+            }],
             unassigned: vec![OrderId(2)],
         };
         assert!(outcome.validate(&w).is_err());
@@ -235,7 +241,10 @@ mod tests {
     fn validation_rejects_unknown_vehicle_and_empty_batch() {
         let w = window();
         let unknown_vehicle = AssignmentOutcome {
-            assignments: vec![VehicleAssignment { vehicle: VehicleId(9), orders: vec![OrderId(1)] }],
+            assignments: vec![VehicleAssignment {
+                vehicle: VehicleId(9),
+                orders: vec![OrderId(1)],
+            }],
             unassigned: vec![OrderId(2), OrderId(3)],
         };
         assert!(unknown_vehicle.validate(&w).is_err());

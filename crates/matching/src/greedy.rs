@@ -53,10 +53,7 @@ mod tests {
 
     #[test]
     fn greedy_matches_min_dimension_pairs() {
-        let costs = CostMatrix::from_rows(&[
-            vec![5.0, 1.0, 2.0],
-            vec![4.0, 2.0, 3.0],
-        ]);
+        let costs = CostMatrix::from_rows(&[vec![5.0, 1.0, 2.0], vec![4.0, 2.0, 3.0]]);
         let a = solve(&costs);
         assert_eq!(a.matched_pairs(), 2);
         assert!(a.is_consistent());
@@ -64,10 +61,7 @@ mod tests {
 
     #[test]
     fn greedy_picks_cheapest_cell_first() {
-        let costs = CostMatrix::from_rows(&[
-            vec![9.0, 1.0],
-            vec![2.0, 8.0],
-        ]);
+        let costs = CostMatrix::from_rows(&[vec![9.0, 1.0], vec![2.0, 8.0]]);
         let a = solve(&costs);
         assert_eq!(a.row_to_col, vec![Some(1), Some(0)]);
         assert!((a.total_cost - 3.0).abs() < 1e-9);
@@ -75,10 +69,7 @@ mod tests {
 
     #[test]
     fn greedy_can_be_suboptimal_but_never_beats_hungarian() {
-        let costs = CostMatrix::from_rows(&[
-            vec![0.0, 1.0],
-            vec![1.0, 100.0],
-        ]);
+        let costs = CostMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 100.0]]);
         let greedy = solve(&costs);
         let optimal = hungarian::solve(&costs);
         assert!((greedy.total_cost - 100.0).abs() < 1e-9);

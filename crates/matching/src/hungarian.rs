@@ -97,9 +97,9 @@ fn solve_wide(costs: &CostMatrix) -> Assignment {
     let mut row_to_col = vec![None; n];
     let mut col_to_row = vec![None; m];
     let mut total_cost = 0.0;
-    for j in 1..=m {
-        if p[j] != 0 {
-            let row = p[j] - 1;
+    for (j, &row_plus_one) in p.iter().enumerate().take(m + 1).skip(1) {
+        if row_plus_one != 0 {
+            let row = row_plus_one - 1;
             let col = j - 1;
             row_to_col[row] = Some(col);
             col_to_row[col] = Some(row);
@@ -147,11 +147,8 @@ mod tests {
     #[test]
     fn square_matrix_known_answer() {
         // Classic example: optimal assignment is (0,1), (1,0), (2,2) = 1+2+3.
-        let costs = CostMatrix::from_rows(&[
-            vec![4.0, 1.0, 3.0],
-            vec![2.0, 0.0, 5.0],
-            vec![3.0, 2.0, 3.0],
-        ]);
+        let costs =
+            CostMatrix::from_rows(&[vec![4.0, 1.0, 3.0], vec![2.0, 0.0, 5.0], vec![3.0, 2.0, 3.0]]);
         let a = solve(&costs);
         assert_eq!(a.matched_pairs(), 3);
         assert!((a.total_cost - brute_force_cost(&costs)).abs() < 1e-9);
@@ -163,10 +160,7 @@ mod tests {
         // pairing (taking the globally cheapest edge first) is forced into an
         // expensive completion, while the global matching accepts one
         // slightly worse edge to achieve a lower total.
-        let costs = CostMatrix::from_rows(&[
-            vec![0.0, 1.0],
-            vec![1.0, 100.0],
-        ]);
+        let costs = CostMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 100.0]]);
         let a = solve(&costs);
         assert!((a.total_cost - 2.0).abs() < 1e-9);
         assert_eq!(a.row_to_col, vec![Some(1), Some(0)]);
@@ -175,10 +169,7 @@ mod tests {
 
     #[test]
     fn wide_matrix_matches_all_rows() {
-        let costs = CostMatrix::from_rows(&[
-            vec![10.0, 2.0, 8.0, 4.0],
-            vec![7.0, 3.0, 6.0, 1.0],
-        ]);
+        let costs = CostMatrix::from_rows(&[vec![10.0, 2.0, 8.0, 4.0], vec![7.0, 3.0, 6.0, 1.0]]);
         let a = solve(&costs);
         assert_eq!(a.matched_pairs(), 2);
         assert!((a.total_cost - brute_force_cost(&costs)).abs() < 1e-9);

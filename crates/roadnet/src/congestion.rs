@@ -114,10 +114,7 @@ impl CongestionProfile {
     /// The largest multiplier across all classes and hours. Used to bound
     /// `max β(e', t)` in the normalisation of Eq. 8.
     pub fn max_multiplier(&self) -> f64 {
-        self.multipliers
-            .iter()
-            .flat_map(|row| row.iter().copied())
-            .fold(1.0_f64, f64::max)
+        self.multipliers.iter().flat_map(|row| row.iter().copied()).fold(1.0_f64, f64::max)
     }
 }
 

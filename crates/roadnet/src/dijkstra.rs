@@ -133,11 +133,7 @@ pub fn shortest_path(
     }
     nodes.reverse();
 
-    Some(PathResult {
-        travel_time: Duration::from_secs_f64(dist[target.index()]),
-        length_m,
-        nodes,
-    })
+    Some(PathResult { travel_time: Duration::from_secs_f64(dist[target.index()]), length_m, nodes })
 }
 
 /// Travel times from `source` to each node in `targets` at time `t`.

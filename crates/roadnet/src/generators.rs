@@ -223,11 +223,11 @@ impl RandomCityBuilder {
         let mut dsu = DisjointSet::new(self.nodes);
         let mut edge_exists = std::collections::HashSet::new();
         let add_street = |builder: &mut RoadNetworkBuilder,
-                              dsu: &mut DisjointSet,
-                              edge_exists: &mut std::collections::HashSet<(usize, usize)>,
-                              a: usize,
-                              b: usize,
-                              class: RoadClass| {
+                          dsu: &mut DisjointSet,
+                          edge_exists: &mut std::collections::HashSet<(usize, usize)>,
+                          a: usize,
+                          b: usize,
+                          class: RoadClass| {
             if a == b {
                 return;
             }
@@ -248,8 +248,11 @@ impl RandomCityBuilder {
                 .collect();
             by_distance.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("distances are not NaN"));
             for &(_, j) in by_distance.iter().take(self.neighbours) {
-                let class =
-                    if rng.random_range(0.0..1.0) < 0.25 { RoadClass::Collector } else { RoadClass::Local };
+                let class = if rng.random_range(0.0..1.0) < 0.25 {
+                    RoadClass::Collector
+                } else {
+                    RoadClass::Local
+                };
                 add_street(&mut builder, &mut dsu, &mut edge_exists, i, j, class);
             }
         }
@@ -320,7 +323,7 @@ impl RandomCityBuilder {
                         continue;
                     }
                     let d = positions[i].distance_m(positions[j]);
-                    if best.map_or(true, |(bd, _, _)| d < bd) {
+                    if best.is_none_or(|(bd, _, _)| d < bd) {
                         best = Some((d, i, j));
                     }
                 }
@@ -415,10 +418,8 @@ mod tests {
     #[test]
     fn random_city_contains_arterials() {
         let net = RandomCityBuilder::new(150).seed(3).build();
-        let arterials = net
-            .edge_ids()
-            .filter(|&e| net.edge(e).class == RoadClass::Arterial)
-            .count();
+        let arterials =
+            net.edge_ids().filter(|&e| net.edge(e).class == RoadClass::Arterial).count();
         assert!(arterials > 0, "expected arterial spokes");
     }
 

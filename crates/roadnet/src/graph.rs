@@ -133,12 +133,7 @@ impl RoadNetwork {
     /// The largest possible `β(e, t)` over all edges and hours, used to
     /// normalise temporal distance in the vehicle-sensitive weight of Eq. 8.
     pub fn max_travel_time(&self) -> Duration {
-        let max_free = self
-            .inner
-            .edges
-            .iter()
-            .map(|e| e.free_flow_secs)
-            .fold(0.0_f64, f64::max);
+        let max_free = self.inner.edges.iter().map(|e| e.free_flow_secs).fold(0.0_f64, f64::max);
         Duration::from_secs_f64(max_free * self.inner.congestion.max_multiplier())
     }
 
@@ -214,11 +209,20 @@ impl RoadNetworkBuilder {
     /// # Panics
     /// Panics if either endpoint has not been added, if the endpoints are
     /// equal, or if `length_m` is not a positive finite number.
-    pub fn add_edge(&mut self, from: NodeId, to: NodeId, length_m: f64, class: RoadClass) -> EdgeId {
+    pub fn add_edge(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        length_m: f64,
+        class: RoadClass,
+    ) -> EdgeId {
         assert!(from.index() < self.nodes.len(), "edge tail {from} not in builder");
         assert!(to.index() < self.nodes.len(), "edge head {to} not in builder");
         assert_ne!(from, to, "self-loop edges are not allowed");
-        assert!(length_m.is_finite() && length_m > 0.0, "edge length must be positive, got {length_m}");
+        assert!(
+            length_m.is_finite() && length_m > 0.0,
+            "edge length must be positive, got {length_m}"
+        );
         let id = EdgeId::from_index(self.edges.len());
         self.edges.push(EdgeRecord {
             from,

@@ -47,11 +47,8 @@ impl HubLabelIndex {
         let mut order: Vec<NodeId> = network.node_ids().collect();
         order.sort_by_key(|&u| std::cmp::Reverse(network.out_degree(u)));
 
-        let mut index = HubLabelIndex {
-            slot,
-            out_labels: vec![Vec::new(); n],
-            in_labels: vec![Vec::new(); n],
-        };
+        let mut index =
+            HubLabelIndex { slot, out_labels: vec![Vec::new(); n], in_labels: vec![Vec::new(); n] };
 
         // Reverse adjacency (needed for the backward pruned search).
         let mut reverse: Vec<Vec<(NodeId, f64)>> = vec![Vec::new(); n];
@@ -112,12 +109,8 @@ impl HubLabelIndex {
     /// Average number of label entries per node (both directions), a measure
     /// of index size used by the benchmarks.
     pub fn average_label_size(&self) -> f64 {
-        let total: usize = self
-            .out_labels
-            .iter()
-            .map(Vec::len)
-            .chain(self.in_labels.iter().map(Vec::len))
-            .sum();
+        let total: usize =
+            self.out_labels.iter().map(Vec::len).chain(self.in_labels.iter().map(Vec::len)).sum();
         total as f64 / (2.0 * self.out_labels.len() as f64)
     }
 

@@ -62,7 +62,8 @@ impl From<std::io::Error> for SnapshotError {
 
 /// Serialises a road network into a compact binary snapshot.
 pub fn to_bytes(network: &RoadNetwork) -> Bytes {
-    let mut buf = BytesMut::with_capacity(32 + network.node_count() * 16 + network.edge_count() * 24);
+    let mut buf =
+        BytesMut::with_capacity(32 + network.node_count() * 16 + network.edge_count() * 24);
     buf.put_u32(MAGIC);
     buf.put_u16(VERSION);
 
@@ -193,7 +194,10 @@ mod tests {
         }
         for slot in HourSlot::all() {
             for class in RoadClass::ALL {
-                assert_eq!(a.congestion().multiplier(class, slot), b.congestion().multiplier(class, slot));
+                assert_eq!(
+                    a.congestion().multiplier(class, slot),
+                    b.congestion().multiplier(class, slot)
+                );
             }
         }
     }

@@ -26,11 +26,11 @@ pub const SECS_PER_HOUR: f64 = 3_600.0;
 pub const SECS_PER_DAY: f64 = 24.0 * SECS_PER_HOUR;
 
 /// An absolute instant, in seconds since the simulated day's midnight.
-#[derive(Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize, Default)]
+#[derive(Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub struct TimePoint(f64);
 
 /// A non-negative span of time, in seconds.
-#[derive(Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize, Default)]
+#[derive(Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub struct Duration(f64);
 
 /// One of the 24 hour-of-day slots used for congestion and prep-time models.
@@ -292,10 +292,22 @@ impl Ord for TimePoint {
     }
 }
 
+impl PartialOrd for TimePoint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 impl Eq for Duration {}
 impl Ord for Duration {
     fn cmp(&self, other: &Self) -> Ordering {
         self.0.partial_cmp(&other.0).expect("Duration is never NaN")
+    }
+}
+
+impl PartialOrd for Duration {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
     }
 }
 

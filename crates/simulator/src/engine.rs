@@ -22,9 +22,7 @@
 use crate::fleet::{CarriedOrder, FleetEvent, VehicleState};
 use crate::metrics::{MetricsCollector, SimulationReport, WindowStats};
 use foodmatch_core::route::{plan_optimal_route, PlannedOrder};
-use foodmatch_core::{
-    DispatchConfig, DispatchPolicy, Order, OrderId, VehicleId, WindowSnapshot,
-};
+use foodmatch_core::{DispatchConfig, DispatchPolicy, Order, OrderId, VehicleId, WindowSnapshot};
 use foodmatch_roadnet::{Duration, NodeId, ShortestPathEngine, TimePoint};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
@@ -100,11 +98,8 @@ impl Simulation {
         orders.sort_by(|a, b| a.placed_at.cmp(&b.placed_at).then(a.id.cmp(&b.id)));
         let total_orders = orders.len();
 
-        let mut vehicles: Vec<VehicleState> = self
-            .vehicle_starts
-            .iter()
-            .map(|&(id, node)| VehicleState::new(id, node))
-            .collect();
+        let mut vehicles: Vec<VehicleState> =
+            self.vehicle_starts.iter().map(|&(id, node)| VehicleState::new(id, node)).collect();
         let vehicle_index: HashMap<VehicleId, usize> =
             vehicles.iter().enumerate().map(|(i, v)| (v.id, i)).collect();
 
@@ -172,7 +167,8 @@ impl Simulation {
                 next_order += 1;
             }
             pending.retain(|o| {
-                let expired = window_close.saturating_since(o.placed_at) > config.rejection_deadline;
+                let expired =
+                    window_close.saturating_since(o.placed_at) > config.rejection_deadline;
                 if expired {
                     collector.record_rejection(o.id);
                     assigned_or_done.insert(o.id);
@@ -238,11 +234,8 @@ impl Simulation {
                     ids
                 })
                 .collect();
-            let assigned_now: HashSet<OrderId> = outcome
-                .assignments
-                .iter()
-                .flat_map(|a| a.orders.iter().copied())
-                .collect();
+            let assigned_now: HashSet<OrderId> =
+                outcome.assignments.iter().flat_map(|a| a.orders.iter().copied()).collect();
 
             // Detach every order that the matching moved somewhere (it may be
             // re-attached to the same vehicle below). Orders the matching did
@@ -302,16 +295,17 @@ impl Simulation {
                     .map(|c| PlannedOrder { order: c.order, picked_up: c.picked_up })
                     .collect();
                 let carried = vehicle.carried.clone();
-                let route = plan_optimal_route(vehicle.location, window_close, &planned, &self.engine)
-                    .unwrap_or_else(|| foodmatch_core::EvaluatedRoute {
-                        plan: foodmatch_core::RoutePlan::empty(),
-                        cost_secs: 0.0,
-                        driving_time: Duration::ZERO,
-                        waiting_time: Duration::ZERO,
-                        deliveries: Vec::new(),
-                        start_node: vehicle.location,
-                        finish_at: window_close,
-                    });
+                let route =
+                    plan_optimal_route(vehicle.location, window_close, &planned, &self.engine)
+                        .unwrap_or_else(|| foodmatch_core::EvaluatedRoute {
+                            plan: foodmatch_core::RoutePlan::empty(),
+                            cost_secs: 0.0,
+                            driving_time: Duration::ZERO,
+                            waiting_time: Duration::ZERO,
+                            deliveries: Vec::new(),
+                            start_node: vehicle.location,
+                            finish_at: window_close,
+                        });
                 vehicle.install_plan(carried, &route, window_close, &self.engine);
             }
         }
@@ -349,9 +343,8 @@ mod tests {
     use foodmatch_roadnet::CongestionProfile;
 
     fn grid() -> (ShortestPathEngine, GridCityBuilder) {
-        let b = GridCityBuilder::new(8, 8)
-            .congestion(CongestionProfile::free_flow())
-            .major_every(0);
+        let b =
+            GridCityBuilder::new(8, 8).congestion(CongestionProfile::free_flow()).major_every(0);
         (ShortestPathEngine::cached(b.build()), b)
     }
 
@@ -367,10 +360,7 @@ mod tests {
             order(3, b.node_at(6, 6), b.node_at(2, 6), start + Duration::from_mins(10.0)),
             order(4, b.node_at(6, 5), b.node_at(2, 5), start + Duration::from_mins(12.0)),
         ];
-        let vehicles = vec![
-            (VehicleId(0), b.node_at(0, 0)),
-            (VehicleId(1), b.node_at(7, 7)),
-        ];
+        let vehicles = vec![(VehicleId(0), b.node_at(0, 0)), (VehicleId(1), b.node_at(7, 7))];
         Simulation::new(
             engine.clone(),
             orders,
@@ -469,10 +459,8 @@ mod tests {
         let orders: Vec<Order> = (0..10)
             .map(|i| order(i, b.node_at(0, 4), b.node_at(7, 4), start + Duration::from_mins(1.0)))
             .collect();
-        let config = DispatchConfig {
-            rejection_deadline: Duration::from_mins(10.0),
-            ..Default::default()
-        };
+        let config =
+            DispatchConfig { rejection_deadline: Duration::from_mins(10.0), ..Default::default() };
         let sim = Simulation::new(
             engine.clone(),
             orders,
@@ -511,10 +499,7 @@ mod tests {
             start + Duration::from_hours(1.0),
         );
         let report = sim.run(&mut FoodMatchPolicy::new());
-        assert_eq!(
-            report.delivered.len() + report.rejected.len() + report.undelivered.len(),
-            6
-        );
+        assert_eq!(report.delivered.len() + report.rejected.len() + report.undelivered.len(), 6);
         assert!(report.undelivered.is_empty());
     }
 }

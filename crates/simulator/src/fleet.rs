@@ -228,7 +228,8 @@ impl VehicleState {
                 for pair in path.nodes.windows(2) {
                     let (from, to) = (pair[0], pair[1]);
                     let network = engine.network();
-                    let Some((eid, edge)) = network.out_edges(from).find(|(_, e)| e.to == to) else {
+                    let Some((eid, edge)) = network.out_edges(from).find(|(_, e)| e.to == to)
+                    else {
                         continue;
                     };
                     let tt = network.travel_time(eid, cursor_time);
@@ -245,11 +246,7 @@ impl VehicleState {
                 cursor_node = stop.node;
             }
             // Handle the stop itself.
-            let order = self
-                .carried
-                .iter()
-                .find(|c| c.order.id == stop.order)
-                .map(|c| c.order);
+            let order = self.carried.iter().find(|c| c.order.id == stop.order).map(|c| c.order);
             let Some(order) = order else { continue };
             match stop.action {
                 StopAction::Pickup => {
@@ -262,10 +259,12 @@ impl VehicleState {
                         });
                         cursor_time = ready;
                     }
-                    self.itinerary.push_back(ItineraryStep::Pickup { order: order.id, at: cursor_time });
+                    self.itinerary
+                        .push_back(ItineraryStep::Pickup { order: order.id, at: cursor_time });
                 }
                 StopAction::Dropoff => {
-                    self.itinerary.push_back(ItineraryStep::Dropoff { order: order.id, at: cursor_time });
+                    self.itinerary
+                        .push_back(ItineraryStep::Dropoff { order: order.id, at: cursor_time });
                 }
             }
         }
@@ -318,9 +317,8 @@ mod tests {
     use foodmatch_roadnet::CongestionProfile;
 
     fn setup() -> (ShortestPathEngine, GridCityBuilder) {
-        let b = GridCityBuilder::new(6, 6)
-            .congestion(CongestionProfile::free_flow())
-            .major_every(0);
+        let b =
+            GridCityBuilder::new(6, 6).congestion(CongestionProfile::free_flow()).major_every(0);
         (ShortestPathEngine::cached(b.build()), b)
     }
 
@@ -336,7 +334,12 @@ mod tests {
     ) {
         let route =
             plan_optimal_route(vehicle.location, now, &[PlannedOrder::pending(o)], engine).unwrap();
-        vehicle.install_plan(vec![CarriedOrder { order: o, picked_up: false }], &route, now, engine);
+        vehicle.install_plan(
+            vec![CarriedOrder { order: o, picked_up: false }],
+            &route,
+            now,
+            engine,
+        );
     }
 
     #[test]
@@ -362,7 +365,9 @@ mod tests {
         // Advance far enough for the whole plan to finish.
         let events = v.advance(TimePoint::from_hms(13, 0, 0));
         assert!(v.is_idle());
-        let picked = events.iter().any(|e| matches!(e, FleetEvent::PickedUp { order, .. } if *order == o.id));
+        let picked = events
+            .iter()
+            .any(|e| matches!(e, FleetEvent::PickedUp { order, .. } if *order == o.id));
         let delivered = events
             .iter()
             .any(|e| matches!(e, FleetEvent::Delivered { order, .. } if *order == o.id));

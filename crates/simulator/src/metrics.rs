@@ -158,11 +158,8 @@ impl SimulationReport {
     /// With `peak_only` set, only windows in the lunch/dinner peak slots are
     /// considered (Fig. 6(g)).
     pub fn overflow_pct(&self, peak_only: bool) -> f64 {
-        let relevant: Vec<&WindowStats> = self
-            .windows
-            .iter()
-            .filter(|w| !peak_only || w.slot.is_peak())
-            .collect();
+        let relevant: Vec<&WindowStats> =
+            self.windows.iter().filter(|w| !peak_only || w.slot.is_peak()).collect();
         if relevant.is_empty() {
             0.0
         } else {
@@ -328,9 +325,19 @@ mod tests {
     fn delivery_xdt_is_clamped_and_sloted() {
         let mut c = collector();
         let placed = TimePoint::from_hms(13, 0, 0);
-        c.record_delivery(OrderId(1), placed, TimePoint::from_hms(13, 40, 0), Duration::from_mins(25.0));
+        c.record_delivery(
+            OrderId(1),
+            placed,
+            TimePoint::from_hms(13, 40, 0),
+            Duration::from_mins(25.0),
+        );
         // Delivered "faster than physically possible" (bad SDT estimate):
-        c.record_delivery(OrderId(2), placed, TimePoint::from_hms(13, 10, 0), Duration::from_mins(20.0));
+        c.record_delivery(
+            OrderId(2),
+            placed,
+            TimePoint::from_hms(13, 10, 0),
+            Duration::from_mins(20.0),
+        );
         let report = c.finish();
         assert_eq!(report.delivered.len(), 2);
         assert!((report.delivered[0].xdt.as_mins_f64() - 15.0).abs() < 1e-9);

@@ -9,9 +9,7 @@ use crate::city::{CityId, CityPreset};
 use crate::demand::{clamped_normal, poisson, HOURLY_WEIGHTS};
 use foodmatch_core::{DispatchConfig, Order, OrderId, VehicleId};
 use foodmatch_roadnet::generators::{GridCityBuilder, RandomCityBuilder};
-use foodmatch_roadnet::{
-    Duration, HourSlot, NodeId, RoadNetwork, ShortestPathEngine, TimePoint,
-};
+use foodmatch_roadnet::{Duration, HourSlot, NodeId, RoadNetwork, ShortestPathEngine, TimePoint};
 use foodmatch_sim::Simulation;
 use rand::rngs::StdRng;
 use rand::seq::IndexedRandom;
@@ -107,7 +105,9 @@ impl Scenario {
     /// Generates the scenario for a city preset.
     pub fn generate(city: CityId, options: ScenarioOptions) -> Self {
         let preset = CityPreset::of(city);
-        let mut rng = StdRng::seed_from_u64(preset.base_seed.wrapping_mul(0x9E37_79B9).wrapping_add(options.seed));
+        let mut rng = StdRng::seed_from_u64(
+            preset.base_seed.wrapping_mul(0x9E37_79B9).wrapping_add(options.seed),
+        );
 
         let network = build_network(&preset, &mut rng);
         let restaurants = place_restaurants(&preset, &network, &mut rng);
@@ -116,9 +116,7 @@ impl Scenario {
             ((preset.vehicles as f64 * options.vehicle_fraction).round() as usize).max(1);
         let all_nodes: Vec<NodeId> = network.node_ids().collect();
         let vehicle_starts: Vec<(VehicleId, NodeId)> = (0..vehicle_count)
-            .map(|i| {
-                (VehicleId(i as u32), *all_nodes.choose(&mut rng).expect("network has nodes"))
-            })
+            .map(|i| (VehicleId(i as u32), *all_nodes.choose(&mut rng).expect("network has nodes")))
             .collect();
 
         Scenario {
@@ -290,7 +288,8 @@ fn generate_orders(
             preset.orders_per_day as f64 * HOURLY_WEIGHTS[hour as usize] * overlap_fraction;
         let count = poisson(rng, expected);
         for _ in 0..count {
-            let placed_at = lo + Duration::from_secs_f64(rng.random_range(0.0..(hi - lo).as_secs_f64()));
+            let placed_at =
+                lo + Duration::from_secs_f64(rng.random_range(0.0..(hi - lo).as_secs_f64()));
             let restaurant = pick_restaurant(restaurants, total_popularity, rng);
             let customer = pick_customer(network, &nodes, restaurant.node, rng);
             // Peak-hour kitchens run a little slower.
@@ -425,7 +424,8 @@ mod tests {
             Scenario::generate(CityId::A, ScenarioOptions::full_day(3).with_vehicle_fraction(0.5));
         assert_eq!(full.vehicle_starts.len(), CityPreset::of(CityId::A).vehicles);
         assert!(
-            (half.vehicle_starts.len() as f64 - full.vehicle_starts.len() as f64 * 0.5).abs() <= 1.0
+            (half.vehicle_starts.len() as f64 - full.vehicle_starts.len() as f64 * 0.5).abs()
+                <= 1.0
         );
     }
 

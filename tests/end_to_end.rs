@@ -49,8 +49,10 @@ fn foodmatch_serves_most_orders_on_a_small_city() {
 
 #[test]
 fn simulation_reports_are_reproducible() {
-    let report_a = tiny_scenario(7).into_simulation().run(&mut foodmatch_core::FoodMatchPolicy::new());
-    let report_b = tiny_scenario(7).into_simulation().run(&mut foodmatch_core::FoodMatchPolicy::new());
+    let report_a =
+        tiny_scenario(7).into_simulation().run(&mut foodmatch_core::FoodMatchPolicy::new());
+    let report_b =
+        tiny_scenario(7).into_simulation().run(&mut foodmatch_core::FoodMatchPolicy::new());
     assert_eq!(report_a.delivered.len(), report_b.delivered.len());
     assert_eq!(report_a.rejected.len(), report_b.rejected.len());
     assert!((report_a.total_xdt_hours() - report_b.total_xdt_hours()).abs() < 1e-9);

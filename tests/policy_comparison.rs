@@ -1,7 +1,9 @@
 //! Cross-policy comparisons on identical scenarios: the qualitative claims
 //! of the paper's evaluation that must hold even at our reduced scale.
 
-use foodmatch_core::{DispatchConfig, FoodMatchPolicy, GreedyPolicy, KuhnMunkresPolicy, ReyesPolicy};
+use foodmatch_core::{
+    DispatchConfig, FoodMatchPolicy, GreedyPolicy, KuhnMunkresPolicy, ReyesPolicy,
+};
 use foodmatch_sim::SimulationReport;
 use integration_tests::small_city_scenario;
 

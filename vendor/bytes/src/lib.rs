@@ -1,0 +1,202 @@
+//! Offline stand-in for [`bytes`](https://crates.io/crates/bytes).
+//!
+//! Implements the subset used by the road-network snapshot codec
+//! (`foodmatch-roadnet::io`): [`Buf`] over `&[u8]` with big-endian `get_*`
+//! accessors, [`BufMut`] with big-endian `put_*` writers, and the
+//! [`Bytes`]/[`BytesMut`] pair backed by a plain `Vec<u8>` (no shared
+//! refcounted storage — `freeze` simply transfers ownership). Swap back to
+//! the real crate by repointing the workspace dependency; the byte format is
+//! identical.
+
+use std::ops::{Deref, DerefMut};
+
+/// Read access to a buffer of bytes, consuming from the front.
+pub trait Buf {
+    /// Bytes remaining to be read.
+    fn remaining(&self) -> usize;
+
+    /// Consumes and returns the next byte.
+    fn get_u8(&mut self) -> u8;
+
+    /// Consumes and returns a big-endian `u16`.
+    fn get_u16(&mut self) -> u16;
+
+    /// Consumes and returns a big-endian `u32`.
+    fn get_u32(&mut self) -> u32;
+
+    /// Consumes and returns a big-endian `u64`.
+    fn get_u64(&mut self) -> u64;
+
+    /// Consumes and returns a big-endian IEEE-754 `f64`.
+    fn get_f64(&mut self) -> f64 {
+        f64::from_bits(self.get_u64())
+    }
+}
+
+/// Takes the first `N` bytes off the front of the slice.
+///
+/// # Panics
+/// Panics if fewer than `N` bytes remain, matching the real crate's
+/// contract (callers check `remaining()` first).
+fn take<const N: usize>(data: &mut &[u8]) -> [u8; N] {
+    let (head, tail) = data.split_at(N);
+    *data = tail;
+    head.try_into().expect("split_at returned N bytes")
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        take::<1>(self)[0]
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes(take::<2>(self))
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(take::<4>(self))
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(take::<8>(self))
+    }
+}
+
+/// Write access to a growable byte buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, value: u8) {
+        self.put_slice(&[value]);
+    }
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, value: u16) {
+        self.put_slice(&value.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, value: u32) {
+        self.put_slice(&value.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, value: u64) {
+        self.put_slice(&value.to_be_bytes());
+    }
+
+    /// Appends a big-endian IEEE-754 `f64`.
+    fn put_f64(&mut self, value: f64) {
+        self.put_u64(value.to_bits());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// An immutable owned byte buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bytes(Vec<u8>);
+
+impl Bytes {
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.clone()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(value: Vec<u8>) -> Self {
+        Bytes(value)
+    }
+}
+
+/// A mutable, growable byte buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// Creates an empty buffer with at least `capacity` bytes reserved.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut(Vec::with_capacity(capacity))
+    }
+
+    /// Converts the buffer into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.0)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_u8(7);
+        buf.put_u16(0xBEEF);
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_u64(0x0123_4567_89AB_CDEF);
+        buf.put_f64(-12.75);
+        let frozen = buf.freeze();
+        let mut data: &[u8] = &frozen;
+        assert_eq!(data.remaining(), 1 + 2 + 4 + 8 + 8);
+        assert_eq!(data.get_u8(), 7);
+        assert_eq!(data.get_u16(), 0xBEEF);
+        assert_eq!(data.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(data.get_u64(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(data.get_f64(), -12.75);
+        assert_eq!(data.remaining(), 0);
+    }
+
+    #[test]
+    fn big_endian_layout_matches_real_bytes_crate() {
+        let mut buf = BytesMut::with_capacity(4);
+        buf.put_u32(0x0102_0304);
+        assert_eq!(&buf[..], &[1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Offline stand-in for [Criterion](https://crates.io/crates/criterion).
+//!
+//! Implements the API surface `crates/bench/benches/microbench.rs` uses —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId::from_parameter`],
+//! [`Bencher::iter`] and the [`criterion_group!`]/[`criterion_main!`]
+//! macros — as a straightforward wall-clock runner: each benchmark is warmed
+//! up, then timed over enough iterations to fill a small measurement budget,
+//! and the mean/min per-iteration times are printed. There is no statistical
+//! analysis, outlier detection or HTML report; restore the real crate for
+//! those.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    /// Target wall-clock budget spent measuring each benchmark.
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { measurement_time: Duration::from_millis(400) }
+    }
+}
+
+impl Criterion {
+    /// Mirrors the real builder method; CLI arguments are ignored by this
+    /// stub.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let measurement_time = self.measurement_time;
+        BenchmarkGroup { _criterion: self, name: name.into(), measurement_time }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(self.measurement_time, name, f);
+        self
+    }
+}
+
+/// A named benchmark identifier, e.g. a group parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a parameter value, matching the real API.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{parameter}", function.into()))
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    // Held to keep the group's exclusive borrow of the driver, like the real
+    // API (prevents interleaving groups).
+    _criterion: &'a mut Criterion,
+    name: String,
+    /// Group-local measurement budget, seeded from the parent driver.
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; this stub sizes runs by wall-clock
+    /// budget, not sample count.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement budget for benchmarks in this group only, as in
+    /// the real API.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement_time = duration;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let label = format!("{}/{id}", self.name);
+        run_one(self.measurement_time, &label, f);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(self.measurement_time, &label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is already done per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; collects timing via [`Bencher::iter`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this sample's iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(budget: Duration, label: &str, mut f: F) {
+    // One calibration pass: a single iteration, which also serves as warm-up.
+    let mut calibrate = Bencher { iterations: 1, elapsed: Duration::ZERO };
+    f(&mut calibrate);
+    let per_iter = calibrate.elapsed.max(Duration::from_nanos(1));
+    let per_sample = (budget.as_secs_f64() / 8.0 / per_iter.as_secs_f64()).clamp(1.0, 1e7) as u64;
+
+    let mut best = f64::INFINITY;
+    let mut total_time = 0.0;
+    let mut total_iters = 0u64;
+    // The round cap keeps this terminating even for a closure that never
+    // calls `Bencher::iter` (elapsed stays zero, so time never accumulates).
+    let mut rounds = 0u32;
+    while total_time < budget.as_secs_f64() && rounds < 10_000 {
+        let mut bencher = Bencher { iterations: per_sample, elapsed: Duration::ZERO };
+        f(&mut bencher);
+        let sample = bencher.elapsed.as_secs_f64();
+        best = best.min(sample / per_sample as f64);
+        total_time += sample;
+        total_iters += per_sample;
+        rounds += 1;
+    }
+    let mean = total_time / total_iters as f64;
+    println!(
+        "{label:<44} mean {:>12}  min {:>12}  ({total_iters} iters)",
+        fmt_secs(mean),
+        fmt_secs(best)
+    );
+}
+
+fn fmt_secs(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Re-export point so `use criterion::black_box` keeps working.
+pub use std::hint::black_box;
+
+/// Declares a set of benchmark functions as a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group in turn.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_benchmarks_and_groups() {
+        let mut c = Criterion { measurement_time: Duration::from_millis(5) };
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+
+        let mut group = c.benchmark_group("group");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &n| b.iter(|| n * 2));
+        group.finish();
+    }
+}

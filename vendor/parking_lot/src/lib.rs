@@ -1,0 +1,91 @@
+//! Offline stand-in for [`parking_lot`](https://crates.io/crates/parking_lot).
+//!
+//! Wraps `std::sync` locks behind parking_lot's non-poisoning API
+//! (`lock()`/`read()`/`write()` return guards directly). A poisoned std lock
+//! is recovered rather than propagated, matching parking_lot's semantics of
+//! never poisoning. Performance is whatever `std::sync` provides — fine for
+//! this workspace; swap the workspace dependency back to crates.io for the
+//! real futex-based implementation.
+
+use std::sync::PoisonError;
+
+/// A mutual-exclusion lock with a non-poisoning `lock()`.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+/// RAII guard returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex holding `value`.
+    pub fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A reader-writer lock with non-poisoning `read()`/`write()`.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+/// RAII guard returned by [`RwLock::read`].
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+
+/// RAII guard returned by [`RwLock::write`].
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock holding `value`.
+    pub fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_guards_exclusive_access() {
+        let m = Mutex::new(0usize);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1_000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*m.lock(), 4_000);
+    }
+
+    #[test]
+    fn rwlock_allows_concurrent_reads() {
+        let l = RwLock::new(5);
+        let a = l.read();
+        let b = l.read();
+        assert_eq!(*a + *b, 10);
+        drop((a, b));
+        *l.write() = 6;
+        assert_eq!(*l.read(), 6);
+    }
+}

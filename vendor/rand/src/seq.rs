@@ -1,0 +1,39 @@
+//! Sequence-related sampling helpers.
+
+use crate::{Rng, RngCore, SampleRange};
+
+/// Random selection from index-addressable collections (slices).
+pub trait IndexedRandom {
+    /// The element type.
+    type Output: ?Sized;
+
+    /// Returns one uniformly chosen element, or `None` if the collection is
+    /// empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Output>;
+}
+
+impl<T> IndexedRandom for [T] {
+    type Output = T;
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[(0..self.len()).sample_single(rng)])
+        }
+    }
+}
+
+/// In-place random shuffling (Fisher–Yates).
+pub trait SliceRandom {
+    /// Shuffles the collection uniformly at random.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, (0..=i).sample_single(rng));
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The build environment has no crates.io access, so this crate lets the
+//! widespread `#[derive(Serialize, Deserialize)]` annotations across the
+//! workspace compile without pulling in real serialization machinery. The
+//! derive macros (re-exported from the sibling `serde_derive` stub) expand to
+//! nothing, and the traits below are empty markers — nothing in the
+//! workspace currently serializes, it only *derives*.
+//!
+//! When network access is available, point the workspace `serde` dependency
+//! back at crates.io (features = ["derive"]) and delete `vendor/serde*`; no
+//! call sites need to change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

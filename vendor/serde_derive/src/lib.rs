@@ -1,0 +1,20 @@
+//! Inert derive macros backing the offline `serde` stub.
+//!
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` expand to nothing: the
+//! workspace only *annotates* types today, it never serializes them, so no
+//! impls are required. See `vendor/serde/src/lib.rs` for how to restore the
+//! real crate.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
