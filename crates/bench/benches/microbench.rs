@@ -1,8 +1,8 @@
 //! Criterion micro-benchmarks for the building blocks whose cost dominates
 //! the per-window running time reported in Fig. 6(h), 8(g) and 8(k):
-//! shortest-path queries under the three engines, Kuhn–Munkres matching,
-//! order batching, sparsified vs dense FoodGraph construction, and one full
-//! FoodMatch window.
+//! shortest-path queries under the four engines, per-backend index
+//! construction, Kuhn–Munkres matching, order batching, sparsified vs dense
+//! FoodGraph construction, and one full FoodMatch window.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use foodmatch_core::{
@@ -10,7 +10,9 @@ use foodmatch_core::{
     KuhnMunkresPolicy, WindowSnapshot,
 };
 use foodmatch_matching::{solve_hungarian, CostMatrix};
-use foodmatch_roadnet::{EngineKind, HourSlot, ShortestPathEngine, TimePoint};
+use foodmatch_roadnet::{
+    ContractionHierarchy, EngineKind, HourSlot, HubLabelIndex, ShortestPathEngine, TimePoint,
+};
 use foodmatch_workload::{CityId, Scenario, ScenarioOptions};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -45,7 +47,7 @@ fn bench_shortest_paths(c: &mut Criterion) {
     let t = TimePoint::from_hms(13, 0, 0);
 
     let mut group = c.benchmark_group("shortest_path");
-    for kind in [EngineKind::Dijkstra, EngineKind::Cached, EngineKind::HubLabels] {
+    for kind in EngineKind::ALL {
         let engine = ShortestPathEngine::new(network.clone(), kind);
         engine.warm_up(HourSlot::new(13));
         // Prime the cache so the cached engine measures steady-state queries.
@@ -64,6 +66,24 @@ fn bench_shortest_paths(c: &mut Criterion) {
             },
         );
     }
+    group.finish();
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    // Preprocessing cost per indexed backend, tracked alongside query cost so
+    // a regression in either shows up. Built for one hour slot on the City A
+    // network (the same graph the query benchmark uses).
+    let scenario = Scenario::generate(CityId::A, ScenarioOptions::lunch_peak(3));
+    let network = scenario.city.network.clone();
+    let slot = HourSlot::new(13);
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    group.bench_function("hub_labels", |b| {
+        b.iter(|| black_box(HubLabelIndex::build(&network, slot)))
+    });
+    group.bench_function("contraction_hierarchies", |b| {
+        b.iter(|| black_box(ContractionHierarchy::build(&network, slot)))
+    });
     group.finish();
 }
 
@@ -136,6 +156,7 @@ fn bench_window_assignment(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_shortest_paths,
+    bench_index_build,
     bench_hungarian,
     bench_batching,
     bench_foodgraph,

@@ -1,9 +1,10 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro list                 # show available experiments
-//! repro all [--quick]        # run the whole suite
-//! repro fig6cde [--seed 3]   # run one experiment
+//! repro list                               # show available experiments
+//! repro all [--quick]                      # run the whole suite
+//! repro fig6cde [--seed 3]                 # run one experiment
+//! repro dispatch --bench-out BENCH_dispatch.json   # machine-readable perf baseline
 //! ```
 
 use foodmatch_bench::experiments;
@@ -27,6 +28,13 @@ fn main() -> ExitCode {
                 Some(seed) => ctx.seed = seed,
                 None => {
                     eprintln!("--seed requires an integer argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--bench-out" => match iter.next() {
+                Some(path) => ctx.bench_out = Some(path.into()),
+                None => {
+                    eprintln!("--bench-out requires a file path argument");
                     return ExitCode::FAILURE;
                 }
             },
@@ -81,6 +89,6 @@ fn main() -> ExitCode {
 }
 
 fn usage() {
-    eprintln!("usage: repro <experiment|all|list> [--quick] [--seed N]");
+    eprintln!("usage: repro <experiment|all|list> [--quick] [--seed N] [--bench-out FILE]");
     eprintln!("run `repro list` to see the available experiments");
 }

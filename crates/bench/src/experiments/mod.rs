@@ -2,6 +2,7 @@
 //! regenerated rows/series to stdout; the `repro` binary maps experiment
 //! names to these functions.
 
+pub mod dispatch;
 pub mod fig4a;
 pub mod fig6;
 pub mod fig7;
@@ -89,6 +90,11 @@ pub const ALL: &[Experiment] = &[
         description: "Fig. 9(a-d): impact of the angular weight gamma",
         run: fig9::run,
     },
+    Experiment {
+        name: "dispatch",
+        description: "Dispatch hot path: per-backend oracle throughput and parallel windows",
+        run: dispatch::run,
+    },
 ];
 
 /// Looks an experiment up by name.
@@ -99,7 +105,7 @@ pub fn find(name: &str) -> Option<&'static Experiment> {
 /// The names every registered experiment must carry, in paper order — the
 /// single source of truth for the registry-coverage tests here and in the
 /// workspace-level smoke suite.
-pub const EXPECTED_NAMES: [&str; 13] = [
+pub const EXPECTED_NAMES: [&str; 14] = [
     "table2",
     "fig4a",
     "fig6a",
@@ -113,6 +119,7 @@ pub const EXPECTED_NAMES: [&str; 13] = [
     "fig8delta",
     "fig8k",
     "fig9",
+    "dispatch",
 ];
 
 #[cfg(test)]

@@ -8,7 +8,7 @@ use foodmatch_workload::{CityId, Scenario, ScenarioOptions};
 use std::collections::HashMap;
 
 /// Global options shared by all experiments.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ExperimentContext {
     /// Seed of the synthetic "day" (the paper cross-validates over 6 days;
     /// run the harness with several seeds to do the same).
@@ -16,11 +16,14 @@ pub struct ExperimentContext {
     /// Quick mode shrinks horizons and restricts the city list so that the
     /// whole suite finishes in minutes rather than hours.
     pub quick: bool,
+    /// Where machine-readable benchmark results should be written
+    /// (`--bench-out`); experiments that produce none ignore it.
+    pub bench_out: Option<std::path::PathBuf>,
 }
 
 impl Default for ExperimentContext {
     fn default() -> Self {
-        ExperimentContext { seed: 1, quick: false }
+        ExperimentContext { seed: 1, quick: false, bench_out: None }
     }
 }
 
@@ -200,7 +203,7 @@ mod tests {
 
     #[test]
     fn quick_context_shrinks_the_city_list() {
-        let quick = ExperimentContext { seed: 1, quick: true };
+        let quick = ExperimentContext { quick: true, ..Default::default() };
         assert_eq!(quick.swiggy_cities().len(), 2);
         let full = ExperimentContext::default();
         assert_eq!(full.swiggy_cities().len(), 3);

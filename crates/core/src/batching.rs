@@ -14,6 +14,7 @@
 
 use crate::config::DispatchConfig;
 use crate::order::{Order, OrderId};
+use crate::parallel::parallel_map;
 use crate::route::{plan_optimal_route_free_start, EvaluatedRoute, PlannedOrder};
 use foodmatch_roadnet::{NodeId, ShortestPathEngine, TimePoint};
 use std::cmp::Ordering;
@@ -85,10 +86,25 @@ pub fn singleton_batches(
     engine: &ShortestPathEngine,
     t: TimePoint,
 ) -> BatchingOutcome {
+    singleton_batches_with_threads(orders, engine, t, 1)
+}
+
+/// [`singleton_batches`] with the per-order route planning fanned out across
+/// `threads` scoped workers (results are merged in input order, so every
+/// thread count yields the same outcome).
+pub fn singleton_batches_with_threads(
+    orders: &[Order],
+    engine: &ShortestPathEngine,
+    t: TimePoint,
+    threads: usize,
+) -> BatchingOutcome {
+    let planned: Vec<Option<EvaluatedRoute>> = parallel_map(orders, threads, |_, &order| {
+        plan_optimal_route_free_start(t, &[PlannedOrder::pending(order)], engine)
+    });
     let mut batches = Vec::with_capacity(orders.len());
     let mut unplannable = Vec::new();
-    for &order in orders {
-        match plan_optimal_route_free_start(t, &[PlannedOrder::pending(order)], engine) {
+    for (&order, route) in orders.iter().zip(planned) {
+        match route {
             Some(route) => batches.push(Batch { orders: vec![order], route }),
             None => unplannable.push(order),
         }
@@ -106,7 +122,11 @@ pub fn batch_orders(
     t: TimePoint,
     config: &DispatchConfig,
 ) -> BatchingOutcome {
-    let seed = singleton_batches(orders, engine, t);
+    let threads = config.effective_threads();
+    // Fan out only when the window carries enough work to amortise the
+    // thread spawns; the result is identical either way.
+    let singleton_threads = if orders.len() >= 16 { threads } else { 1 };
+    let seed = singleton_batches_with_threads(orders, engine, t, singleton_threads);
     if !config.use_batching || seed.batches.len() < 2 {
         return seed;
     }
@@ -121,12 +141,19 @@ pub fn batch_orders(
     let mut total_cost: f64 = clusters.iter().flatten().map(Batch::cost_secs).sum();
     let mut merges = 0usize;
 
-    let mut heap: BinaryHeap<MergeCandidate> = BinaryHeap::new();
-    for i in 0..clusters.len() {
-        for j in (i + 1)..clusters.len() {
-            push_candidate(&mut heap, &clusters, &versions, i, j, engine, t, config);
-        }
-    }
+    // The O(n²) initial pairwise evaluation dominates the clustering stage;
+    // fan it out across the dispatch workers. The heap's total order breaks
+    // every tie by (i, j), so the merge sequence — and therefore the final
+    // batching — is independent of how the candidates were computed.
+    let pairs: Vec<(usize, usize)> =
+        (0..clusters.len()).flat_map(|i| ((i + 1)..clusters.len()).map(move |j| (i, j))).collect();
+    let pair_threads = if pairs.len() >= 32 { threads } else { 1 };
+    let mut heap: BinaryHeap<MergeCandidate> = parallel_map(&pairs, pair_threads, |_, &(i, j)| {
+        candidate_for(&clusters, &versions, i, j, engine, t, config)
+    })
+    .into_iter()
+    .flatten()
+    .collect();
 
     while active > 1 {
         let avg = total_cost / active as f64;
@@ -163,11 +190,19 @@ pub fn batch_orders(
         let slot = candidate.i;
         clusters[slot] = Some(candidate.merged);
         versions[slot] += 1;
-        for other in 0..clusters.len() {
-            if other != slot && clusters[other].is_some() {
-                let (a, b) = (slot.min(other), slot.max(other));
-                push_candidate(&mut heap, &clusters, &versions, a, b, engine, t, config);
-            }
+        // Refresh the merged cluster's edges to every survivor; this is the
+        // serial tail of Algorithm 1, so fan it out like the initial pass.
+        let others: Vec<usize> =
+            (0..clusters.len()).filter(|&o| o != slot && clusters[o].is_some()).collect();
+        let refresh_threads = if others.len() >= 32 { threads } else { 1 };
+        for candidate in parallel_map(&others, refresh_threads, |_, &other| {
+            let (a, b) = (slot.min(other), slot.max(other));
+            candidate_for(&clusters, &versions, a, b, engine, t, config)
+        })
+        .into_iter()
+        .flatten()
+        {
+            heap.push(candidate);
         }
     }
 
@@ -218,9 +253,11 @@ impl Ord for MergeCandidate {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn push_candidate(
-    heap: &mut BinaryHeap<MergeCandidate>,
+/// Evaluates the merge of clusters `i` and `j` into a heap candidate, or
+/// `None` when the merge is infeasible or fails the quality gate. Pure with
+/// respect to the clustering state, so candidates can be computed in
+/// parallel.
+fn candidate_for(
     clusters: &[Option<Batch>],
     versions: &[u64],
     i: usize,
@@ -228,9 +265,9 @@ fn push_candidate(
     engine: &ShortestPathEngine,
     t: TimePoint,
     config: &DispatchConfig,
-) {
-    let (Some(a), Some(b)) = (&clusters[i], &clusters[j]) else { return };
-    let Some((weight, merged)) = merge_weight(a, b, engine, t, config) else { return };
+) -> Option<MergeCandidate> {
+    let (Some(a), Some(b)) = (&clusters[i], &clusters[j]) else { return None };
+    let (weight, merged) = merge_weight(a, b, engine, t, config)?;
     // Per-merge quality gate: a merge that by itself adds more extra delivery
     // time than the quality threshold η can never be "orders that suffer no
     // long detour" (§IV-B). Algorithm 1 as written only checks the *average*
@@ -240,16 +277,9 @@ fn push_candidate(
     // non-negative, Theorem 2) while preventing that pathology. Documented as
     // a stabilising interpretation in DESIGN.md.
     if weight > config.batching_threshold.as_secs_f64() * merged.len() as f64 {
-        return;
+        return None;
     }
-    heap.push(MergeCandidate {
-        weight,
-        i,
-        j,
-        version_i: versions[i],
-        version_j: versions[j],
-        merged,
-    });
+    Some(MergeCandidate { weight, i, j, version_i: versions[i], version_j: versions[j], merged })
 }
 
 /// Computes the order-graph edge weight between two batches (Eq. 5) and the

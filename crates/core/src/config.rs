@@ -44,6 +44,12 @@ pub struct DispatchConfig {
     pub use_bfs_sparsification: bool,
     /// Enable the angular-distance component of the edge weight (Eq. 8).
     pub use_angular_distance: bool,
+    /// Worker threads for per-window dispatch (FoodGraph per-vehicle edge
+    /// construction and batch cost evaluation). `0` means "use the machine's
+    /// available parallelism"; `1` reproduces the serial dispatch path
+    /// bit-for-bit. Results are identical for every value — the fan-out is
+    /// deterministic — so this knob only trades wall-clock for cores.
+    pub num_threads: usize,
 }
 
 impl Default for DispatchConfig {
@@ -62,6 +68,7 @@ impl Default for DispatchConfig {
             use_reshuffle: true,
             use_bfs_sparsification: true,
             use_angular_distance: true,
+            num_threads: 0,
         }
     }
 }
@@ -112,6 +119,18 @@ impl DispatchConfig {
         k.max(1)
     }
 
+    /// The number of dispatch worker threads this configuration resolves to:
+    /// `num_threads` capped at the machine's available parallelism (dispatch
+    /// work is CPU-bound, so oversubscribing cores only adds scheduler
+    /// overhead), or the full available parallelism when the knob is `0`.
+    pub fn effective_threads(&self) -> usize {
+        let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        match self.num_threads {
+            0 => cores,
+            n => n.min(cores),
+        }
+    }
+
     /// Convenience: the rejection penalty as a [`Duration`].
     pub fn rejection_penalty(&self) -> Duration {
         Duration::from_secs_f64(self.rejection_penalty_secs)
@@ -145,6 +164,14 @@ mod tests {
         assert_eq!(c.k_factor, 200.0);
         assert_eq!(c.rejection_deadline.as_mins_f64(), 30.0);
         assert_eq!(c.max_first_mile.as_mins_f64(), 45.0);
+        assert_eq!(c.num_threads, 0, "default dispatch fan-out is auto");
+        assert!(c.effective_threads() >= 1);
+        let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        assert_eq!(
+            DispatchConfig { num_threads: 3, ..Default::default() }.effective_threads(),
+            3.min(cores),
+            "explicit requests are capped at the hardware parallelism"
+        );
         assert!(c.validate().is_ok());
     }
 

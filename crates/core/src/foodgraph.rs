@@ -16,6 +16,7 @@
 use crate::batching::Batch;
 use crate::config::DispatchConfig;
 use crate::cost::{marginal_cost, MarginalCost};
+use crate::parallel::parallel_map;
 use crate::route::EvaluatedRoute;
 use crate::vehicle::{VehicleId, VehicleSnapshot};
 use foodmatch_matching::SparseCostMatrix;
@@ -61,8 +62,10 @@ impl FoodGraph {
 ///
 /// Honours the configuration's sparsification (`use_bfs_sparsification`,
 /// `k_factor`) and angular-distance (`use_angular_distance`, `gamma`) flags.
-/// Construction parallelises across vehicles when the instance is large
-/// enough to make the thread fan-out worthwhile.
+/// Construction parallelises across vehicles with
+/// [`DispatchConfig::effective_threads`] workers when the instance is large
+/// enough to make the thread fan-out worthwhile; the result is identical for
+/// every thread count.
 pub fn build_food_graph(
     batches: &[Batch],
     vehicles: &[VehicleSnapshot],
@@ -88,66 +91,15 @@ pub fn build_food_graph(
 
     let degree_cap = config.degree_cap(batches.len(), vehicles.len());
 
-    // Decide on the parallel fan-out: each worker handles a contiguous chunk
-    // of vehicles and produces its own edge list.
-    let worker_count = if vehicles.len() < 8 {
-        1
-    } else {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(8)
-    };
-    let chunk_size = vehicles.len().div_ceil(worker_count);
-
-    let mut per_vehicle: Vec<VehicleEdges> = Vec::with_capacity(vehicles.len());
-    if worker_count == 1 {
-        for (col, vehicle) in vehicles.iter().enumerate() {
-            per_vehicle.push(vehicle_edges(
-                col,
-                vehicle,
-                batches,
-                &batches_by_start,
-                engine,
-                t,
-                config,
-                degree_cap,
-            ));
-        }
-    } else {
-        let chunks: Vec<(usize, &[VehicleSnapshot])> = vehicles
-            .chunks(chunk_size)
-            .enumerate()
-            .map(|(i, chunk)| (i * chunk_size, chunk))
-            .collect();
-        let results: Vec<Vec<VehicleEdges>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .map(|(offset, chunk)| {
-                    let batches_by_start = &batches_by_start;
-                    scope.spawn(move || {
-                        chunk
-                            .iter()
-                            .enumerate()
-                            .map(|(i, vehicle)| {
-                                vehicle_edges(
-                                    offset + i,
-                                    vehicle,
-                                    batches,
-                                    batches_by_start,
-                                    engine,
-                                    t,
-                                    config,
-                                    degree_cap,
-                                )
-                            })
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("foodgraph worker panicked")).collect()
-        });
-        for chunk in results {
-            per_vehicle.extend(chunk);
-        }
-    }
+    // Fan the per-vehicle edge construction out across scoped workers sharing
+    // the engine. The fan-out is deterministic (contiguous chunks merged in
+    // input order), so every thread count produces the same FoodGraph; tiny
+    // windows stay on the calling thread where a spawn would cost more than
+    // the work itself.
+    let worker_count = if vehicles.len() < 8 { 1 } else { config.effective_threads() };
+    let per_vehicle: Vec<VehicleEdges> = parallel_map(vehicles, worker_count, |col, vehicle| {
+        vehicle_edges(col, vehicle, batches, &batches_by_start, engine, t, config, degree_cap)
+    });
 
     let mut costs =
         SparseCostMatrix::new(batches.len(), vehicles.len(), config.rejection_penalty_secs);
@@ -236,16 +188,25 @@ fn vehicle_edges(
     let max_beta = network.max_travel_time().as_secs_f64().max(1e-9);
     let gamma = config.gamma;
 
+    // Run the expansion in a pooled search space so the per-vehicle
+    // best-first searches reuse one set of arrays instead of allocating.
+    let mut space = engine.search_space();
     let expansion: Expansion<'_> = if use_angular {
         let heading_pos = heading_pos.expect("checked above");
-        Expansion::with_weight(network, vehicle.location, t, move |eid| {
-            let edge = network.edge(eid);
-            let adist = angular_distance(source_pos, heading_pos, network.position(edge.to));
-            let beta = network.travel_time(eid, t).as_secs_f64();
-            (1.0 - gamma) * adist + gamma * beta / max_beta
-        })
+        Expansion::with_weight_in(
+            network,
+            vehicle.location,
+            t,
+            move |eid| {
+                let edge = network.edge(eid);
+                let adist = angular_distance(source_pos, heading_pos, network.position(edge.to));
+                let beta = network.travel_time(eid, t).as_secs_f64();
+                (1.0 - gamma) * adist + gamma * beta / max_beta
+            },
+            &mut space,
+        )
     } else {
-        Expansion::new(network, vehicle.location, t)
+        Expansion::new_in(network, vehicle.location, t, &mut space)
     };
 
     let mut degree = 0usize;

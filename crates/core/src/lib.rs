@@ -60,6 +60,7 @@ pub mod config;
 pub mod cost;
 pub mod foodgraph;
 pub mod order;
+pub mod parallel;
 pub mod policies;
 pub mod route;
 pub mod vehicle;
@@ -70,6 +71,7 @@ pub use config::DispatchConfig;
 pub use cost::{marginal_cost, shortest_delivery_time, MarginalCost};
 pub use foodgraph::{build_food_graph, FoodGraph};
 pub use order::{Order, OrderId};
+pub use parallel::parallel_map;
 pub use policies::{
     DispatchPolicy, FoodMatchPolicy, GreedyPolicy, KuhnMunkresPolicy, PolicyKind, ReyesPolicy,
 };

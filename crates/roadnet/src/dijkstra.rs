@@ -16,12 +16,27 @@
 //!   to find the `k` nearest batch start nodes of a vehicle, and which also
 //!   accepts a custom edge-weight function so the vehicle-sensitive weight
 //!   `α(v, e, t)` of Eq. 8 can be plugged in.
+//!
+//! ## Allocation-free steady state
+//!
+//! The dispatcher fires thousands of queries per accumulation window, and a
+//! per-query `vec![f64::INFINITY; n]` makes the allocator the bottleneck long
+//! before the graph search is. Every search therefore runs inside a reusable
+//! [`SearchSpace`]: flat distance/parent/settled arrays stamped with a
+//! *generation* counter, reset in O(1) by bumping the generation. Each public
+//! query has an `*_in` variant taking `&mut SearchSpace`; the plain variants
+//! allocate a throwaway space for convenience, and
+//! [`crate::ShortestPathEngine`] keeps a pool of spaces so its hot path never
+//! touches the allocator in steady state.
 
 use crate::graph::RoadNetwork;
 use crate::ids::{EdgeId, NodeId};
 use crate::timeofday::{Duration, TimePoint};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Sentinel for "no parent edge recorded".
+pub(crate) const NO_EDGE: u32 = u32::MAX;
 
 /// The result of a point-to-point shortest-path query.
 #[derive(Clone, Debug, PartialEq)]
@@ -64,22 +79,204 @@ impl Ord for QueueEntry {
     }
 }
 
+/// Reusable scratch memory for graph searches, reset in O(1).
+///
+/// All per-node state (tentative distance, tree travel time, parent edge,
+/// settled flag, target mark) lives in flat arrays alongside a *generation*
+/// stamp per node. A slot is only valid when its stamp equals the space's
+/// current generation, so starting a new search is a single counter bump —
+/// no `memset`, no allocation. The arrays grow to the largest network seen
+/// and are then reused verbatim, which keeps steady-state queries entirely
+/// allocation-free.
+#[derive(Debug, Default)]
+pub struct SearchSpace {
+    dist: Vec<f64>,
+    time: Vec<f64>,
+    parent: Vec<u32>,
+    touched: Vec<u32>,
+    settled: Vec<u32>,
+    targeted: Vec<u32>,
+    generation: u32,
+    heap: BinaryHeap<QueueEntry>,
+}
+
+impl SearchSpace {
+    /// Creates an empty search space; arrays grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a search space pre-sized for networks of `nodes` nodes.
+    pub fn with_capacity(nodes: usize) -> Self {
+        let mut space = Self::default();
+        space.grow(nodes);
+        space
+    }
+
+    /// Number of nodes the space is currently sized for.
+    pub fn node_capacity(&self) -> usize {
+        self.dist.len()
+    }
+
+    pub(crate) fn grow(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, f64::INFINITY);
+            self.time.resize(n, f64::INFINITY);
+            self.parent.resize(n, NO_EDGE);
+            self.touched.resize(n, 0);
+            self.settled.resize(n, 0);
+            self.targeted.resize(n, 0);
+        }
+    }
+
+    /// Starts a fresh search over a network of `n` nodes: O(1) unless the
+    /// space needs to grow or the 32-bit generation counter wraps (once every
+    /// ~4 billion searches, at which point the stamps are re-zeroed).
+    pub(crate) fn begin(&mut self, n: usize) {
+        self.grow(n);
+        if self.generation == u32::MAX {
+            self.touched.fill(0);
+            self.settled.fill(0);
+            self.targeted.fill(0);
+            self.generation = 0;
+        }
+        self.generation += 1;
+        self.heap.clear();
+    }
+
+    #[inline]
+    pub(crate) fn dist(&self, i: usize) -> f64 {
+        if self.touched[i] == self.generation {
+            self.dist[i]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    #[inline]
+    pub(crate) fn time_of(&self, i: usize) -> f64 {
+        debug_assert_eq!(self.touched[i], self.generation);
+        self.time[i]
+    }
+
+    #[inline]
+    pub(crate) fn update(&mut self, i: usize, dist: f64, time: f64, parent: u32) {
+        self.dist[i] = dist;
+        self.time[i] = time;
+        self.parent[i] = parent;
+        self.touched[i] = self.generation;
+    }
+
+    /// Like [`Self::update`] but leaves the travel-time array untouched
+    /// (for searches whose weight *is* the travel time, e.g. CH queries).
+    #[inline]
+    pub(crate) fn update_no_time(&mut self, i: usize, dist: f64, parent: u32) {
+        self.dist[i] = dist;
+        self.parent[i] = parent;
+        self.touched[i] = self.generation;
+    }
+
+    #[inline]
+    pub(crate) fn is_settled(&self, i: usize) -> bool {
+        self.settled[i] == self.generation
+    }
+
+    #[inline]
+    pub(crate) fn settle(&mut self, i: usize) {
+        self.settled[i] = self.generation;
+    }
+
+    #[inline]
+    pub(crate) fn parent_edge(&self, i: usize) -> Option<EdgeId> {
+        if self.touched[i] == self.generation && self.parent[i] != NO_EDGE {
+            Some(EdgeId(self.parent[i]))
+        } else {
+            None
+        }
+    }
+
+    /// Raw parent stamp of `i` ([`NO_EDGE`] when unset). The contraction
+    /// hierarchy stores *arc indices* here rather than edge ids, so it reads
+    /// the stamp back untyped.
+    #[inline]
+    pub(crate) fn parent_raw(&self, i: usize) -> u32 {
+        if self.touched[i] == self.generation {
+            self.parent[i]
+        } else {
+            NO_EDGE
+        }
+    }
+
+    /// Marks `i` as a target of the current search; false if already marked.
+    #[inline]
+    pub(crate) fn mark_target(&mut self, i: usize) -> bool {
+        if self.targeted[i] == self.generation {
+            false
+        } else {
+            self.targeted[i] = self.generation;
+            true
+        }
+    }
+
+    /// Consumes a target mark, returning true the first time `i` is settled.
+    #[inline]
+    pub(crate) fn take_target(&mut self, i: usize) -> bool {
+        if self.targeted[i] == self.generation {
+            // Generation is >= 1 after `begin`, so 0 can never collide.
+            self.targeted[i] = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    #[inline]
+    pub(crate) fn push(&mut self, cost: f64, node: NodeId) {
+        self.heap.push(QueueEntry { cost, node });
+    }
+
+    #[inline]
+    pub(crate) fn pop(&mut self) -> Option<(f64, NodeId)> {
+        self.heap.pop().map(|e| (e.cost, e.node))
+    }
+}
+
 /// Shortest (quickest) travel time from `source` to `target` at time `t`, or
-/// `None` if `target` is unreachable.
+/// `None` if `target` is unreachable. Allocates a throwaway [`SearchSpace`];
+/// hot paths should use [`shortest_travel_time_in`].
 pub fn shortest_travel_time(
     network: &RoadNetwork,
     source: NodeId,
     target: NodeId,
     t: TimePoint,
 ) -> Option<Duration> {
+    shortest_travel_time_in(network, source, target, t, &mut SearchSpace::new())
+}
+
+/// [`shortest_travel_time`] running inside a caller-provided space.
+pub fn shortest_travel_time_in(
+    network: &RoadNetwork,
+    source: NodeId,
+    target: NodeId,
+    t: TimePoint,
+    space: &mut SearchSpace,
+) -> Option<Duration> {
     if source == target {
         return Some(Duration::ZERO);
     }
-    let mut expansion = Expansion::new(network, source, t);
-    for settled in expansion.by_ref() {
-        if settled.node == target {
-            return Some(settled.travel_time);
+    space.begin(network.node_count());
+    space.update(source.index(), 0.0, 0.0, NO_EDGE);
+    space.push(0.0, source);
+    while let Some((cost, node)) = space.pop() {
+        let i = node.index();
+        if space.is_settled(i) || cost > space.dist(i) {
+            continue;
         }
+        space.settle(i);
+        if node == target {
+            return Some(Duration::from_secs_f64(cost));
+        }
+        relax_beta(network, t, space, node, cost);
     }
     None
 }
@@ -92,31 +289,35 @@ pub fn shortest_path(
     target: NodeId,
     t: TimePoint,
 ) -> Option<PathResult> {
-    let n = network.node_count();
-    let mut dist = vec![f64::INFINITY; n];
-    let mut parent_edge: Vec<Option<EdgeId>> = vec![None; n];
-    let mut heap = BinaryHeap::new();
-    dist[source.index()] = 0.0;
-    heap.push(QueueEntry { cost: 0.0, node: source });
+    shortest_path_in(network, source, target, t, &mut SearchSpace::new())
+}
 
-    while let Some(QueueEntry { cost, node }) = heap.pop() {
-        if cost > dist[node.index()] {
+/// [`shortest_path`] running inside a caller-provided space. The returned
+/// node sequence is the only allocation.
+pub fn shortest_path_in(
+    network: &RoadNetwork,
+    source: NodeId,
+    target: NodeId,
+    t: TimePoint,
+    space: &mut SearchSpace,
+) -> Option<PathResult> {
+    space.begin(network.node_count());
+    space.update(source.index(), 0.0, 0.0, NO_EDGE);
+    space.push(0.0, source);
+    let mut reached = source == target;
+    while let Some((cost, node)) = space.pop() {
+        let i = node.index();
+        if space.is_settled(i) || cost > space.dist(i) {
             continue;
         }
+        space.settle(i);
         if node == target {
+            reached = true;
             break;
         }
-        for (eid, edge) in network.out_edges(node) {
-            let next = cost + network.travel_time(eid, t).as_secs_f64();
-            if next < dist[edge.to.index()] {
-                dist[edge.to.index()] = next;
-                parent_edge[edge.to.index()] = Some(eid);
-                heap.push(QueueEntry { cost: next, node: edge.to });
-            }
-        }
+        relax_beta(network, t, space, node, cost);
     }
-
-    if dist[target.index()].is_infinite() {
+    if !reached {
         return None;
     }
 
@@ -125,7 +326,7 @@ pub fn shortest_path(
     let mut length_m = 0.0;
     let mut cursor = target;
     while cursor != source {
-        let eid = parent_edge[cursor.index()].expect("reached node must have a parent edge");
+        let eid = space.parent_edge(cursor.index()).expect("reached node must have a parent edge");
         let edge = network.edge(eid);
         length_m += edge.length_m;
         cursor = edge.from;
@@ -133,7 +334,11 @@ pub fn shortest_path(
     }
     nodes.reverse();
 
-    Some(PathResult { travel_time: Duration::from_secs_f64(dist[target.index()]), length_m, nodes })
+    Some(PathResult {
+        travel_time: Duration::from_secs_f64(space.dist(target.index())),
+        length_m,
+        nodes,
+    })
 }
 
 /// Travel times from `source` to each node in `targets` at time `t`.
@@ -146,28 +351,53 @@ pub fn one_to_many(
     targets: &[NodeId],
     t: TimePoint,
 ) -> Vec<Option<Duration>> {
-    let mut remaining: std::collections::HashSet<NodeId> = targets.iter().copied().collect();
-    let mut found: std::collections::HashMap<NodeId, Duration> =
-        std::collections::HashMap::with_capacity(targets.len());
+    one_to_many_in(network, source, targets, t, &mut SearchSpace::new())
+}
 
-    if remaining.contains(&source) {
-        found.insert(source, Duration::ZERO);
-        remaining.remove(&source);
-    }
-
-    if !remaining.is_empty() {
-        let mut expansion = Expansion::new(network, source, t);
-        for settled in expansion.by_ref() {
-            if remaining.remove(&settled.node) {
-                found.insert(settled.node, settled.travel_time);
-                if remaining.is_empty() {
-                    break;
-                }
-            }
+/// [`one_to_many`] running inside a caller-provided space. Target membership
+/// is tracked with generation-stamped marks, so apart from the output vector
+/// the query performs no allocation.
+pub fn one_to_many_in(
+    network: &RoadNetwork,
+    source: NodeId,
+    targets: &[NodeId],
+    t: TimePoint,
+    space: &mut SearchSpace,
+) -> Vec<Option<Duration>> {
+    space.begin(network.node_count());
+    let mut remaining = 0usize;
+    for &target in targets {
+        if space.mark_target(target.index()) {
+            remaining += 1;
         }
     }
-
-    targets.iter().map(|n| found.get(n).copied()).collect()
+    space.update(source.index(), 0.0, 0.0, NO_EDGE);
+    space.push(0.0, source);
+    while remaining > 0 {
+        let Some((cost, node)) = space.pop() else { break };
+        let i = node.index();
+        if space.is_settled(i) || cost > space.dist(i) {
+            continue;
+        }
+        space.settle(i);
+        if space.take_target(i) {
+            remaining -= 1;
+        }
+        if remaining > 0 {
+            relax_beta(network, t, space, node, cost);
+        }
+    }
+    targets
+        .iter()
+        .map(|&target| {
+            let i = target.index();
+            if space.is_settled(i) {
+                Some(Duration::from_secs_f64(space.dist(i)))
+            } else {
+                None
+            }
+        })
+        .collect()
 }
 
 /// Travel times from `source` to every node of the network at time `t`
@@ -179,6 +409,29 @@ pub fn one_to_all(network: &RoadNetwork, source: NodeId, t: TimePoint) -> Vec<Op
         out[settled.node.index()] = Some(settled.travel_time);
     }
     out
+}
+
+/// Relaxes `node`'s out-edges under the temporal weight `β(e, t)` (distance
+/// and travel time coincide).
+#[inline]
+fn relax_beta(
+    network: &RoadNetwork,
+    t: TimePoint,
+    space: &mut SearchSpace,
+    node: NodeId,
+    base: f64,
+) {
+    for (eid, edge) in network.out_edges(node) {
+        let to = edge.to.index();
+        if space.is_settled(to) {
+            continue;
+        }
+        let next = base + network.travel_time(eid, t).as_secs_f64();
+        if next < space.dist(to) {
+            space.update(to, next, next, eid.0);
+            space.push(next, edge.to);
+        }
+    }
 }
 
 /// A node settled by a best-first [`Expansion`], together with its distance
@@ -195,6 +448,23 @@ pub struct Settled {
     pub travel_time: Duration,
 }
 
+/// The scratch space an [`Expansion`] runs in: its own, or one borrowed from
+/// a caller (e.g. the engine's pool) so repeated expansions don't allocate.
+enum SpaceSlot<'a> {
+    Owned(SearchSpace),
+    Borrowed(&'a mut SearchSpace),
+}
+
+impl SpaceSlot<'_> {
+    #[inline]
+    fn get(&mut self) -> &mut SearchSpace {
+        match self {
+            SpaceSlot::Owned(space) => space,
+            SpaceSlot::Borrowed(space) => space,
+        }
+    }
+}
+
 /// Lazy best-first expansion of the road network from a source node.
 ///
 /// Yields nodes in non-decreasing order of accumulated weight. With the
@@ -203,16 +473,17 @@ pub struct Settled {
 /// `α(v, e, t)` (Eq. 8) via [`Expansion::with_weight`], so nodes pop in an
 /// order that blends travel time with angular distance while the true travel
 /// time along the tree path is still tracked for cost computations.
+///
+/// The `*_in` constructors run the expansion inside a caller-provided
+/// [`SearchSpace`] so per-vehicle expansions in the FoodGraph hot loop reuse
+/// one set of arrays instead of allocating per vehicle.
 pub struct Expansion<'a> {
     network: &'a RoadNetwork,
     t: TimePoint,
     /// Weight of edge `eid` leaving a node settled at weight `w`; `None`
     /// means "use β(e, t)".
     weight_fn: Option<Box<dyn Fn(EdgeId) -> f64 + 'a>>,
-    dist: Vec<f64>,
-    time: Vec<f64>,
-    settled: Vec<bool>,
-    heap: BinaryHeap<QueueEntry>,
+    space: SpaceSlot<'a>,
     yielded_source: bool,
     source: NodeId,
 }
@@ -221,7 +492,17 @@ impl<'a> Expansion<'a> {
     /// Starts a best-first expansion from `source` using the temporal edge
     /// weight `β(e, t)`.
     pub fn new(network: &'a RoadNetwork, source: NodeId, t: TimePoint) -> Self {
-        Self::build(network, source, t, None)
+        Self::build(network, source, t, None, SpaceSlot::Owned(SearchSpace::new()))
+    }
+
+    /// [`Expansion::new`] running inside a caller-provided space.
+    pub fn new_in(
+        network: &'a RoadNetwork,
+        source: NodeId,
+        t: TimePoint,
+        space: &'a mut SearchSpace,
+    ) -> Self {
+        Self::build(network, source, t, None, SpaceSlot::Borrowed(space))
     }
 
     /// Starts a best-first expansion from `source` using a caller-supplied
@@ -232,7 +513,24 @@ impl<'a> Expansion<'a> {
         t: TimePoint,
         weight: impl Fn(EdgeId) -> f64 + 'a,
     ) -> Self {
-        Self::build(network, source, t, Some(Box::new(weight)))
+        Self::build(
+            network,
+            source,
+            t,
+            Some(Box::new(weight)),
+            SpaceSlot::Owned(SearchSpace::new()),
+        )
+    }
+
+    /// [`Expansion::with_weight`] running inside a caller-provided space.
+    pub fn with_weight_in(
+        network: &'a RoadNetwork,
+        source: NodeId,
+        t: TimePoint,
+        weight: impl Fn(EdgeId) -> f64 + 'a,
+        space: &'a mut SearchSpace,
+    ) -> Self {
+        Self::build(network, source, t, Some(Box::new(weight)), SpaceSlot::Borrowed(space))
     }
 
     fn build(
@@ -240,36 +538,48 @@ impl<'a> Expansion<'a> {
         source: NodeId,
         t: TimePoint,
         weight_fn: Option<Box<dyn Fn(EdgeId) -> f64 + 'a>>,
+        mut space: SpaceSlot<'a>,
     ) -> Self {
-        let n = network.node_count();
-        let mut dist = vec![f64::INFINITY; n];
-        let mut time = vec![f64::INFINITY; n];
-        dist[source.index()] = 0.0;
-        time[source.index()] = 0.0;
-        let mut heap = BinaryHeap::new();
-        heap.push(QueueEntry { cost: 0.0, node: source });
-        Expansion {
-            network,
-            t,
-            weight_fn,
-            dist,
-            time,
-            settled: vec![false; n],
-            heap,
-            yielded_source: false,
-            source,
-        }
+        let inner = space.get();
+        inner.begin(network.node_count());
+        inner.update(source.index(), 0.0, 0.0, NO_EDGE);
+        inner.push(0.0, source);
+        Expansion { network, t, weight_fn, space, yielded_source: false, source }
     }
 
-    fn edge_weight(&self, eid: EdgeId) -> f64 {
-        match &self.weight_fn {
-            Some(f) => {
-                let w = f(eid);
-                debug_assert!(w.is_finite() && w >= 0.0, "custom edge weight must be non-negative");
-                w
+    fn relax(&mut self, node: NodeId) {
+        let space = self.space.get();
+        let base_w = space.dist(node.index());
+        let base_t = space.time_of(node.index());
+        for (eid, edge) in self.network.out_edges(node) {
+            let to = edge.to.index();
+            if space.is_settled(to) {
+                continue;
             }
-            None => self.network.travel_time(eid, self.t).as_secs_f64(),
+            let w = base_w + edge_weight(self.network, &self.weight_fn, self.t, eid);
+            if w < space.dist(to) {
+                let time = base_t + self.network.travel_time(eid, self.t).as_secs_f64();
+                space.update(to, w, time, eid.0);
+                space.push(w, edge.to);
+            }
         }
+    }
+}
+
+#[inline]
+fn edge_weight(
+    network: &RoadNetwork,
+    weight_fn: &Option<Box<dyn Fn(EdgeId) -> f64 + '_>>,
+    t: TimePoint,
+    eid: EdgeId,
+) -> f64 {
+    match weight_fn {
+        Some(f) => {
+            let w = f(eid);
+            debug_assert!(w.is_finite() && w >= 0.0, "custom edge weight must be non-negative");
+            w
+        }
+        None => network.travel_time(eid, t).as_secs_f64(),
     }
 }
 
@@ -279,43 +589,24 @@ impl Iterator for Expansion<'_> {
     fn next(&mut self) -> Option<Settled> {
         if !self.yielded_source {
             self.yielded_source = true;
-            self.settled[self.source.index()] = true;
+            self.space.get().settle(self.source.index());
             // Relax the source's out-edges before yielding it so that the
             // iterator is usable even if the caller stops immediately after.
-            self.relax(self.source);
+            let source = self.source;
+            self.relax(source);
             return Some(Settled { node: self.source, weight: 0.0, travel_time: Duration::ZERO });
         }
-        while let Some(QueueEntry { cost, node }) = self.heap.pop() {
-            if self.settled[node.index()] || cost > self.dist[node.index()] {
+        loop {
+            let space = self.space.get();
+            let (cost, node) = space.pop()?;
+            let i = node.index();
+            if space.is_settled(i) || cost > space.dist(i) {
                 continue;
             }
-            self.settled[node.index()] = true;
+            space.settle(i);
             self.relax(node);
-            return Some(Settled {
-                node,
-                weight: cost,
-                travel_time: Duration::from_secs_f64(self.time[node.index()]),
-            });
-        }
-        None
-    }
-}
-
-impl Expansion<'_> {
-    fn relax(&mut self, node: NodeId) {
-        let base_w = self.dist[node.index()];
-        let base_t = self.time[node.index()];
-        for (eid, edge) in self.network.out_edges(node) {
-            if self.settled[edge.to.index()] {
-                continue;
-            }
-            let w = base_w + self.edge_weight(eid);
-            if w < self.dist[edge.to.index()] {
-                self.dist[edge.to.index()] = w;
-                self.time[edge.to.index()] =
-                    base_t + self.network.travel_time(eid, self.t).as_secs_f64();
-                self.heap.push(QueueEntry { cost: w, node: edge.to });
-            }
+            let travel_time = Duration::from_secs_f64(self.space.get().time_of(node.index()));
+            return Some(Settled { node, weight: cost, travel_time });
         }
     }
 }
@@ -416,12 +707,66 @@ mod tests {
     }
 
     #[test]
+    fn one_to_many_handles_duplicate_targets() {
+        let net = grid_2x3();
+        let t = TimePoint::from_hms(13, 0, 0);
+        let targets = [NodeId(4), NodeId(4), NodeId(0), NodeId(0)];
+        let batch = one_to_many(&net, NodeId(0), &targets, t);
+        assert_eq!(batch[0], batch[1]);
+        assert_eq!(batch[2], Some(Duration::ZERO));
+        assert_eq!(batch[3], Some(Duration::ZERO));
+    }
+
+    #[test]
     fn one_to_all_covers_connected_grid() {
         let net = grid_2x3();
         let d = one_to_all(&net, NodeId(0), TimePoint::MIDNIGHT);
         assert_eq!(d.len(), 6);
         assert!(d.iter().all(|x| x.is_some()));
         assert_eq!(d[0], Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn search_space_is_reusable_across_queries() {
+        let net = grid_2x3();
+        let t = TimePoint::from_hms(9, 0, 0);
+        let mut space = SearchSpace::new();
+        // Interleave different query types in one space; results must match
+        // the allocating reference implementations every time.
+        for round in 0..3 {
+            for s in 0..net.node_count() {
+                let source = NodeId(s as u32);
+                let target = NodeId(((s + round + 1) % net.node_count()) as u32);
+                assert_eq!(
+                    shortest_travel_time_in(&net, source, target, t, &mut space),
+                    shortest_travel_time(&net, source, target, t),
+                    "round {round}, {source}->{target}"
+                );
+                let targets: Vec<NodeId> = net.node_ids().collect();
+                assert_eq!(
+                    one_to_many_in(&net, source, &targets, t, &mut space),
+                    one_to_many(&net, source, &targets, t)
+                );
+                assert_eq!(
+                    shortest_path_in(&net, source, target, t, &mut space),
+                    shortest_path(&net, source, target, t)
+                );
+            }
+        }
+        assert_eq!(space.node_capacity(), net.node_count());
+    }
+
+    #[test]
+    fn expansion_in_borrowed_space_matches_owned() {
+        let net = grid_2x3();
+        let t = TimePoint::MIDNIGHT;
+        let mut space = SearchSpace::new();
+        for _ in 0..2 {
+            let borrowed: Vec<Settled> =
+                Expansion::new_in(&net, NodeId(0), t, &mut space).collect();
+            let owned: Vec<Settled> = Expansion::new(&net, NodeId(0), t).collect();
+            assert_eq!(borrowed, owned);
+        }
     }
 
     #[test]

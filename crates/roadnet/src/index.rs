@@ -2,30 +2,50 @@
 //!
 //! Higher layers (route planning, batching, FoodGraph construction, the
 //! simulator) issue a very large number of `SP(u, v, t)` queries. The paper
-//! accelerates these with hub labels; we expose three interchangeable
+//! accelerates these with hub labels; we expose four interchangeable
 //! engines behind [`ShortestPathEngine`]:
 //!
 //! * [`EngineKind::Dijkstra`] — no index, every query runs Dijkstra. Baseline
 //!   and reference implementation.
 //! * [`EngineKind::Cached`] — Dijkstra plus a per-slot memo of `(source,
 //!   target) → travel time`, which pays off because dispatch repeatedly asks
-//!   about the same restaurant/customer nodes within a window.
+//!   about the same restaurant/customer nodes within a window. The memo is
+//!   sharded 16 ways by source node so parallel dispatch workers don't
+//!   serialise on one lock, and the lock is never held across the fallback
+//!   Dijkstra run.
 //! * [`EngineKind::HubLabels`] — exact hub labels built lazily per hour slot
 //!   (see [`crate::hub_labels`]).
+//! * [`EngineKind::ContractionHierarchies`] — a contraction-hierarchies
+//!   index built lazily per hour slot (see [`crate::ch`]); the only indexed
+//!   backend that also answers full *path* queries (via shortcut unpacking).
 //!
 //! The engine is `Send + Sync` (interior mutability uses [`parking_lot`]
 //! locks) so FoodGraph construction can fan out per-vehicle work across
-//! threads while sharing one engine.
+//! threads while sharing one engine. Dijkstra fallbacks run in pooled
+//! [`SearchSpace`]s (checked out per query, returned on drop), so steady-state
+//! queries perform no allocation; [`ShortestPathEngine::search_space`] hands
+//! the same pooled spaces to callers that drive their own
+//! [`Expansion`](crate::dijkstra::Expansion)s.
 
-use crate::dijkstra;
+use crate::ch::ContractionHierarchy;
+use crate::dijkstra::{self, SearchSpace};
 use crate::graph::RoadNetwork;
 use crate::hub_labels::HubLabelIndex;
 use crate::ids::NodeId;
 use crate::timeofday::{Duration, HourSlot, TimePoint};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Number of shards of the per-slot memo cache. Shard choice hashes only the
+/// source node, so a one-to-many fill for one source stays within one shard.
+const CACHE_SHARDS: usize = 16;
+
+/// Upper bound on pooled search spaces (≈ the largest plausible worker
+/// fan-out; beyond it, spaces are simply dropped).
+const MAX_POOLED_SPACES: usize = 64;
 
 /// Which backend a [`ShortestPathEngine`] uses.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -36,7 +56,23 @@ pub enum EngineKind {
     Cached,
     /// Lazily built exact hub labels per hour slot.
     HubLabels,
+    /// Lazily built contraction hierarchies per hour slot.
+    ContractionHierarchies,
 }
+
+impl EngineKind {
+    /// All engine kinds, in documentation order (useful for equivalence
+    /// tests and per-backend benchmarks).
+    pub const ALL: [EngineKind; 4] = [
+        EngineKind::Dijkstra,
+        EngineKind::Cached,
+        EngineKind::HubLabels,
+        EngineKind::ContractionHierarchies,
+    ];
+}
+
+/// One shard group of the memo cache for a single hour slot.
+type CacheSlot = [Mutex<HashMap<(NodeId, NodeId), f64>>; CACHE_SHARDS];
 
 /// Shared, thread-safe shortest-path oracle over a [`RoadNetwork`].
 #[derive(Clone)]
@@ -47,11 +83,16 @@ pub struct ShortestPathEngine {
 struct EngineInner {
     network: RoadNetwork,
     kind: EngineKind,
-    /// Memo for [`EngineKind::Cached`]: slot → (source, target) → seconds
-    /// (`f64::INFINITY` encodes "unreachable").
-    cache: [Mutex<HashMap<(NodeId, NodeId), f64>>; HourSlot::COUNT],
+    /// Memo for [`EngineKind::Cached`]: slot → shard → (source, target) →
+    /// seconds (`f64::INFINITY` encodes "unreachable").
+    cache: [CacheSlot; HourSlot::COUNT],
     /// Lazily built hub-label indexes for [`EngineKind::HubLabels`].
     labels: [RwLock<Option<Arc<HubLabelIndex>>>; HourSlot::COUNT],
+    /// Lazily built contraction hierarchies for
+    /// [`EngineKind::ContractionHierarchies`].
+    hierarchies: [RwLock<Option<Arc<ContractionHierarchy>>>; HourSlot::COUNT],
+    /// Pool of reusable Dijkstra search spaces.
+    spaces: Mutex<Vec<SearchSpace>>,
     queries: AtomicU64,
 }
 
@@ -62,8 +103,10 @@ impl ShortestPathEngine {
             inner: Arc::new(EngineInner {
                 network,
                 kind,
-                cache: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+                cache: std::array::from_fn(|_| std::array::from_fn(|_| Mutex::new(HashMap::new()))),
                 labels: std::array::from_fn(|_| RwLock::new(None)),
+                hierarchies: std::array::from_fn(|_| RwLock::new(None)),
+                spaces: Mutex::new(Vec::new()),
                 queries: AtomicU64::new(0),
             }),
         }
@@ -85,6 +128,11 @@ impl ShortestPathEngine {
         Self::new(network, EngineKind::HubLabels)
     }
 
+    /// Convenience constructor for a contraction-hierarchies engine.
+    pub fn contraction_hierarchies(network: RoadNetwork) -> Self {
+        Self::new(network, EngineKind::ContractionHierarchies)
+    }
+
     /// The underlying road network.
     pub fn network(&self) -> &RoadNetwork {
         &self.inner.network
@@ -100,6 +148,16 @@ impl ShortestPathEngine {
         self.inner.queries.load(Ordering::Relaxed)
     }
 
+    /// Checks a reusable [`SearchSpace`] out of the engine's pool; it returns
+    /// to the pool when the guard drops. Callers that run their own
+    /// [`Expansion`](crate::dijkstra::Expansion)s (the FoodGraph's per-vehicle
+    /// best-first searches) use this so repeated searches stay
+    /// allocation-free.
+    pub fn search_space(&self) -> PooledSpace {
+        let space = self.inner.spaces.lock().pop().unwrap_or_default();
+        PooledSpace { space: Some(space), engine: Arc::clone(&self.inner) }
+    }
+
     /// `SP(source, target, t)`: shortest travel time at time `t`, or `None`
     /// if the target is unreachable.
     pub fn travel_time(&self, source: NodeId, target: NodeId, t: TimePoint) -> Option<Duration> {
@@ -109,10 +167,20 @@ impl ShortestPathEngine {
         }
         match self.inner.kind {
             EngineKind::Dijkstra => {
-                dijkstra::shortest_travel_time(&self.inner.network, source, target, t)
+                let mut space = self.search_space();
+                dijkstra::shortest_travel_time_in(
+                    &self.inner.network,
+                    source,
+                    target,
+                    t,
+                    &mut space,
+                )
             }
             EngineKind::Cached => self.cached_travel_time(source, target, t),
             EngineKind::HubLabels => self.labels_for(t.hour_slot()).travel_time(source, target),
+            EngineKind::ContractionHierarchies => {
+                self.hierarchy_for(t.hour_slot()).travel_time(source, target)
+            }
         }
     }
 
@@ -126,78 +194,122 @@ impl ShortestPathEngine {
     ) -> Vec<Option<Duration>> {
         self.inner.queries.fetch_add(targets.len() as u64, Ordering::Relaxed);
         match self.inner.kind {
-            EngineKind::Dijkstra => dijkstra::one_to_many(&self.inner.network, source, targets, t),
-            EngineKind::Cached => {
-                // Answer what the cache already knows, then fill the gaps with
-                // a single one-to-many run.
-                let slot = t.hour_slot();
-                let mut out: Vec<Option<Option<Duration>>> = vec![None; targets.len()];
-                {
-                    let cache = self.inner.cache[slot.index()].lock();
-                    for (i, &target) in targets.iter().enumerate() {
-                        if source == target {
-                            out[i] = Some(Some(Duration::ZERO));
-                        } else if let Some(&secs) = cache.get(&(source, target)) {
-                            out[i] = Some(decode(secs));
-                        }
-                    }
-                }
-                let missing: Vec<NodeId> = targets
-                    .iter()
-                    .zip(&out)
-                    .filter(|(_, o)| o.is_none())
-                    .map(|(&n, _)| n)
-                    .collect();
-                if !missing.is_empty() {
-                    let answers = dijkstra::one_to_many(&self.inner.network, source, &missing, t);
-                    let mut cache = self.inner.cache[slot.index()].lock();
-                    let mut it = answers.into_iter();
-                    for (i, &target) in targets.iter().enumerate() {
-                        if out[i].is_none() {
-                            let answer = it.next().expect("one answer per missing target");
-                            cache.insert((source, target), encode(answer));
-                            out[i] = Some(answer);
-                        }
-                    }
-                }
-                out.into_iter().map(|o| o.expect("all targets answered")).collect()
+            EngineKind::Dijkstra => {
+                let mut space = self.search_space();
+                dijkstra::one_to_many_in(&self.inner.network, source, targets, t, &mut space)
             }
+            EngineKind::Cached => self.cached_to_many(source, targets, t),
             EngineKind::HubLabels => {
                 let index = self.labels_for(t.hour_slot());
                 targets.iter().map(|&target| index.travel_time(source, target)).collect()
             }
+            EngineKind::ContractionHierarchies => {
+                self.hierarchy_for(t.hour_slot()).travel_times_to_many(source, targets)
+            }
         }
     }
 
-    /// Shortest path with node sequence and length; always computed with
-    /// Dijkstra (only the simulator needs full paths, and only once per
-    /// accepted route plan leg).
+    /// Shortest path with node sequence and length.
+    ///
+    /// Routed through the contraction-hierarchies index (with shortcut
+    /// unpacking) when that backend is selected; every other backend answers
+    /// with a pooled-space Dijkstra. Counted in [`Self::query_count`] like
+    /// the other entry points.
     pub fn shortest_path(
         &self,
         source: NodeId,
         target: NodeId,
         t: TimePoint,
     ) -> Option<dijkstra::PathResult> {
-        dijkstra::shortest_path(&self.inner.network, source, target, t)
+        self.inner.queries.fetch_add(1, Ordering::Relaxed);
+        match self.inner.kind {
+            EngineKind::ContractionHierarchies => {
+                self.hierarchy_for(t.hour_slot()).shortest_path(&self.inner.network, source, target)
+            }
+            _ => {
+                let mut space = self.search_space();
+                dijkstra::shortest_path_in(&self.inner.network, source, target, t, &mut space)
+            }
+        }
     }
 
-    /// Forces construction of the hub-label index for `slot` (no-op for other
-    /// engine kinds). Useful to move index construction out of measured
-    /// sections in benchmarks.
+    /// Forces construction of the per-slot index for `slot` (no-op for the
+    /// index-free engine kinds). Useful to move index construction out of
+    /// measured sections in benchmarks.
     pub fn warm_up(&self, slot: HourSlot) {
-        if self.inner.kind == EngineKind::HubLabels {
-            let _ = self.labels_for_slot(slot);
+        match self.inner.kind {
+            EngineKind::HubLabels => {
+                let _ = self.labels_for_slot(slot);
+            }
+            EngineKind::ContractionHierarchies => {
+                let _ = self.hierarchy_for_slot(slot);
+            }
+            EngineKind::Dijkstra | EngineKind::Cached => {}
         }
+    }
+
+    #[inline]
+    fn shard(source: NodeId) -> usize {
+        // Fibonacci-style multiplicative hash of the source node; targets are
+        // deliberately ignored so one-to-many fills stay within one shard.
+        (source.0.wrapping_mul(0x9E37_79B1) >> 28) as usize % CACHE_SHARDS
     }
 
     fn cached_travel_time(&self, source: NodeId, target: NodeId, t: TimePoint) -> Option<Duration> {
         let slot = t.hour_slot();
-        if let Some(&secs) = self.inner.cache[slot.index()].lock().get(&(source, target)) {
+        let shard = &self.inner.cache[slot.index()][Self::shard(source)];
+        if let Some(&secs) = shard.lock().get(&(source, target)) {
             return decode(secs);
         }
-        let answer = dijkstra::shortest_travel_time(&self.inner.network, source, target, t);
-        self.inner.cache[slot.index()].lock().insert((source, target), encode(answer));
+        // The fallback Dijkstra runs with no lock held; concurrent fills of
+        // the same pair are idempotent (both insert the same exact answer).
+        let answer = {
+            let mut space = self.search_space();
+            dijkstra::shortest_travel_time_in(&self.inner.network, source, target, t, &mut space)
+        };
+        shard.lock().insert((source, target), encode(answer));
         answer
+    }
+
+    fn cached_to_many(
+        &self,
+        source: NodeId,
+        targets: &[NodeId],
+        t: TimePoint,
+    ) -> Vec<Option<Duration>> {
+        // Answer what the cache already knows, then fill the gaps with a
+        // single one-to-many run performed with no lock held.
+        let slot = t.hour_slot();
+        let shard = &self.inner.cache[slot.index()][Self::shard(source)];
+        let mut out: Vec<Option<Option<Duration>>> = vec![None; targets.len()];
+        {
+            let cache = shard.lock();
+            for (i, &target) in targets.iter().enumerate() {
+                if source == target {
+                    out[i] = Some(Some(Duration::ZERO));
+                } else if let Some(&secs) = cache.get(&(source, target)) {
+                    out[i] = Some(decode(secs));
+                }
+            }
+        }
+        let missing: Vec<NodeId> =
+            targets.iter().zip(&out).filter(|(_, o)| o.is_none()).map(|(&n, _)| n).collect();
+        if !missing.is_empty() {
+            let answers = {
+                let mut space = self.search_space();
+                dijkstra::one_to_many_in(&self.inner.network, source, &missing, t, &mut space)
+            };
+            let mut cache = shard.lock();
+            let mut it = answers.into_iter();
+            for (i, &target) in targets.iter().enumerate() {
+                if out[i].is_none() {
+                    let answer = it.next().expect("one answer per missing target");
+                    cache.insert((source, target), encode(answer));
+                    out[i] = Some(answer);
+                }
+            }
+        }
+        out.into_iter().map(|o| o.expect("all targets answered")).collect()
     }
 
     fn labels_for(&self, slot: HourSlot) -> Arc<HubLabelIndex> {
@@ -215,6 +327,54 @@ impl ShortestPathEngine {
         let index = Arc::new(HubLabelIndex::build(&self.inner.network, slot));
         *guard = Some(Arc::clone(&index));
         index
+    }
+
+    fn hierarchy_for(&self, slot: HourSlot) -> Arc<ContractionHierarchy> {
+        self.hierarchy_for_slot(slot)
+    }
+
+    fn hierarchy_for_slot(&self, slot: HourSlot) -> Arc<ContractionHierarchy> {
+        if let Some(index) = self.inner.hierarchies[slot.index()].read().as_ref() {
+            return Arc::clone(index);
+        }
+        let mut guard = self.inner.hierarchies[slot.index()].write();
+        if let Some(index) = guard.as_ref() {
+            return Arc::clone(index);
+        }
+        let index = Arc::new(ContractionHierarchy::build(&self.inner.network, slot));
+        *guard = Some(Arc::clone(&index));
+        index
+    }
+}
+
+/// A [`SearchSpace`] checked out of a [`ShortestPathEngine`]'s pool; derefs
+/// to the space and returns it to the pool on drop.
+pub struct PooledSpace {
+    space: Option<SearchSpace>,
+    engine: Arc<EngineInner>,
+}
+
+impl Deref for PooledSpace {
+    type Target = SearchSpace;
+    fn deref(&self) -> &SearchSpace {
+        self.space.as_ref().expect("space present until drop")
+    }
+}
+
+impl DerefMut for PooledSpace {
+    fn deref_mut(&mut self) -> &mut SearchSpace {
+        self.space.as_mut().expect("space present until drop")
+    }
+}
+
+impl Drop for PooledSpace {
+    fn drop(&mut self) {
+        if let Some(space) = self.space.take() {
+            let mut pool = self.engine.spaces.lock();
+            if pool.len() < MAX_POOLED_SPACES {
+                pool.push(space);
+            }
+        }
     }
 }
 
@@ -263,9 +423,10 @@ mod tests {
         let reference = ShortestPathEngine::dijkstra(net.clone());
         let cached = ShortestPathEngine::cached(net.clone());
         let labels = ShortestPathEngine::hub_labels(net.clone());
+        let hierarchies = ShortestPathEngine::contraction_hierarchies(net.clone());
         for (a, b) in sample_pairs(&net) {
             let expected = reference.travel_time(a, b, t);
-            for engine in [&cached, &labels] {
+            for engine in [&cached, &labels, &hierarchies] {
                 let got = engine.travel_time(a, b, t);
                 match (expected, got) {
                     (None, None) => {}
@@ -296,7 +457,7 @@ mod tests {
         let net = GridCityBuilder::new(5, 4).build();
         let t = TimePoint::from_hms(12, 0, 0);
         let targets: Vec<NodeId> = net.node_ids().step_by(3).collect();
-        for kind in [EngineKind::Dijkstra, EngineKind::Cached, EngineKind::HubLabels] {
+        for kind in EngineKind::ALL {
             let engine = ShortestPathEngine::new(net.clone(), kind);
             let batch = engine.travel_times_to_many(NodeId(1), &targets, t);
             for (i, &target) in targets.iter().enumerate() {
@@ -321,28 +482,90 @@ mod tests {
     }
 
     #[test]
-    fn engine_is_shareable_across_threads() {
+    fn cached_engine_is_consistent_across_sources_in_different_shards() {
         let net = GridCityBuilder::new(6, 6).build();
-        let engine = ShortestPathEngine::hub_labels(net.clone());
-        let t = TimePoint::from_hms(12, 0, 0);
-        let expected = engine.travel_time(NodeId(0), NodeId(35), t);
-        std::thread::scope(|scope| {
-            for _ in 0..4 {
-                let engine = engine.clone();
-                scope.spawn(move || {
-                    assert_eq!(engine.travel_time(NodeId(0), NodeId(35), t), expected);
-                });
+        let engine = ShortestPathEngine::cached(net.clone());
+        let reference = ShortestPathEngine::dijkstra(net.clone());
+        let t = TimePoint::from_hms(13, 0, 0);
+        // Sweep every node as a source so every shard gets traffic; repeat to
+        // exercise the hit path too.
+        for _ in 0..2 {
+            for source in net.node_ids() {
+                let target = NodeId((source.0 + 7) % net.node_count() as u32);
+                assert_eq!(
+                    engine.travel_time(source, target, t),
+                    reference.travel_time(source, target, t)
+                );
             }
-        });
+        }
     }
 
     #[test]
-    fn warm_up_builds_labels_once() {
+    fn shortest_path_follows_the_backend_and_counts_queries() {
+        let net = GridCityBuilder::new(5, 5).build();
+        let t = TimePoint::from_hms(12, 0, 0);
+        let reference = ShortestPathEngine::dijkstra(net.clone());
+        let expected = reference.shortest_path(NodeId(0), NodeId(24), t).unwrap();
+        assert!(reference.query_count() >= 1, "shortest_path must count as a query");
+        for kind in EngineKind::ALL {
+            let engine = ShortestPathEngine::new(net.clone(), kind);
+            let before = engine.query_count();
+            let got = engine.shortest_path(NodeId(0), NodeId(24), t).unwrap();
+            assert!(engine.query_count() > before, "kind {kind:?} must count path queries");
+            assert_eq!(got.nodes.first(), Some(&NodeId(0)));
+            assert_eq!(got.nodes.last(), Some(&NodeId(24)));
+            assert!(
+                (got.travel_time.as_secs_f64() - expected.travel_time.as_secs_f64()).abs() < 1e-6,
+                "kind {kind:?}: {got:?} vs {expected:?}"
+            );
+            assert!((got.length_m - expected.length_m).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn engine_is_shareable_across_threads() {
+        let net = GridCityBuilder::new(6, 6).build();
+        for kind in [EngineKind::HubLabels, EngineKind::ContractionHierarchies, EngineKind::Cached]
+        {
+            let engine = ShortestPathEngine::new(net.clone(), kind);
+            let t = TimePoint::from_hms(12, 0, 0);
+            let expected = engine.travel_time(NodeId(0), NodeId(35), t);
+            std::thread::scope(|scope| {
+                for _ in 0..4 {
+                    let engine = engine.clone();
+                    scope.spawn(move || {
+                        assert_eq!(engine.travel_time(NodeId(0), NodeId(35), t), expected);
+                    });
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn warm_up_builds_indexes_once() {
         let net = GridCityBuilder::new(4, 4).build();
-        let engine = ShortestPathEngine::hub_labels(net);
-        engine.warm_up(HourSlot::new(12));
-        // Second warm-up must not panic or rebuild into inconsistency.
-        engine.warm_up(HourSlot::new(12));
-        assert!(engine.travel_time(NodeId(0), NodeId(15), TimePoint::from_hms(12, 5, 0)).is_some());
+        for kind in [EngineKind::HubLabels, EngineKind::ContractionHierarchies] {
+            let engine = ShortestPathEngine::new(net.clone(), kind);
+            engine.warm_up(HourSlot::new(12));
+            // Second warm-up must not panic or rebuild into inconsistency.
+            engine.warm_up(HourSlot::new(12));
+            assert!(engine
+                .travel_time(NodeId(0), NodeId(15), TimePoint::from_hms(12, 5, 0))
+                .is_some());
+        }
+    }
+
+    #[test]
+    fn pooled_spaces_are_recycled() {
+        let net = GridCityBuilder::new(4, 4).build();
+        let engine = ShortestPathEngine::dijkstra(net);
+        let t = TimePoint::from_hms(10, 0, 0);
+        for _ in 0..8 {
+            let _ = engine.travel_time(NodeId(0), NodeId(15), t);
+        }
+        // After serial queries the pool must hold exactly one grown space.
+        let pool = engine.inner.spaces.lock();
+        assert_eq!(pool.len(), 1);
+        assert_eq!(pool[0].node_capacity(), 16);
     }
 }

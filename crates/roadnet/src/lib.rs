@@ -18,9 +18,11 @@
 //!   sparsified FoodGraph construction (Algorithm 2 in the paper).
 //! * [`HubLabelIndex`] — a pruned hub-labelling distance oracle standing in
 //!   for the hierarchical hub labels the paper uses for fast distance queries.
+//! * [`ContractionHierarchy`] — a contraction-hierarchies oracle that answers
+//!   both distance and full-path queries through shortcut unpacking.
 //! * [`ShortestPathEngine`] — a façade that picks between plain Dijkstra, a
-//!   memoising cache and hub labels, so callers do not care which index backs
-//!   a query.
+//!   memoising cache, hub labels and contraction hierarchies, so callers do
+//!   not care which index backs a query.
 //! * [`generators`] — synthetic city generators (grid and random-geometric)
 //!   that replace the proprietary OpenStreetMap/Swiggy extracts used in the
 //!   paper's evaluation.
@@ -44,6 +46,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod ch;
 pub mod congestion;
 pub mod dijkstra;
 pub mod generators;
@@ -55,8 +58,9 @@ pub mod index;
 pub mod io;
 pub mod timeofday;
 
+pub use ch::ContractionHierarchy;
 pub use congestion::{CongestionProfile, RoadClass};
-pub use dijkstra::{Expansion, PathResult};
+pub use dijkstra::{Expansion, PathResult, SearchSpace};
 pub use geo::{angular_distance, bearing, haversine_meters, GeoPoint};
 pub use graph::{EdgeRecord, NodeRecord, RoadNetwork, RoadNetworkBuilder};
 pub use hub_labels::HubLabelIndex;

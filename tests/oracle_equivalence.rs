@@ -1,0 +1,255 @@
+//! Oracle equivalence and parallel-dispatch determinism.
+//!
+//! The dispatcher treats the four shortest-path backends as interchangeable,
+//! so any divergence between them is silent data corruption: costs change,
+//! matchings change, and no assertion in the higher layers would notice.
+//! These tests pin the contract from the outside:
+//!
+//! * every backend answers `travel_time` and `travel_times_to_many`
+//!   identically (including `None` for unreachable pairs) on seeded random
+//!   networks across hour slots;
+//! * `shortest_path` agrees across backends (CH answers it from the index by
+//!   unpacking shortcuts — the only indexed backend that can);
+//! * multi-threaded dispatch (`DispatchConfig::num_threads > 1`) produces
+//!   bit-for-bit the same assignments and simulation metrics as the serial
+//!   path.
+
+use foodmatch_core::batching::singleton_batches;
+use foodmatch_core::{
+    build_food_graph, DispatchConfig, DispatchPolicy, FoodMatchPolicy, Order, VehicleSnapshot,
+    WindowSnapshot,
+};
+use foodmatch_roadnet::generators::RandomCityBuilder;
+use foodmatch_roadnet::graph::RoadNetworkBuilder;
+use foodmatch_roadnet::{
+    EngineKind, GeoPoint, NodeId, RoadClass, RoadNetwork, ShortestPathEngine, TimePoint,
+};
+use foodmatch_sim::Simulation;
+use foodmatch_workload::{CityId, Scenario, ScenarioOptions};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeded sample of node pairs, deliberately including self-pairs.
+fn sample_pairs(network: &RoadNetwork, seed: u64, count: usize) -> Vec<(NodeId, NodeId)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = network.node_count() as u32;
+    let mut pairs: Vec<(NodeId, NodeId)> = (0..count)
+        .map(|_| (NodeId(rng.random_range(0..n)), NodeId(rng.random_range(0..n))))
+        .collect();
+    pairs.push((NodeId(0), NodeId(0)));
+    pairs
+}
+
+fn assert_same_duration(
+    expected: Option<foodmatch_roadnet::Duration>,
+    got: Option<foodmatch_roadnet::Duration>,
+    context: &str,
+) {
+    match (expected, got) {
+        (None, None) => {}
+        (Some(a), Some(b)) => {
+            assert!((a.as_secs_f64() - b.as_secs_f64()).abs() < 1e-6, "{context}: {a:?} vs {b:?}")
+        }
+        other => panic!("{context}: reachability mismatch {other:?}"),
+    }
+}
+
+#[test]
+fn all_backends_agree_on_seeded_random_networks() {
+    for (nodes, seed, hour) in [(60usize, 11u64, 13u32), (90, 23, 20), (45, 5, 4)] {
+        let network = RandomCityBuilder::new(nodes).seed(seed).build();
+        let t = TimePoint::from_hms(hour, 10, 0);
+        let reference = ShortestPathEngine::dijkstra(network.clone());
+        let others: Vec<ShortestPathEngine> = EngineKind::ALL
+            .into_iter()
+            .filter(|&k| k != EngineKind::Dijkstra)
+            .map(|k| ShortestPathEngine::new(network.clone(), k))
+            .collect();
+        for (a, b) in sample_pairs(&network, seed ^ 0xD15_BA7C4, 80) {
+            let expected = reference.travel_time(a, b, t);
+            for engine in &others {
+                assert_same_duration(
+                    expected,
+                    engine.travel_time(a, b, t),
+                    &format!("{nodes} nodes seed {seed}: {a}->{b} with {:?}", engine.kind()),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn all_backends_agree_on_one_to_many_including_unreachable() {
+    // A network with a deliberately unreachable island: two clusters with a
+    // one-way bridge, so some pairs are reachable in one direction only.
+    let mut b = RoadNetworkBuilder::new();
+    let mut nodes = Vec::new();
+    for i in 0..10 {
+        nodes.push(b.add_node(GeoPoint::new(0.0, 0.01 * f64::from(i))));
+    }
+    for w in nodes.windows(2).take(4) {
+        b.add_bidirectional(w[0], w[1], 400.0, RoadClass::Local);
+    }
+    for w in nodes.windows(2).skip(5) {
+        b.add_bidirectional(w[0], w[1], 400.0, RoadClass::Local);
+    }
+    // One-way bridge from the first cluster into the second.
+    b.add_edge(nodes[4], nodes[5], 600.0, RoadClass::Arterial);
+    let network = b.build();
+
+    let t = TimePoint::from_hms(12, 0, 0);
+    let targets: Vec<NodeId> = network.node_ids().collect();
+    let reference = ShortestPathEngine::dijkstra(network.clone());
+    for kind in EngineKind::ALL {
+        let engine = ShortestPathEngine::new(network.clone(), kind);
+        for &source in &targets {
+            let expected = reference.travel_times_to_many(source, &targets, t);
+            let got = engine.travel_times_to_many(source, &targets, t);
+            for (i, &target) in targets.iter().enumerate() {
+                assert_same_duration(
+                    expected[i],
+                    got[i],
+                    &format!("{source}->{target} with {kind:?}"),
+                );
+            }
+        }
+    }
+    // Sanity: the island structure really produces unreachable pairs.
+    assert_eq!(reference.travel_time(nodes[9], nodes[0], t), None);
+    assert!(reference.travel_time(nodes[0], nodes[9], t).is_some());
+}
+
+#[test]
+fn shortest_path_agrees_across_backends() {
+    let network = RandomCityBuilder::new(70).seed(31).build();
+    let t = TimePoint::from_hms(13, 30, 0);
+    let reference = ShortestPathEngine::dijkstra(network.clone());
+    for kind in EngineKind::ALL {
+        let engine = ShortestPathEngine::new(network.clone(), kind);
+        for (a, b) in sample_pairs(&network, 7, 40) {
+            let expected = reference.shortest_path(a, b, t);
+            let got = engine.shortest_path(a, b, t);
+            match (expected, got) {
+                (None, None) => {}
+                (Some(x), Some(y)) => {
+                    assert!(
+                        (x.travel_time.as_secs_f64() - y.travel_time.as_secs_f64()).abs() < 1e-6,
+                        "{a}->{b} with {kind:?}: {x:?} vs {y:?}"
+                    );
+                    assert_eq!(y.nodes.first(), Some(&a), "{a}->{b} with {kind:?}");
+                    assert_eq!(y.nodes.last(), Some(&b), "{a}->{b} with {kind:?}");
+                }
+                other => panic!("{a}->{b} with {kind:?}: {other:?}"),
+            }
+        }
+    }
+}
+
+/// A mid-sized dispatch window over a generated city.
+fn dispatch_window() -> (WindowSnapshot, ShortestPathEngine) {
+    let scenario = Scenario::generate(
+        CityId::A,
+        ScenarioOptions {
+            seed: 9,
+            start: TimePoint::from_hms(12, 0, 0),
+            end: TimePoint::from_hms(13, 0, 0),
+            vehicle_fraction: 1.0,
+        },
+    );
+    let t = TimePoint::from_hms(12, 30, 0);
+    let orders: Vec<Order> = scenario.orders.iter().copied().take(24).collect();
+    let vehicles: Vec<VehicleSnapshot> =
+        scenario.vehicle_starts.iter().map(|&(id, node)| VehicleSnapshot::idle(id, node)).collect();
+    let engine = ShortestPathEngine::cached(scenario.city.network.clone());
+    (WindowSnapshot::new(t, orders, vehicles), engine)
+}
+
+#[test]
+fn parallel_dispatch_matches_serial_assignments() {
+    let (window, engine) = dispatch_window();
+    let serial_config = DispatchConfig { num_threads: 1, ..Default::default() };
+    let serial = FoodMatchPolicy::new().assign(&window, &engine, &serial_config);
+    serial.validate(&window).unwrap();
+    for num_threads in [2usize, 4, 8] {
+        let config = DispatchConfig { num_threads, ..Default::default() };
+        let parallel = FoodMatchPolicy::new().assign(&window, &engine, &config);
+        parallel.validate(&window).unwrap();
+        assert_eq!(
+            serial.assignments, parallel.assignments,
+            "num_threads = {num_threads} diverged from serial"
+        );
+        assert_eq!(serial.unassigned, parallel.unassigned);
+    }
+}
+
+#[test]
+fn parallel_foodgraph_matches_serial_bit_for_bit() {
+    let (window, engine) = dispatch_window();
+    let t = window.time;
+    let batches = singleton_batches(&window.orders, &engine, t).batches;
+    let serial_config = DispatchConfig { num_threads: 1, ..Default::default() };
+    let serial = build_food_graph(&batches, &window.vehicles, &engine, t, &serial_config);
+    let parallel_config = DispatchConfig { num_threads: 4, ..Default::default() };
+    let parallel = build_food_graph(&batches, &window.vehicles, &engine, t, &parallel_config);
+    assert_eq!(serial.evaluations, parallel.evaluations);
+    let dense_serial = serial.costs.to_dense();
+    let dense_parallel = parallel.costs.to_dense();
+    for r in 0..batches.len() {
+        for c in 0..window.vehicles.len() {
+            assert_eq!(
+                dense_serial.get(r, c).to_bits(),
+                dense_parallel.get(r, c).to_bits(),
+                "cost ({r},{c}) differs between serial and parallel construction"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_simulation_reproduces_serial_metrics() {
+    let scenario = Scenario::generate(
+        CityId::GrubHub,
+        ScenarioOptions {
+            seed: 4,
+            start: TimePoint::from_hms(12, 0, 0),
+            end: TimePoint::from_hms(12, 45, 0),
+            vehicle_fraction: 1.0,
+        },
+    );
+    let run = |num_threads: usize| {
+        let config = DispatchConfig { num_threads, ..scenario.default_config() };
+        let engine = ShortestPathEngine::cached(scenario.city.network.clone());
+        let simulation = Simulation::new(
+            engine,
+            scenario.orders.clone(),
+            scenario.vehicle_starts.clone(),
+            config,
+            scenario.options.start,
+            scenario.options.end,
+        );
+        simulation.run(&mut FoodMatchPolicy::new())
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(serial.delivered.len(), parallel.delivered.len());
+    assert_eq!(serial.rejected.len(), parallel.rejected.len());
+    assert!((serial.total_xdt_hours() - parallel.total_xdt_hours()).abs() < 1e-9);
+    assert!((serial.total_km() - parallel.total_km()).abs() < 1e-9);
+}
+
+/// Engines must count path queries like the other entry points (the fixed
+/// `shortest_path` accounting), and the CH backend must answer them from the
+/// index.
+#[test]
+fn every_backend_counts_path_queries() {
+    let network = RandomCityBuilder::new(40).seed(2).build();
+    let t = TimePoint::from_hms(12, 0, 0);
+    let nodes: Vec<NodeId> = network.node_ids().collect();
+    for kind in EngineKind::ALL {
+        let engine = ShortestPathEngine::new(network.clone(), kind);
+        let before = engine.query_count();
+        let _ = engine.shortest_path(nodes[0], nodes[nodes.len() - 1], t);
+        let _ = engine.travel_time(nodes[1], nodes[2], t);
+        assert_eq!(engine.query_count(), before + 2, "kind {kind:?}");
+    }
+}
