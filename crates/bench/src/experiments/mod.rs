@@ -3,6 +3,7 @@
 //! names to these functions.
 
 pub mod dispatch;
+pub mod disruptions;
 pub mod fig4a;
 pub mod fig6;
 pub mod fig7;
@@ -95,6 +96,11 @@ pub const ALL: &[Experiment] = &[
         description: "Dispatch hot path: per-backend oracle throughput and parallel windows",
         run: dispatch::run,
     },
+    Experiment {
+        name: "disruptions",
+        description: "Dynamic events: policies under calm vs rainy/incident-heavy days",
+        run: disruptions::run,
+    },
 ];
 
 /// Looks an experiment up by name.
@@ -105,7 +111,7 @@ pub fn find(name: &str) -> Option<&'static Experiment> {
 /// The names every registered experiment must carry, in paper order — the
 /// single source of truth for the registry-coverage tests here and in the
 /// workspace-level smoke suite.
-pub const EXPECTED_NAMES: [&str; 14] = [
+pub const EXPECTED_NAMES: [&str; 15] = [
     "table2",
     "fig4a",
     "fig6a",
@@ -120,6 +126,7 @@ pub const EXPECTED_NAMES: [&str; 14] = [
     "fig8k",
     "fig9",
     "dispatch",
+    "disruptions",
 ];
 
 #[cfg(test)]

@@ -1,0 +1,170 @@
+//! The event algebra: everything that can disturb a running simulation.
+
+use foodmatch_core::{OrderId, VehicleId};
+use foodmatch_roadnet::{Duration, NodeId, TimePoint};
+use serde::{Deserialize, Serialize};
+
+/// Why a stretch of road got slower. Only used for reporting — the overlay
+/// semantics are identical for every cause.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum DisruptionCause {
+    /// A traffic incident (accident, road works) around a location.
+    Incident,
+    /// Weather — typically city-wide and milder than an incident.
+    Rain,
+    /// An unexplained localized slowdown (event crowd, parade, …).
+    Slowdown,
+}
+
+impl DisruptionCause {
+    /// Human-readable label used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            DisruptionCause::Incident => "incident",
+            DisruptionCause::Rain => "rain",
+            DisruptionCause::Slowdown => "slowdown",
+        }
+    }
+}
+
+/// A live edge-speed perturbation with a lifetime.
+///
+/// While active, every affected edge's travel time is multiplied by
+/// `factor` (≥ 1 — disruptions make roads slower, never faster; this is what
+/// lets the engine answer perturbed queries with a *bounded* overlay search
+/// instead of an index rebuild).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrafficDisruption {
+    /// What kind of disruption this is (reporting only).
+    pub cause: DisruptionCause,
+    /// Epicentre of the disruption; `None` means city-wide (rain surge).
+    pub center: Option<NodeId>,
+    /// Radius of the affected node neighbourhood around `center`, in meters
+    /// (straight-line). Ignored for city-wide disruptions.
+    pub radius_m: f64,
+    /// Travel-time multiplier applied to affected edges.
+    pub factor: f64,
+    /// When the disruption clears.
+    pub until: TimePoint,
+}
+
+impl TrafficDisruption {
+    /// Creates a localized disruption around `center`.
+    ///
+    /// # Panics
+    /// Panics if `factor < 1` or `radius_m` is not positive and finite.
+    pub fn localized(
+        cause: DisruptionCause,
+        center: NodeId,
+        radius_m: f64,
+        factor: f64,
+        until: TimePoint,
+    ) -> Self {
+        assert!(factor.is_finite() && factor >= 1.0, "disruption factor must be ≥ 1");
+        assert!(radius_m.is_finite() && radius_m > 0.0, "disruption radius must be positive");
+        TrafficDisruption { cause, center: Some(center), radius_m, factor, until }
+    }
+
+    /// Creates a city-wide disruption (e.g. a rain surge).
+    ///
+    /// # Panics
+    /// Panics if `factor < 1`.
+    pub fn city_wide(cause: DisruptionCause, factor: f64, until: TimePoint) -> Self {
+        assert!(factor.is_finite() && factor >= 1.0, "disruption factor must be ≥ 1");
+        TrafficDisruption { cause, center: None, radius_m: f64::INFINITY, factor, until }
+    }
+}
+
+/// What happened.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A stretch of road network slows down until the disruption clears.
+    Traffic(TrafficDisruption),
+    /// The customer cancelled the order. Only effective before pickup: once
+    /// the food is on a vehicle the platform completes the delivery.
+    OrderCancelled {
+        /// The cancelled order.
+        order: OrderId,
+    },
+    /// The restaurant is running late: the order's preparation time grows by
+    /// `extra`. Only effective before pickup.
+    PrepDelay {
+        /// The delayed order.
+        order: OrderId,
+        /// How much later the food will be ready.
+        extra: Duration,
+    },
+    /// The driver ends their shift: the vehicle stops being offered to the
+    /// dispatcher, its not-yet-picked-up orders re-enter the pool, and it
+    /// finishes only the deliveries already on board.
+    VehicleOffShift {
+        /// The departing vehicle.
+        vehicle: VehicleId,
+    },
+    /// A driver starts a shift at `location` (a brand-new vehicle id joins
+    /// the fleet; a known id returns to duty at its current position).
+    VehicleOnShift {
+        /// The arriving vehicle.
+        vehicle: VehicleId,
+        /// Where the new vehicle enters the network (ignored for returning
+        /// vehicles, which resume wherever they are).
+        location: NodeId,
+    },
+}
+
+/// One time-stamped simulation event.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DisruptionEvent {
+    /// When the event fires. The simulator applies events at the boundary of
+    /// the accumulation window containing them.
+    pub at: TimePoint,
+    /// What happens.
+    pub kind: EventKind,
+}
+
+impl DisruptionEvent {
+    /// Creates an event.
+    pub fn new(at: TimePoint, kind: EventKind) -> Self {
+        DisruptionEvent { at, kind }
+    }
+
+    /// True for traffic perturbations (the events that touch the overlay).
+    pub fn is_traffic(&self) -> bool {
+        matches!(self.kind, EventKind::Traffic(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_validate_factors() {
+        let until = TimePoint::from_hms(13, 0, 0);
+        let d =
+            TrafficDisruption::localized(DisruptionCause::Incident, NodeId(3), 500.0, 2.0, until);
+        assert_eq!(d.center, Some(NodeId(3)));
+        let rain = TrafficDisruption::city_wide(DisruptionCause::Rain, 1.4, until);
+        assert_eq!(rain.center, None);
+        assert_eq!(rain.cause.name(), "rain");
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be ≥ 1")]
+    fn speedups_are_rejected() {
+        let _ =
+            TrafficDisruption::city_wide(DisruptionCause::Rain, 0.9, TimePoint::from_hms(13, 0, 0));
+    }
+
+    #[test]
+    fn traffic_predicate_matches_kind() {
+        let t = TimePoint::from_hms(12, 0, 0);
+        let traffic = DisruptionEvent::new(
+            t,
+            EventKind::Traffic(TrafficDisruption::city_wide(DisruptionCause::Rain, 1.2, t)),
+        );
+        assert!(traffic.is_traffic());
+        let cancel = DisruptionEvent::new(t, EventKind::OrderCancelled { order: OrderId(1) });
+        assert!(!cancel.is_traffic());
+    }
+}

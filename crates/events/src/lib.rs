@@ -1,0 +1,34 @@
+//! # foodmatch-events
+//!
+//! The dynamic-events subsystem: a seeded, deterministic stream of
+//! time-stamped simulation events that make the environment *move* under the
+//! dispatcher, the way the paper's "dynamic road networks" do.
+//!
+//! The source paper refreshes edge travel times from live speeds as the day
+//! unfolds; order streams churn (customers cancel, kitchens run late) and
+//! fleets are not frozen at scenario start (drivers go on and off shift).
+//! This crate models all of that as plain data:
+//!
+//! * [`DisruptionEvent`] — one time-stamped event: a [`TrafficDisruption`]
+//!   (incident around a node neighbourhood, city-wide rain surge, localized
+//!   slowdown), an order cancellation before pickup, a restaurant prep-time
+//!   delay, or a vehicle going off/on shift.
+//! * [`EventSchedule`] — a sorted event stream plus the state machine of
+//!   *active* traffic disruptions. The simulator drains it at each
+//!   accumulation window; when the active traffic set changes the schedule
+//!   renders a fresh [`TrafficOverlay`](foodmatch_roadnet::TrafficOverlay)
+//!   for the shortest-path engine — indexes are never rebuilt.
+//!
+//! Event *generation* (disruption profiles such as `calm`, `rainy_evening`,
+//! `incident_heavy`) lives in `foodmatch-workload`, which knows the scenario
+//! being disrupted; this crate only defines the event algebra and its
+//! deterministic replay semantics.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod event;
+pub mod schedule;
+
+pub use event::{DisruptionCause, DisruptionEvent, EventKind, TrafficDisruption};
+pub use schedule::{EventSchedule, WindowEvents};

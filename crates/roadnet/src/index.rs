@@ -31,12 +31,14 @@ use crate::ch::ContractionHierarchy;
 use crate::dijkstra::{self, SearchSpace};
 use crate::graph::RoadNetwork;
 use crate::hub_labels::HubLabelIndex;
-use crate::ids::NodeId;
+use crate::ids::{EdgeId, NodeId};
+use crate::overlay::{self, TrafficOverlay};
+use crate::parallel::parallel_map;
 use crate::timeofday::{Duration, HourSlot, TimePoint};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Number of shards of the per-slot memo cache. Shard choice hashes only the
@@ -74,6 +76,36 @@ impl EngineKind {
 /// One shard group of the memo cache for a single hour slot.
 type CacheSlot = [Mutex<HashMap<(NodeId, NodeId), f64>>; CACHE_SHARDS];
 
+/// The engine's current traffic overlay, stamped with a generation counter.
+/// Swapping the overlay bumps the generation, which invalidates every
+/// memoised overlay answer without touching the per-slot indexes.
+#[derive(Debug)]
+struct OverlayVersion {
+    generation: u64,
+    overlay: TrafficOverlay,
+}
+
+/// One shard of the overlay memo. Entries are only valid while the stamp
+/// matches the active overlay generation and hour slot; a mismatch clears
+/// the shard lazily on first touch (generation-stamped invalidation).
+#[derive(Debug, Default)]
+struct OverlayShard {
+    generation: u64,
+    slot: usize,
+    map: HashMap<(NodeId, NodeId), f64>,
+}
+
+impl OverlayShard {
+    /// Makes the shard valid for `(generation, slot)`, clearing stale entries.
+    fn ensure(&mut self, generation: u64, slot: usize) {
+        if self.generation != generation || self.slot != slot {
+            self.map.clear();
+            self.generation = generation;
+            self.slot = slot;
+        }
+    }
+}
+
 /// Shared, thread-safe shortest-path oracle over a [`RoadNetwork`].
 #[derive(Clone)]
 pub struct ShortestPathEngine {
@@ -93,6 +125,15 @@ struct EngineInner {
     hierarchies: [RwLock<Option<Arc<ContractionHierarchy>>>; HourSlot::COUNT],
     /// Pool of reusable Dijkstra search spaces.
     spaces: Mutex<Vec<SearchSpace>>,
+    /// The active traffic overlay (empty at generation 0). Swapped whole so
+    /// in-flight queries keep a consistent snapshot.
+    overlay: RwLock<Arc<OverlayVersion>>,
+    /// Fast-path flag mirroring `overlay`'s emptiness, so unperturbed queries
+    /// skip the read lock entirely.
+    overlay_active: AtomicBool,
+    /// Memo of overlay answers for the indexed backends, sharded like the
+    /// main cache and invalidated by generation stamp.
+    overlay_cache: [Mutex<OverlayShard>; CACHE_SHARDS],
     queries: AtomicU64,
 }
 
@@ -107,6 +148,12 @@ impl ShortestPathEngine {
                 labels: std::array::from_fn(|_| RwLock::new(None)),
                 hierarchies: std::array::from_fn(|_| RwLock::new(None)),
                 spaces: Mutex::new(Vec::new()),
+                overlay: RwLock::new(Arc::new(OverlayVersion {
+                    generation: 0,
+                    overlay: TrafficOverlay::new(),
+                })),
+                overlay_active: AtomicBool::new(false),
+                overlay_cache: std::array::from_fn(|_| Mutex::new(OverlayShard::default())),
                 queries: AtomicU64::new(0),
             }),
         }
@@ -159,12 +206,29 @@ impl ShortestPathEngine {
     }
 
     /// `SP(source, target, t)`: shortest travel time at time `t`, or `None`
-    /// if the target is unreachable.
+    /// if the target is unreachable. When a [`TrafficOverlay`] is active the
+    /// answer is exact on the perturbed weights (see [`Self::set_overlay`]).
     pub fn travel_time(&self, source: NodeId, target: NodeId, t: TimePoint) -> Option<Duration> {
         self.inner.queries.fetch_add(1, Ordering::Relaxed);
         if source == target {
             return Some(Duration::ZERO);
         }
+        if self.inner.overlay_active.load(Ordering::Acquire) {
+            let version = self.overlay_version();
+            if !version.overlay.is_empty() {
+                return self.overlaid_travel_time(&version, source, target, t);
+            }
+        }
+        self.baseline_travel_time(source, target, t)
+    }
+
+    /// The unperturbed answer from the configured backend.
+    fn baseline_travel_time(
+        &self,
+        source: NodeId,
+        target: NodeId,
+        t: TimePoint,
+    ) -> Option<Duration> {
         match self.inner.kind {
             EngineKind::Dijkstra => {
                 let mut space = self.search_space();
@@ -184,6 +248,61 @@ impl ShortestPathEngine {
         }
     }
 
+    /// Overlay-aware point query: the index (or cache) supplies the
+    /// unperturbed lower bound `d₀`, a Dijkstra on the overlaid weights
+    /// pruned at `d₀ × max_multiplier` supplies the exact answer, and the
+    /// result is memoised under the overlay's generation stamp.
+    fn overlaid_travel_time(
+        &self,
+        version: &OverlayVersion,
+        source: NodeId,
+        target: NodeId,
+        t: TimePoint,
+    ) -> Option<Duration> {
+        let slot = t.hour_slot().index();
+        if self.inner.kind == EngineKind::Dijkstra {
+            // The reference backend stays memo-free: one exact search.
+            let mut space = self.search_space();
+            return overlay::shortest_travel_time_overlaid_in(
+                &self.inner.network,
+                &version.overlay,
+                source,
+                target,
+                t,
+                None,
+                &mut space,
+            );
+        }
+        let shard = &self.inner.overlay_cache[Self::shard(source)];
+        {
+            let mut cache = shard.lock();
+            cache.ensure(version.generation, slot);
+            if let Some(&secs) = cache.map.get(&(source, target)) {
+                return decode(secs);
+            }
+        }
+        // Overlays never disconnect the graph, so an unreachable baseline is
+        // an unreachable perturbed pair too.
+        let answer = self.baseline_travel_time(source, target, t).and_then(|d0| {
+            let mut space = self.search_space();
+            overlay::shortest_travel_time_overlaid_in(
+                &self.inner.network,
+                &version.overlay,
+                source,
+                target,
+                t,
+                Some(version.overlay.search_bound(d0.as_secs_f64())),
+                &mut space,
+            )
+        });
+        let mut cache = shard.lock();
+        // Only memoise if the overlay has not been swapped mid-computation.
+        if cache.generation == version.generation && cache.slot == slot {
+            cache.map.insert((source, target), encode(answer));
+        }
+        answer
+    }
+
     /// Travel times from `source` to several `targets` in a single backend
     /// pass where the backend supports it.
     pub fn travel_times_to_many(
@@ -193,6 +312,21 @@ impl ShortestPathEngine {
         t: TimePoint,
     ) -> Vec<Option<Duration>> {
         self.inner.queries.fetch_add(targets.len() as u64, Ordering::Relaxed);
+        if self.inner.overlay_active.load(Ordering::Acquire) {
+            let version = self.overlay_version();
+            if !version.overlay.is_empty() {
+                return self.overlaid_to_many(&version, source, targets, t);
+            }
+        }
+        self.baseline_to_many(source, targets, t)
+    }
+
+    fn baseline_to_many(
+        &self,
+        source: NodeId,
+        targets: &[NodeId],
+        t: TimePoint,
+    ) -> Vec<Option<Duration>> {
         match self.inner.kind {
             EngineKind::Dijkstra => {
                 let mut space = self.search_space();
@@ -209,6 +343,79 @@ impl ShortestPathEngine {
         }
     }
 
+    /// Overlay-aware one-to-many: one baseline pass for the bounds, one
+    /// bounded overlay Dijkstra for all targets, memoised per pair.
+    fn overlaid_to_many(
+        &self,
+        version: &OverlayVersion,
+        source: NodeId,
+        targets: &[NodeId],
+        t: TimePoint,
+    ) -> Vec<Option<Duration>> {
+        if self.inner.kind == EngineKind::Dijkstra {
+            let mut space = self.search_space();
+            return overlay::one_to_many_overlaid_in(
+                &self.inner.network,
+                &version.overlay,
+                source,
+                targets,
+                t,
+                None,
+                &mut space,
+            );
+        }
+        let slot = t.hour_slot().index();
+        let shard = &self.inner.overlay_cache[Self::shard(source)];
+        let mut out: Vec<Option<Option<Duration>>> = vec![None; targets.len()];
+        {
+            let mut cache = shard.lock();
+            cache.ensure(version.generation, slot);
+            for (i, &target) in targets.iter().enumerate() {
+                if source == target {
+                    out[i] = Some(Some(Duration::ZERO));
+                } else if let Some(&secs) = cache.map.get(&(source, target)) {
+                    out[i] = Some(decode(secs));
+                }
+            }
+        }
+        let missing: Vec<NodeId> =
+            targets.iter().zip(&out).filter(|(_, o)| o.is_none()).map(|(&n, _)| n).collect();
+        if !missing.is_empty() {
+            let baselines = self.baseline_to_many(source, &missing, t);
+            // The search bound must cover the slowest reachable target.
+            let bound = baselines
+                .iter()
+                .flatten()
+                .map(|d| version.overlay.search_bound(d.as_secs_f64()))
+                .fold(0.0_f64, f64::max);
+            let answers = {
+                let mut space = self.search_space();
+                overlay::one_to_many_overlaid_in(
+                    &self.inner.network,
+                    &version.overlay,
+                    source,
+                    &missing,
+                    t,
+                    Some(bound),
+                    &mut space,
+                )
+            };
+            let mut cache = shard.lock();
+            let memoise = cache.generation == version.generation && cache.slot == slot;
+            let mut it = answers.into_iter();
+            for (i, &target) in targets.iter().enumerate() {
+                if out[i].is_none() {
+                    let answer = it.next().expect("one answer per missing target");
+                    if memoise {
+                        cache.map.insert((source, target), encode(answer));
+                    }
+                    out[i] = Some(answer);
+                }
+            }
+        }
+        out.into_iter().map(|o| o.expect("all targets answered")).collect()
+    }
+
     /// Shortest path with node sequence and length.
     ///
     /// Routed through the contraction-hierarchies index (with shortcut
@@ -222,6 +429,20 @@ impl ShortestPathEngine {
         t: TimePoint,
     ) -> Option<dijkstra::PathResult> {
         self.inner.queries.fetch_add(1, Ordering::Relaxed);
+        if self.inner.overlay_active.load(Ordering::Acquire) {
+            let version = self.overlay_version();
+            if !version.overlay.is_empty() {
+                let mut space = self.search_space();
+                return overlay::shortest_path_overlaid_in(
+                    &self.inner.network,
+                    &version.overlay,
+                    source,
+                    target,
+                    t,
+                    &mut space,
+                );
+            }
+        }
         match self.inner.kind {
             EngineKind::ContractionHierarchies => {
                 self.hierarchy_for(t.hour_slot()).shortest_path(&self.inner.network, source, target)
@@ -246,6 +467,80 @@ impl ShortestPathEngine {
             }
             EngineKind::Dijkstra | EngineKind::Cached => {}
         }
+    }
+
+    /// Builds all 24 per-hour-slot indexes concurrently with up to
+    /// `num_threads` workers (`0` = the machine's available parallelism), so
+    /// the first window of each slot stops paying the lazy build. No-op for
+    /// the index-free engine kinds.
+    pub fn warm_all(&self, num_threads: usize) {
+        if !matches!(self.inner.kind, EngineKind::HubLabels | EngineKind::ContractionHierarchies) {
+            return;
+        }
+        let threads = match num_threads {
+            0 => std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+            n => n,
+        };
+        let slots: Vec<HourSlot> = HourSlot::all().collect();
+        parallel_map(&slots, threads, |_, &slot| self.warm_up(slot));
+    }
+
+    /// Installs `overlay` as the active traffic perturbation, bumping the
+    /// overlay generation. Subsequent queries are answered exactly on the
+    /// perturbed weights via a bounded overlay search on top of the
+    /// configured backend — the per-slot indexes are *not* rebuilt; memoised
+    /// overlay answers from earlier generations are invalidated by their
+    /// generation stamp.
+    ///
+    /// Swapping the overlay while other threads query is safe (each query
+    /// works on a consistent snapshot), but the caller is responsible for the
+    /// semantics of mid-flight swaps; the simulator only swaps at
+    /// accumulation-window boundaries.
+    pub fn set_overlay(&self, overlay: TrafficOverlay) {
+        let mut slot = self.inner.overlay.write();
+        let generation = slot.generation + 1;
+        let active = !overlay.is_empty();
+        *slot = Arc::new(OverlayVersion { generation, overlay });
+        self.inner.overlay_active.store(active, Ordering::Release);
+    }
+
+    /// Removes any active traffic overlay (bumps the generation).
+    pub fn clear_overlay(&self) {
+        self.set_overlay(TrafficOverlay::new());
+    }
+
+    /// True when a non-empty traffic overlay is active.
+    pub fn has_overlay(&self) -> bool {
+        self.inner.overlay_active.load(Ordering::Acquire)
+    }
+
+    /// The current overlay generation (starts at 0, bumped by every
+    /// [`Self::set_overlay`] / [`Self::clear_overlay`]).
+    pub fn overlay_generation(&self) -> u64 {
+        self.inner.overlay.read().generation
+    }
+
+    /// The traversal time of a single edge at time `t` under the active
+    /// overlay: `β(e, t) × multiplier(e)`. This is what the simulator uses to
+    /// move vehicles, so fleet physics and the distance oracle always agree.
+    /// Not counted as an oracle query.
+    pub fn edge_travel_time(&self, edge: EdgeId, t: TimePoint) -> Duration {
+        let base = self.inner.network.travel_time(edge, t);
+        if !self.inner.overlay_active.load(Ordering::Acquire) {
+            return base;
+        }
+        let version = self.overlay_version();
+        let multiplier = version.overlay.multiplier(edge);
+        if multiplier == 1.0 {
+            base
+        } else {
+            Duration::from_secs_f64(base.as_secs_f64() * multiplier)
+        }
+    }
+
+    /// A consistent snapshot of the active overlay version.
+    fn overlay_version(&self) -> Arc<OverlayVersion> {
+        Arc::clone(&self.inner.overlay.read())
     }
 
     #[inline]
@@ -553,6 +848,187 @@ mod tests {
                 .travel_time(NodeId(0), NodeId(15), TimePoint::from_hms(12, 5, 0))
                 .is_some());
         }
+    }
+
+    #[test]
+    fn warm_all_builds_every_slot_concurrently() {
+        let net = GridCityBuilder::new(4, 4).build();
+        for kind in [EngineKind::HubLabels, EngineKind::ContractionHierarchies] {
+            let engine = ShortestPathEngine::new(net.clone(), kind);
+            engine.warm_all(4);
+            match kind {
+                EngineKind::HubLabels => {
+                    for slot in HourSlot::all() {
+                        assert!(
+                            engine.inner.labels[slot.index()].read().is_some(),
+                            "slot {slot:?} not built"
+                        );
+                    }
+                }
+                EngineKind::ContractionHierarchies => {
+                    for slot in HourSlot::all() {
+                        assert!(
+                            engine.inner.hierarchies[slot.index()].read().is_some(),
+                            "slot {slot:?} not built"
+                        );
+                    }
+                }
+                _ => unreachable!(),
+            }
+            // Idempotent, and queries still answer.
+            engine.warm_all(0);
+            assert!(engine
+                .travel_time(NodeId(0), NodeId(15), TimePoint::from_hms(7, 30, 0))
+                .is_some());
+        }
+        // No-op kinds must not panic.
+        ShortestPathEngine::cached(net).warm_all(4);
+    }
+
+    fn slowdown_overlay(net: &RoadNetwork, factor: f64) -> crate::TrafficOverlay {
+        let mut overlay = crate::TrafficOverlay::new();
+        for eid in net.edge_ids().step_by(3) {
+            overlay.slow_edge(eid, factor);
+        }
+        overlay
+    }
+
+    #[test]
+    fn every_backend_answers_overlaid_queries_exactly() {
+        let net = GridCityBuilder::new(6, 6).build();
+        let t = TimePoint::from_hms(13, 15, 0);
+        let overlay = slowdown_overlay(&net, 2.5);
+        // Reference: plain-Dijkstra engine with the same overlay (pinned
+        // against a rebuilt network in the overlay module's own tests).
+        let reference = ShortestPathEngine::dijkstra(net.clone());
+        reference.set_overlay(overlay.clone());
+        for kind in [EngineKind::Cached, EngineKind::HubLabels, EngineKind::ContractionHierarchies]
+        {
+            let engine = ShortestPathEngine::new(net.clone(), kind);
+            engine.set_overlay(overlay.clone());
+            for (a, b) in sample_pairs(&net) {
+                let expected = reference.travel_time(a, b, t);
+                let got = engine.travel_time(a, b, t);
+                match (expected, got) {
+                    (None, None) => {}
+                    (Some(x), Some(y)) => assert!(
+                        (x.as_secs_f64() - y.as_secs_f64()).abs() < 1e-6,
+                        "{a}->{b}: {x:?} vs {y:?} with {kind:?}"
+                    ),
+                    other => panic!("{a}->{b}: {other:?} with {kind:?}"),
+                }
+            }
+            // Repeat queries hit the overlay memo and stay identical.
+            let (a, b) = (NodeId(0), NodeId(35));
+            assert_eq!(engine.travel_time(a, b, t), reference.travel_time(a, b, t));
+        }
+    }
+
+    #[test]
+    fn overlaid_to_many_matches_pointwise_queries() {
+        let net = GridCityBuilder::new(5, 4).build();
+        let t = TimePoint::from_hms(12, 0, 0);
+        let overlay = slowdown_overlay(&net, 1.7);
+        let targets: Vec<NodeId> = net.node_ids().step_by(3).collect();
+        for kind in EngineKind::ALL {
+            let engine = ShortestPathEngine::new(net.clone(), kind);
+            engine.set_overlay(overlay.clone());
+            let batch = engine.travel_times_to_many(NodeId(1), &targets, t);
+            for (i, &target) in targets.iter().enumerate() {
+                assert_eq!(batch[i], engine.travel_time(NodeId(1), target, t), "kind {kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn clearing_the_overlay_restores_baseline_answers() {
+        let net = GridCityBuilder::new(5, 5).build();
+        let t = TimePoint::from_hms(12, 0, 0);
+        let engine = ShortestPathEngine::cached(net.clone());
+        let baseline = engine.travel_time(NodeId(0), NodeId(24), t).unwrap();
+        assert_eq!(engine.overlay_generation(), 0);
+        assert!(!engine.has_overlay());
+
+        let mut overlay = crate::TrafficOverlay::new();
+        for eid in net.edge_ids() {
+            overlay.slow_edge(eid, 2.0);
+        }
+        engine.set_overlay(overlay);
+        assert!(engine.has_overlay());
+        assert_eq!(engine.overlay_generation(), 1);
+        let perturbed = engine.travel_time(NodeId(0), NodeId(24), t).unwrap();
+        assert!(
+            (perturbed.as_secs_f64() - 2.0 * baseline.as_secs_f64()).abs() < 1e-6,
+            "uniform 2x slowdown must double the travel time"
+        );
+
+        engine.clear_overlay();
+        assert!(!engine.has_overlay());
+        assert_eq!(engine.overlay_generation(), 2);
+        assert_eq!(engine.travel_time(NodeId(0), NodeId(24), t), Some(baseline));
+    }
+
+    #[test]
+    fn overlay_memo_is_invalidated_by_generation() {
+        let net = GridCityBuilder::new(5, 5).build();
+        let t = TimePoint::from_hms(12, 0, 0);
+        let engine = ShortestPathEngine::contraction_hierarchies(net.clone());
+        let mut mild = crate::TrafficOverlay::new();
+        let mut severe = crate::TrafficOverlay::new();
+        for eid in net.edge_ids() {
+            mild.slow_edge(eid, 1.5);
+            severe.slow_edge(eid, 3.0);
+        }
+        engine.set_overlay(mild);
+        let first = engine.travel_time(NodeId(0), NodeId(24), t).unwrap();
+        engine.set_overlay(severe);
+        let second = engine.travel_time(NodeId(0), NodeId(24), t).unwrap();
+        assert!(
+            (second.as_secs_f64() - first.as_secs_f64() * 2.0).abs() < 1e-6,
+            "stale memo entries must not survive an overlay swap"
+        );
+    }
+
+    #[test]
+    fn edge_travel_time_applies_the_overlay_multiplier() {
+        let net = GridCityBuilder::new(3, 3).build();
+        let t = TimePoint::from_hms(8, 0, 0);
+        let engine = ShortestPathEngine::dijkstra(net.clone());
+        let edge = net.edge_ids().next().unwrap();
+        let base = engine.edge_travel_time(edge, t);
+        assert_eq!(base, net.travel_time(edge, t));
+        let mut overlay = crate::TrafficOverlay::new();
+        overlay.slow_edge(edge, 2.5);
+        engine.set_overlay(overlay);
+        let slowed = engine.edge_travel_time(edge, t);
+        assert!((slowed.as_secs_f64() - 2.5 * base.as_secs_f64()).abs() < 1e-9);
+        // Unperturbed edges are untouched.
+        let other = net.edge_ids().nth(1).unwrap();
+        assert_eq!(engine.edge_travel_time(other, t), net.travel_time(other, t));
+    }
+
+    #[test]
+    fn overlaid_shortest_path_reroutes_around_slowdowns() {
+        let net = GridCityBuilder::new(5, 5).build();
+        let t = TimePoint::from_hms(12, 0, 0);
+        let engine = ShortestPathEngine::cached(net.clone());
+        let reference = engine.shortest_path(NodeId(0), NodeId(24), t).unwrap();
+        // Slow every edge of the reference path hard; the overlaid path must
+        // not be slower than driving the perturbed reference path.
+        let mut overlay = crate::TrafficOverlay::new();
+        let mut perturbed_reference_secs = 0.0;
+        for pair in reference.nodes.windows(2) {
+            let (eid, _) = net.out_edges(pair[0]).find(|(_, e)| e.to == pair[1]).unwrap();
+            overlay.slow_edge(eid, 10.0);
+            perturbed_reference_secs += net.travel_time(eid, t).as_secs_f64() * 10.0;
+        }
+        engine.set_overlay(overlay);
+        let rerouted = engine.shortest_path(NodeId(0), NodeId(24), t).unwrap();
+        assert!(rerouted.travel_time.as_secs_f64() <= perturbed_reference_secs + 1e-9);
+        assert!(
+            rerouted.travel_time.as_secs_f64() + 1e-9 >= reference.travel_time.as_secs_f64(),
+            "slowdowns can never make a path faster"
+        );
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //! * [`ShortestPathEngine`] — a façade that picks between plain Dijkstra, a
 //!   memoising cache, hub labels and contraction hierarchies, so callers do
 //!   not care which index backs a query.
+//! * [`TrafficOverlay`] — live edge-speed perturbations (incidents, rain,
+//!   localized slowdowns) layered over the static weights; the engine answers
+//!   perturbed queries with a bounded overlay search on top of its index
+//!   instead of rebuilding it (see [`overlay`]).
 //! * [`generators`] — synthetic city generators (grid and random-geometric)
 //!   that replace the proprietary OpenStreetMap/Swiggy extracts used in the
 //!   paper's evaluation.
@@ -56,6 +60,8 @@ pub mod hub_labels;
 pub mod ids;
 pub mod index;
 pub mod io;
+pub mod overlay;
+pub mod parallel;
 pub mod timeofday;
 
 pub use ch::ContractionHierarchy;
@@ -66,4 +72,6 @@ pub use graph::{EdgeRecord, NodeRecord, RoadNetwork, RoadNetworkBuilder};
 pub use hub_labels::HubLabelIndex;
 pub use ids::{EdgeId, NodeId};
 pub use index::{EngineKind, ShortestPathEngine};
+pub use overlay::TrafficOverlay;
+pub use parallel::parallel_map;
 pub use timeofday::{Duration, HourSlot, TimePoint};

@@ -18,11 +18,26 @@
 //! After the workload horizon ends, a drain phase keeps the clock running
 //! (still assigning leftover orders) until every order is delivered or
 //! rejected, so the metrics always account for the full order set.
+//!
+//! ## Dynamic events
+//!
+//! A scenario may carry a stream of [`DisruptionEvent`]s (see
+//! [`foodmatch_events`]): live traffic perturbations, order cancellations,
+//! restaurant prep delays, and vehicles going on/off shift. The stream is
+//! drained once per accumulation window, *before* vehicles drive through it,
+//! so an event timestamped inside a window takes effect at that window's
+//! open. Traffic perturbations are rendered as a
+//! [`TrafficOverlay`](foodmatch_roadnet::TrafficOverlay) and installed on the
+//! shared engine (bounded overlay search, no index rebuild); cancellations
+//! and prep delays repair the affected vehicle's route in place; off-shift
+//! vehicles release their unpicked orders back into the pool and finish only
+//! what is already on board.
 
 use crate::fleet::{CarriedOrder, FleetEvent, VehicleState};
 use crate::metrics::{MetricsCollector, SimulationReport, WindowStats};
 use foodmatch_core::route::{plan_optimal_route, PlannedOrder};
 use foodmatch_core::{DispatchConfig, DispatchPolicy, Order, OrderId, VehicleId, WindowSnapshot};
+use foodmatch_events::{DisruptionEvent, EventKind, EventSchedule};
 use foodmatch_roadnet::{Duration, NodeId, ShortestPathEngine, TimePoint};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
@@ -45,6 +60,9 @@ pub struct Simulation {
     pub end: TimePoint,
     /// How long after `end` the drain phase may run before giving up.
     pub drain_limit: Duration,
+    /// Time-stamped disruption events applied while the simulation runs
+    /// (empty = the static world of the plain scenarios).
+    pub events: Vec<DisruptionEvent>,
 }
 
 impl Simulation {
@@ -66,7 +84,15 @@ impl Simulation {
             start,
             end,
             drain_limit: Duration::from_hours(3.0),
+            events: Vec::new(),
         }
+    }
+
+    /// Attaches a disruption-event stream to the scenario (builder style).
+    /// Events are replayed deterministically on every [`Self::run`].
+    pub fn with_events(mut self, events: Vec<DisruptionEvent>) -> Self {
+        self.events = events;
+        self
     }
 
     /// Runs the scenario under `policy` and returns the metrics report.
@@ -100,8 +126,22 @@ impl Simulation {
 
         let mut vehicles: Vec<VehicleState> =
             self.vehicle_starts.iter().map(|&(id, node)| VehicleState::new(id, node)).collect();
-        let vehicle_index: HashMap<VehicleId, usize> =
+        let mut vehicle_index: HashMap<VehicleId, usize> =
             vehicles.iter().enumerate().map(|(i, v)| (v.id, i)).collect();
+
+        // The event stream is replayed from scratch on every run; a leftover
+        // overlay from a previous (aborted) run must not leak into the SDT
+        // baselines computed below.
+        let mut schedule = EventSchedule::new(self.events.clone());
+        if self.engine.has_overlay() {
+            self.engine.clear_overlay();
+        }
+        let order_ids: HashSet<OrderId> = orders.iter().map(|o| o.id).collect();
+        // Cancellations for orders that have not reached the pending pool yet.
+        let mut cancel_requested: HashSet<OrderId> = HashSet::new();
+        // Prep delays for orders that have not reached the pending pool yet.
+        let mut prep_delay_pending: HashMap<OrderId, Duration> = HashMap::new();
+        let mut cancelled_ids: HashSet<OrderId> = HashSet::new();
 
         let mut collector =
             MetricsCollector::new(policy.name(), total_orders, self.end - self.start);
@@ -132,6 +172,118 @@ impl Simulation {
             }
             let in_horizon = window_close <= self.end + delta;
 
+            // 0. Drain disruption events that fall inside this window; they
+            //    take effect at the window's open, before vehicles drive
+            //    through it. Route repairs replan from the vehicles' current
+            //    positions (they are synced to the previous window close).
+            if !schedule.is_empty() {
+                let window_open = window_close - delta;
+                let fired = schedule.advance_to(window_close);
+                if fired.traffic_changed {
+                    if schedule.traffic_active() {
+                        self.engine.set_overlay(schedule.overlay(self.engine.network()));
+                    } else {
+                        self.engine.clear_overlay();
+                    }
+                    collector.set_disruption_active(schedule.traffic_active());
+                    // In-flight itineraries were expanded at the old speeds;
+                    // re-time (and, where the planner prefers, re-route)
+                    // every en-route vehicle so fleet physics track the
+                    // perturbed oracle.
+                    for vehicle in vehicles.iter_mut().filter(|v| v.is_en_route()) {
+                        replan_vehicle(vehicle, window_open, &self.engine);
+                    }
+                }
+                for event in fired.fired {
+                    match event.kind {
+                        EventKind::OrderCancelled { order } => {
+                            let picked_up = vehicles.iter().any(|v| {
+                                v.carried.iter().any(|c| c.picked_up && c.order.id == order)
+                            });
+                            if picked_up
+                                || delivered.contains(&order)
+                                || cancelled_ids.contains(&order)
+                            {
+                                // Too late (food already on board or done) or
+                                // a duplicate event: the platform delivers.
+                                continue;
+                            }
+                            if let Some(pos) = pending.iter().position(|o| o.id == order) {
+                                pending.remove(pos);
+                            } else if let Some(vi) = vehicles.iter().position(|v| {
+                                v.carried.iter().any(|c| !c.picked_up && c.order.id == order)
+                            }) {
+                                // Route repair: drop the stop pair and replan
+                                // the rest of the vehicle's load.
+                                vehicles[vi].remove_unpicked(order);
+                                replan_vehicle(&mut vehicles[vi], window_open, &self.engine);
+                            } else if !order_ids.contains(&order)
+                                || assigned_or_done.contains(&order)
+                            {
+                                // Unknown order, or already rejected.
+                                continue;
+                            } else {
+                                // Placed later in the stream: remember to
+                                // swallow it on arrival.
+                                cancel_requested.insert(order);
+                            }
+                            cancelled_ids.insert(order);
+                            assigned_or_done.insert(order);
+                            collector.record_cancellation(order);
+                        }
+                        EventKind::PrepDelay { order, extra } => {
+                            if let Some(o) = pending.iter_mut().find(|o| o.id == order) {
+                                o.prep_time += extra;
+                            } else if let Some(vi) = vehicles.iter().position(|v| {
+                                v.carried.iter().any(|c| !c.picked_up && c.order.id == order)
+                            }) {
+                                let vehicle = &mut vehicles[vi];
+                                for carried in
+                                    vehicle.carried.iter_mut().filter(|c| c.order.id == order)
+                                {
+                                    carried.order.prep_time += extra;
+                                }
+                                // The planned wait at the restaurant is stale.
+                                replan_vehicle(vehicle, window_open, &self.engine);
+                            } else if order_ids.contains(&order)
+                                && !assigned_or_done.contains(&order)
+                                && !cancel_requested.contains(&order)
+                            {
+                                *prep_delay_pending.entry(order).or_insert(Duration::ZERO) += extra;
+                            }
+                            // Picked-up or finished orders are unaffected.
+                        }
+                        EventKind::VehicleOffShift { vehicle } => {
+                            if let Some(&vi) = vehicle_index.get(&vehicle) {
+                                let state = &mut vehicles[vi];
+                                if state.on_shift {
+                                    state.on_shift = false;
+                                    // Unpicked orders re-enter the pool; the
+                                    // vehicle finishes what is on board.
+                                    let released = state.take_unpicked();
+                                    if !released.is_empty() {
+                                        pending.extend(released);
+                                        replan_vehicle(state, window_open, &self.engine);
+                                    }
+                                }
+                            }
+                        }
+                        EventKind::VehicleOnShift { vehicle, location } => {
+                            match vehicle_index.get(&vehicle) {
+                                Some(&vi) => vehicles[vi].on_shift = true,
+                                None => {
+                                    vehicle_index.insert(vehicle, vehicles.len());
+                                    vehicles.push(VehicleState::new(vehicle, location));
+                                }
+                            }
+                        }
+                        EventKind::Traffic(_) => {
+                            unreachable!("traffic events are absorbed by the schedule")
+                        }
+                    }
+                }
+            }
+
             // 1. Advance vehicles and harvest their events.
             for vehicle in &mut vehicles {
                 for event in vehicle.advance(window_close) {
@@ -161,10 +313,19 @@ impl Simulation {
                 }
             }
 
-            // 2. New arrivals and deadline rejections.
+            // 2. New arrivals and deadline rejections. Orders cancelled
+            //    before they arrived are swallowed (already accounted as
+            //    cancellations); pending prep delays are applied on arrival.
             while next_order < orders.len() && orders[next_order].placed_at <= window_close {
-                pending.push(orders[next_order]);
+                let mut order = orders[next_order];
                 next_order += 1;
+                if cancel_requested.remove(&order.id) {
+                    continue;
+                }
+                if let Some(extra) = prep_delay_pending.remove(&order.id) {
+                    order.prep_time += extra;
+                }
+                pending.push(order);
             }
             pending.retain(|o| {
                 let expired =
@@ -190,14 +351,16 @@ impl Simulation {
             }
             let mut snapshot_orders = pending.clone();
             if reshuffle {
-                for vehicle in &vehicles {
+                for vehicle in vehicles.iter().filter(|v| v.on_shift) {
                     snapshot_orders.extend(vehicle.unpicked_orders());
                 }
             }
             if snapshot_orders.is_empty() {
                 continue;
             }
-            let snapshots = vehicles.iter().map(|v| v.snapshot(reshuffle)).collect();
+            // Off-shift vehicles are invisible to the dispatcher.
+            let snapshots =
+                vehicles.iter().filter(|v| v.on_shift).map(|v| v.snapshot(reshuffle)).collect();
             let window = WindowSnapshot::new(window_close, snapshot_orders, snapshots);
             let order_count = window.order_count();
             let vehicle_count = window.vehicle_count();
@@ -216,6 +379,7 @@ impl Simulation {
                     assigned: outcome.assigned_order_count(),
                     compute_secs,
                     overflown: compute_secs > delta.as_secs_f64(),
+                    disrupted: schedule.traffic_active(),
                 });
             }
 
@@ -289,25 +453,14 @@ impl Simulation {
                 if ids_now == carried_before[vi] {
                     continue;
                 }
-                let planned: Vec<PlannedOrder> = vehicle
-                    .carried
-                    .iter()
-                    .map(|c| PlannedOrder { order: c.order, picked_up: c.picked_up })
-                    .collect();
-                let carried = vehicle.carried.clone();
-                let route =
-                    plan_optimal_route(vehicle.location, window_close, &planned, &self.engine)
-                        .unwrap_or_else(|| foodmatch_core::EvaluatedRoute {
-                            plan: foodmatch_core::RoutePlan::empty(),
-                            cost_secs: 0.0,
-                            driving_time: Duration::ZERO,
-                            waiting_time: Duration::ZERO,
-                            deliveries: Vec::new(),
-                            start_node: vehicle.location,
-                            finish_at: window_close,
-                        });
-                vehicle.install_plan(carried, &route, window_close, &self.engine);
+                replan_vehicle(vehicle, window_close, &self.engine);
             }
+        }
+
+        // The events of this run must not leak into the next one (the same
+        // engine may back several runs for side-by-side comparisons).
+        if self.engine.has_overlay() {
+            self.engine.clear_overlay();
         }
 
         // Anything still pending or on a vehicle when the drain limit hits.
@@ -335,10 +488,36 @@ impl Simulation {
     }
 }
 
+/// Re-plans `vehicle`'s quickest route for its current carried set from its
+/// current location at `now`, replacing the edge-level itinerary. Used both
+/// by the assignment step and by event-driven route repair (cancellations,
+/// prep delays, shift ends).
+fn replan_vehicle(vehicle: &mut VehicleState, now: TimePoint, engine: &ShortestPathEngine) {
+    let planned: Vec<PlannedOrder> = vehicle
+        .carried
+        .iter()
+        .map(|c| PlannedOrder { order: c.order, picked_up: c.picked_up })
+        .collect();
+    let carried = vehicle.carried.clone();
+    let route = plan_optimal_route(vehicle.location, now, &planned, engine).unwrap_or_else(|| {
+        foodmatch_core::EvaluatedRoute {
+            plan: foodmatch_core::RoutePlan::empty(),
+            cost_secs: 0.0,
+            driving_time: Duration::ZERO,
+            waiting_time: Duration::ZERO,
+            deliveries: Vec::new(),
+            start_node: vehicle.location,
+            finish_at: now,
+        }
+    });
+    vehicle.install_plan(carried, &route, now, engine);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use foodmatch_core::policies::{FoodMatchPolicy, GreedyPolicy, KuhnMunkresPolicy};
+    use foodmatch_events::{DisruptionCause, TrafficDisruption};
     use foodmatch_roadnet::generators::GridCityBuilder;
     use foodmatch_roadnet::CongestionProfile;
 
@@ -473,6 +652,218 @@ mod tests {
         assert!(report.rejected.len() >= 4, "expected rejections, got {}", report.rejected.len());
         assert!(!report.delivered.is_empty(), "the single vehicle should deliver something");
         assert_eq!(report.delivered.len() + report.rejected.len(), 10);
+    }
+
+    #[test]
+    fn cancelled_orders_never_deliver_and_routes_are_repaired() {
+        let (engine, b) = grid();
+        let sim = small_scenario(&engine, &b);
+        let start = sim.start;
+        // Order 1 is cancelled before it even reaches a window; order 3 is
+        // cancelled after assignment but before pickup (its prep time keeps
+        // the food off the vehicle until well past the event).
+        let sim = sim.with_events(vec![
+            DisruptionEvent::new(
+                start + Duration::from_mins(2.0),
+                EventKind::OrderCancelled { order: OrderId(1) },
+            ),
+            DisruptionEvent::new(
+                start + Duration::from_mins(13.0),
+                EventKind::OrderCancelled { order: OrderId(3) },
+            ),
+        ]);
+        for mut policy in [
+            Box::new(GreedyPolicy::new()) as Box<dyn DispatchPolicy>,
+            Box::new(FoodMatchPolicy::new()),
+        ] {
+            let report = sim.run(policy.as_mut());
+            let mut cancelled: Vec<u64> = report.cancelled.iter().map(|o| o.0).collect();
+            cancelled.sort_unstable();
+            assert_eq!(cancelled, vec![1, 3], "{}", report.policy);
+            for d in &report.delivered {
+                assert!(
+                    !report.cancelled.contains(&d.id),
+                    "{}: cancelled order {} was delivered",
+                    report.policy,
+                    d.id
+                );
+            }
+            // The repaired routes still serve the surviving orders.
+            assert_eq!(report.delivered.len(), 2, "{}", report.policy);
+            assert!(report.undelivered.is_empty(), "{}", report.policy);
+            assert_eq!(
+                report.delivered.len()
+                    + report.rejected.len()
+                    + report.cancelled.len()
+                    + report.undelivered.len(),
+                report.total_orders,
+                "{}",
+                report.policy
+            );
+        }
+    }
+
+    #[test]
+    fn traffic_disruptions_inflate_xdt_and_are_attributed() {
+        let (engine, b) = grid();
+        let calm = small_scenario(&engine, &b);
+        let calm_report = calm.run(&mut FoodMatchPolicy::new());
+
+        let disruption = TrafficDisruption::city_wide(
+            DisruptionCause::Rain,
+            3.0,
+            calm.start + Duration::from_hours(4.0),
+        );
+        let disrupted = small_scenario(&engine, &b).with_events(vec![DisruptionEvent::new(
+            calm.start + Duration::from_secs_f64(30.0),
+            EventKind::Traffic(disruption),
+        )]);
+        let report = disrupted.run(&mut FoodMatchPolicy::new());
+
+        assert_eq!(report.delivered.len(), 4, "slow ≠ undeliverable");
+        assert!(
+            report.total_xdt_hours() > calm_report.total_xdt_hours() + 1e-6,
+            "a 3x city-wide slowdown must show up as XDT: {} vs {}",
+            report.total_xdt_hours(),
+            calm_report.total_xdt_hours()
+        );
+        assert!(report.disrupted_window_pct() > 0.0);
+        assert!(report.delivered_during_disruption() > 0);
+        assert!(report.xdt_hours_disrupted() > 0.0);
+        // The engine is handed back clean for the next run.
+        assert!(!engine.has_overlay());
+    }
+
+    #[test]
+    fn mid_flight_slowdowns_retime_in_flight_itineraries() {
+        let (engine, b) = grid();
+        let calm = small_scenario(&engine, &b);
+        let calm_report = calm.run(&mut GreedyPolicy::new());
+        let calm_last = calm_report.delivered.iter().map(|d| d.delivered_at).max().unwrap();
+
+        // The slowdown starts well after the first assignments: vehicles are
+        // already en route on itineraries expanded at calm speeds, so only
+        // re-timing those itineraries can make the disruption bite.
+        let disrupted = small_scenario(&engine, &b).with_events(vec![DisruptionEvent::new(
+            calm.start + Duration::from_mins(6.0),
+            EventKind::Traffic(TrafficDisruption::city_wide(
+                DisruptionCause::Rain,
+                8.0,
+                calm.start + Duration::from_hours(4.0),
+            )),
+        )]);
+        let report = disrupted.run(&mut GreedyPolicy::new());
+        let disrupted_last = report.delivered.iter().map(|d| d.delivered_at).max().unwrap();
+        assert!(
+            disrupted_last > calm_last + Duration::from_mins(1.0),
+            "an 8x slowdown hitting vehicles mid-drive must delay deliveries \
+             ({disrupted_last:?} vs calm {calm_last:?})"
+        );
+    }
+
+    #[test]
+    fn off_shift_fleet_rejects_everything() {
+        let (engine, b) = grid();
+        let sim = small_scenario(&engine, &b);
+        let start = sim.start;
+        let sim = sim.with_events(vec![
+            DisruptionEvent::new(
+                start + Duration::from_secs_f64(30.0),
+                EventKind::VehicleOffShift { vehicle: VehicleId(0) },
+            ),
+            DisruptionEvent::new(
+                start + Duration::from_secs_f64(30.0),
+                EventKind::VehicleOffShift { vehicle: VehicleId(1) },
+            ),
+        ]);
+        let report = sim.run(&mut FoodMatchPolicy::new());
+        assert_eq!(report.delivered.len(), 0);
+        assert_eq!(report.rejected.len(), report.total_orders);
+    }
+
+    #[test]
+    fn mid_day_shift_start_adds_serving_capacity() {
+        let (engine, b) = grid();
+        let start = TimePoint::from_hms(12, 0, 0);
+        let orders = vec![
+            order(1, b.node_at(1, 1), b.node_at(5, 1), start + Duration::from_mins(1.0)),
+            order(2, b.node_at(1, 2), b.node_at(5, 2), start + Duration::from_mins(2.0)),
+        ];
+        // No initial fleet at all; a driver starts a shift a minute in.
+        let sim = Simulation::new(
+            engine.clone(),
+            orders,
+            vec![],
+            DispatchConfig::default(),
+            start,
+            start + Duration::from_hours(1.0),
+        )
+        .with_events(vec![DisruptionEvent::new(
+            start + Duration::from_mins(1.0),
+            EventKind::VehicleOnShift { vehicle: VehicleId(9), location: b.node_at(0, 0) },
+        )]);
+        let report = sim.run(&mut FoodMatchPolicy::new());
+        assert_eq!(report.delivered.len(), 2, "the late starter must serve the day");
+    }
+
+    #[test]
+    fn prep_delays_push_deliveries_back() {
+        let (engine, b) = grid();
+        let start = TimePoint::from_hms(12, 0, 0);
+        let placed = start + Duration::from_mins(1.0);
+        let o = order(1, b.node_at(1, 1), b.node_at(5, 1), placed);
+        let sim = Simulation::new(
+            engine.clone(),
+            vec![o],
+            vec![(VehicleId(0), b.node_at(0, 0))],
+            DispatchConfig::default(),
+            start,
+            start + Duration::from_hours(1.0),
+        )
+        .with_events(vec![DisruptionEvent::new(
+            start + Duration::from_mins(2.0),
+            EventKind::PrepDelay { order: OrderId(1), extra: Duration::from_mins(20.0) },
+        )]);
+        let report = sim.run(&mut GreedyPolicy::new());
+        assert_eq!(report.delivered.len(), 1);
+        // Original prep is 8 min; with +20 the food leaves no earlier than
+        // placed + 28 min.
+        assert!(report.delivered[0].delivered_at > placed + Duration::from_mins(28.0));
+        assert!(report.delivered[0].xdt > Duration::from_mins(15.0));
+    }
+
+    #[test]
+    fn disrupted_runs_are_deterministic() {
+        let (engine, b) = grid();
+        let start = TimePoint::from_hms(12, 0, 0);
+        let events = vec![
+            DisruptionEvent::new(
+                start + Duration::from_secs_f64(30.0),
+                EventKind::Traffic(TrafficDisruption::localized(
+                    DisruptionCause::Incident,
+                    b.node_at(3, 3),
+                    900.0,
+                    2.5,
+                    start + Duration::from_mins(40.0),
+                )),
+            ),
+            DisruptionEvent::new(
+                start + Duration::from_mins(2.0),
+                EventKind::OrderCancelled { order: OrderId(2) },
+            ),
+            DisruptionEvent::new(
+                start + Duration::from_mins(5.0),
+                EventKind::VehicleOffShift { vehicle: VehicleId(1) },
+            ),
+        ];
+        let sim = small_scenario(&engine, &b).with_events(events);
+        let a = sim.run(&mut FoodMatchPolicy::new());
+        let c = sim.run(&mut FoodMatchPolicy::new());
+        assert_eq!(a.delivered, c.delivered);
+        assert_eq!(a.rejected, c.rejected);
+        assert_eq!(a.cancelled, c.cancelled);
+        assert!((a.total_km() - c.total_km()).abs() < 1e-12);
+        assert!((a.total_xdt_hours() - c.total_xdt_hours()).abs() < 1e-12);
     }
 
     #[test]

@@ -111,6 +111,9 @@ pub struct VehicleState {
     pub location: NodeId,
     /// Orders currently assigned to the vehicle (picked up or not).
     pub carried: Vec<CarriedOrder>,
+    /// Whether the driver is on shift. Off-shift vehicles are not offered to
+    /// the dispatcher; they still finish the deliveries already on board.
+    pub on_shift: bool,
     itinerary: VecDeque<ItineraryStep>,
     /// Waiting time accumulated since the last pickup event (used to
     /// attribute waits to the right order).
@@ -118,12 +121,13 @@ pub struct VehicleState {
 }
 
 impl VehicleState {
-    /// Creates an idle vehicle at `location`.
+    /// Creates an idle, on-shift vehicle at `location`.
     pub fn new(id: VehicleId, location: NodeId) -> Self {
         VehicleState {
             id,
             location,
             carried: Vec::new(),
+            on_shift: true,
             itinerary: VecDeque::new(),
             pending_wait: Duration::ZERO,
         }
@@ -132,6 +136,13 @@ impl VehicleState {
     /// True if the vehicle has nothing left to do.
     pub fn is_idle(&self) -> bool {
         self.itinerary.is_empty() && self.carried.is_empty()
+    }
+
+    /// True while the vehicle is executing an itinerary. Used by the
+    /// simulation to re-time in-flight routes when traffic conditions change
+    /// (itinerary steps carry precomputed edge times).
+    pub fn is_en_route(&self) -> bool {
+        !self.itinerary.is_empty()
     }
 
     /// Orders assigned but not yet picked up (the reshufflable set).
@@ -232,7 +243,9 @@ impl VehicleState {
                     else {
                         continue;
                     };
-                    let tt = network.travel_time(eid, cursor_time);
+                    // Overlay-aware: a vehicle drives slower through an
+                    // active disruption, exactly as the oracle predicted.
+                    let tt = engine.edge_travel_time(eid, cursor_time);
                     let depart = cursor_time;
                     cursor_time += tt;
                     self.itinerary.push_back(ItineraryStep::Travel {

@@ -8,18 +8,28 @@
 //! for food to be prepared, picking up and dropping off orders, the
 //! accumulation-window loop that feeds [`foodmatch_core::WindowSnapshot`]s to
 //! a [`foodmatch_core::DispatchPolicy`], rejection of orders that waited too
-//! long, and the collection of every metric the paper's evaluation reports
-//! (XDT, orders per km, waiting time, rejections, overflown windows, running
-//! time).
+//! long, replay of [`foodmatch_events::DisruptionEvent`] streams (traffic
+//! perturbations, cancellations, prep delays, fleet churn), and the
+//! collection of every metric the paper's evaluation reports (XDT, orders
+//! per km, waiting time, rejections, cancellations, overflown windows,
+//! running time).
 //!
-//! ```no_run
-//! use foodmatch_core::{DispatchConfig, FoodMatchPolicy};
+//! ```
+//! use foodmatch_core::FoodMatchPolicy;
+//! use foodmatch_roadnet::Duration;
 //! use foodmatch_sim::Simulation;
-//! # fn scenario() -> Simulation { unimplemented!() }
+//! use foodmatch_workload::{CityId, Scenario, ScenarioOptions};
 //!
-//! let sim: Simulation = scenario();
+//! // Half an hour of the GrubHub-sized lunch peak, deterministic per seed.
+//! let mut options = ScenarioOptions::lunch_peak(1);
+//! options.end = options.start + Duration::from_mins(30.0);
+//! let sim: Simulation = Scenario::generate(CityId::GrubHub, options).into_simulation();
 //! let report = sim.run(&mut FoodMatchPolicy::new());
 //! println!("XDT = {:.1} h/day, O/Km = {:.2}", report.xdt_hours_per_day(), report.orders_per_km());
+//! assert_eq!(
+//!     report.delivered.len() + report.rejected.len() + report.undelivered.len(),
+//!     report.total_orders,
+//! );
 //! ```
 
 #![warn(missing_docs)]

@@ -11,6 +11,12 @@
 //! * **Rejections** — orders that stayed unassigned beyond the deadline.
 //! * **Overflown windows** — accumulation windows whose assignment
 //!   computation took longer than Δ (the scalability metric of Fig. 6(f–h)).
+//!
+//! On top of the paper's metrics, the report attributes outcomes to
+//! *disruption windows* (periods with an active traffic perturbation from
+//! the dynamic-events subsystem): deliveries and rejections carry a
+//! during-disruption flag, windows record whether traffic was perturbed, and
+//! customer **cancellations** are accounted separately from rejections.
 
 use foodmatch_core::OrderId;
 use foodmatch_roadnet::{Duration, HourSlot, TimePoint};
@@ -31,6 +37,9 @@ pub struct DeliveredOrder {
     pub xdt: Duration,
     /// The hour slot in which the order was placed (used for per-slot plots).
     pub slot: HourSlot,
+    /// True when the delivery completed while a traffic disruption was
+    /// active, so XDT can be attributed to disruption windows.
+    pub during_disruption: bool,
 }
 
 /// Statistics of one accumulation window.
@@ -50,6 +59,8 @@ pub struct WindowStats {
     pub compute_secs: f64,
     /// Whether the computation exceeded the window length Δ.
     pub overflown: bool,
+    /// Whether a traffic disruption was active when the window closed.
+    pub disrupted: bool,
 }
 
 /// The complete outcome of one simulation run.
@@ -63,6 +74,12 @@ pub struct SimulationReport {
     pub delivered: Vec<DeliveredOrder>,
     /// Orders rejected because they stayed unassigned past the deadline.
     pub rejected: Vec<OrderId>,
+    /// How many of the rejections happened while a traffic disruption was
+    /// active.
+    pub rejected_during_disruption: usize,
+    /// Orders cancelled by the customer before pickup (dynamic-events
+    /// subsystem). Cancelled orders are neither delivered nor rejected.
+    pub cancelled: Vec<OrderId>,
     /// Orders assigned but still undelivered when the simulation was cut off
     /// (normally empty; non-empty indicates the drain horizon was too short).
     pub undelivered: Vec<OrderId>,
@@ -153,6 +170,37 @@ impl SimulationReport {
         }
     }
 
+    /// Fraction of offered orders cancelled by the customer, in percent.
+    pub fn cancellation_rate_pct(&self) -> f64 {
+        if self.total_orders == 0 {
+            0.0
+        } else {
+            100.0 * self.cancelled.len() as f64 / self.total_orders as f64
+        }
+    }
+
+    /// XDT accumulated by deliveries that completed during disruption
+    /// windows, in hours (the rest is [`Self::total_xdt_hours`] minus this).
+    pub fn xdt_hours_disrupted(&self) -> f64 {
+        self.delivered.iter().filter(|d| d.during_disruption).map(|d| d.xdt.as_hours_f64()).sum()
+    }
+
+    /// Number of deliveries completed during disruption windows.
+    pub fn delivered_during_disruption(&self) -> usize {
+        self.delivered.iter().filter(|d| d.during_disruption).count()
+    }
+
+    /// Percentage of accumulation windows closed while a traffic disruption
+    /// was active.
+    pub fn disrupted_window_pct(&self) -> f64 {
+        if self.windows.is_empty() {
+            0.0
+        } else {
+            100.0 * self.windows.iter().filter(|w| w.disrupted).count() as f64
+                / self.windows.len() as f64
+        }
+    }
+
     /// Percentage of windows whose assignment took longer than Δ.
     ///
     /// With `peak_only` set, only windows in the lunch/dinner peak slots are
@@ -227,10 +275,15 @@ pub struct MetricsCollector {
     horizon: Duration,
     delivered: Vec<DeliveredOrder>,
     rejected: Vec<OrderId>,
+    rejected_during_disruption: usize,
+    cancelled: Vec<OrderId>,
     undelivered: Vec<OrderId>,
     windows: Vec<WindowStats>,
     distance_by_load_m: Vec<[f64; MAX_TRACKED_LOAD + 1]>,
     waiting_by_slot: Vec<Duration>,
+    /// Whether a traffic disruption is currently active; stamps deliveries
+    /// and rejections recorded while set.
+    disruption_active: bool,
 }
 
 impl MetricsCollector {
@@ -242,11 +295,21 @@ impl MetricsCollector {
             horizon,
             delivered: Vec::new(),
             rejected: Vec::new(),
+            rejected_during_disruption: 0,
+            cancelled: Vec::new(),
             undelivered: Vec::new(),
             windows: Vec::new(),
             distance_by_load_m: vec![[0.0; MAX_TRACKED_LOAD + 1]; HourSlot::COUNT],
             waiting_by_slot: vec![Duration::ZERO; HourSlot::COUNT],
+            disruption_active: false,
         }
+    }
+
+    /// Updates the disruption flag stamped onto subsequent deliveries and
+    /// rejections. The simulation toggles this at window boundaries as
+    /// traffic perturbations start and clear.
+    pub fn set_disruption_active(&mut self, active: bool) {
+        self.disruption_active = active;
     }
 
     /// Records a delivered order. `sdt` is its shortest delivery time
@@ -267,12 +330,21 @@ impl MetricsCollector {
             delivered_at,
             xdt,
             slot: placed_at.hour_slot(),
+            during_disruption: self.disruption_active,
         });
     }
 
     /// Records a rejected order.
     pub fn record_rejection(&mut self, id: OrderId) {
         self.rejected.push(id);
+        if self.disruption_active {
+            self.rejected_during_disruption += 1;
+        }
+    }
+
+    /// Records a customer cancellation (before pickup).
+    pub fn record_cancellation(&mut self, id: OrderId) {
+        self.cancelled.push(id);
     }
 
     /// Records an order left undelivered at the end of the run.
@@ -304,6 +376,8 @@ impl MetricsCollector {
             total_orders: self.total_orders,
             delivered: self.delivered,
             rejected: self.rejected,
+            rejected_during_disruption: self.rejected_during_disruption,
+            cancelled: self.cancelled,
             undelivered: self.undelivered,
             windows: self.windows,
             distance_by_load_m: self.distance_by_load_m,
@@ -391,6 +465,7 @@ mod tests {
             assigned: 3,
             compute_secs: if overflown { 200.0 } else { 0.5 },
             overflown,
+            disrupted: false,
         };
         c.record_window(mk(3, false));
         c.record_window(mk(13, true));
@@ -438,5 +513,40 @@ mod tests {
         assert_eq!(report.overflow_pct(false), 0.0);
         assert_eq!(report.mean_window_compute_secs(), 0.0);
         assert_eq!(report.mean_xdt_mins(), 0.0);
+        assert_eq!(report.cancellation_rate_pct(), 0.0);
+        assert_eq!(report.disrupted_window_pct(), 0.0);
+        assert_eq!(report.xdt_hours_disrupted(), 0.0);
+    }
+
+    #[test]
+    fn cancellations_are_accounted_separately_from_rejections() {
+        let mut c = collector();
+        c.record_cancellation(OrderId(4));
+        c.record_rejection(OrderId(5));
+        let report = c.finish();
+        assert_eq!(report.cancelled, vec![OrderId(4)]);
+        assert_eq!(report.rejected, vec![OrderId(5)]);
+        assert!((report.cancellation_rate_pct() - 10.0).abs() < 1e-9);
+        assert!((report.rejection_rate_pct() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disruption_flag_stamps_deliveries_and_rejections() {
+        let mut c = collector();
+        let placed = TimePoint::from_hms(12, 0, 0);
+        c.record_delivery(OrderId(1), placed, TimePoint::from_hms(12, 40, 0), Duration::ZERO);
+        c.set_disruption_active(true);
+        c.record_delivery(OrderId(2), placed, TimePoint::from_hms(12, 50, 0), Duration::ZERO);
+        c.record_rejection(OrderId(3));
+        c.set_disruption_active(false);
+        c.record_rejection(OrderId(4));
+        let report = c.finish();
+        assert!(!report.delivered[0].during_disruption);
+        assert!(report.delivered[1].during_disruption);
+        assert_eq!(report.delivered_during_disruption(), 1);
+        assert_eq!(report.rejected_during_disruption, 1);
+        // XDT attribution: order 2 carries all the disrupted XDT.
+        assert!((report.xdt_hours_disrupted() - 50.0 / 60.0).abs() < 1e-9);
+        assert!((report.total_xdt_hours() - (40.0 + 50.0) / 60.0).abs() < 1e-9);
     }
 }

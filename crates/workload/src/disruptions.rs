@@ -1,0 +1,351 @@
+//! Disruption profiles: scripted or randomly generated event schedules.
+//!
+//! The dynamic-events subsystem (`foodmatch-events`) defines *what* can
+//! happen to a running simulation; this module decides *when and where* it
+//! happens for a concrete [`Scenario`]. An [`EventScheduleBuilder`] draws a
+//! seeded, deterministic stream of incidents, rain surges, order
+//! cancellations, restaurant prep delays and fleet shift churn against the
+//! scenario's network, order stream and fleet; the named presets
+//! ([`DisruptionPreset`]) are the disruption-profile vocabulary the
+//! experiments speak:
+//!
+//! | Preset | What it models |
+//! |---|---|
+//! | `calm` | the static world of the plain scenarios (no events) |
+//! | `rainy_evening` | a city-wide rain surge over the back of the horizon, slow kitchens, a few incidents |
+//! | `incident_heavy` | frequent localized incidents, cancellations and shift churn |
+
+use crate::demand::poisson;
+use crate::scenario::Scenario;
+use foodmatch_core::VehicleId;
+use foodmatch_events::{DisruptionCause, DisruptionEvent, EventKind, TrafficDisruption};
+use foodmatch_roadnet::{Duration, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{Rng, SeedableRng};
+
+/// The named disruption profiles used by the experiments.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DisruptionPreset {
+    /// No disruptions at all — the baseline every disrupted day is compared
+    /// against.
+    Calm,
+    /// A city-wide rain surge over the later part of the horizon: all roads
+    /// ~40% slower, kitchens delayed, a couple of weather incidents, mild
+    /// cancellation uptick.
+    RainyEvening,
+    /// A day of frequent localized incidents with noticeable cancellation
+    /// rates and drivers churning on/off shift.
+    IncidentHeavy,
+}
+
+impl DisruptionPreset {
+    /// All presets, calm first (the comparison baseline).
+    pub const ALL: [DisruptionPreset; 3] =
+        [DisruptionPreset::Calm, DisruptionPreset::RainyEvening, DisruptionPreset::IncidentHeavy];
+
+    /// The name used on tables, JSON keys and the command line.
+    pub fn name(self) -> &'static str {
+        match self {
+            DisruptionPreset::Calm => "calm",
+            DisruptionPreset::RainyEvening => "rainy_evening",
+            DisruptionPreset::IncidentHeavy => "incident_heavy",
+        }
+    }
+
+    /// The builder configured for this preset.
+    pub fn builder(self, seed: u64) -> EventScheduleBuilder {
+        match self {
+            DisruptionPreset::Calm => EventScheduleBuilder::calm(seed),
+            DisruptionPreset::RainyEvening => EventScheduleBuilder::rainy_evening(seed),
+            DisruptionPreset::IncidentHeavy => EventScheduleBuilder::incident_heavy(seed),
+        }
+    }
+}
+
+/// Configuration of a random (but seeded, hence reproducible) disruption
+/// schedule. Build one via a preset or [`EventScheduleBuilder::custom`] and
+/// tweak the knobs; [`EventScheduleBuilder::build`] renders the event stream
+/// for a concrete scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EventScheduleBuilder {
+    /// Seed of the event stream (independent of the scenario's seed).
+    pub seed: u64,
+    /// Expected localized incidents per simulated hour.
+    pub incidents_per_hour: f64,
+    /// Radius of the node neighbourhood an incident slows down, in meters.
+    pub incident_radius_m: f64,
+    /// Incident slowdown factors are drawn uniformly from this range.
+    pub incident_factor: (f64, f64),
+    /// Incident lifetimes are drawn uniformly from this range, in minutes.
+    pub incident_duration_mins: (f64, f64),
+    /// A city-wide rain surge: slowdown factor and the fraction of the
+    /// horizon it covers (`0.3..=1.0` = the last 70%). `None` = dry day.
+    pub rain: Option<(f64, (f64, f64))>,
+    /// Fraction of orders cancelled by their customers before pickup.
+    pub cancellation_rate: f64,
+    /// Fraction of orders whose restaurant runs late.
+    pub prep_delay_rate: f64,
+    /// Extra preparation time drawn uniformly from this range, in minutes.
+    pub prep_delay_extra_mins: (f64, f64),
+    /// Fraction of the initial fleet that ends its shift during the horizon.
+    pub off_shift_fraction: f64,
+    /// Fresh drivers joining mid-horizon, as a fraction of the initial fleet.
+    pub on_shift_fraction: f64,
+}
+
+impl EventScheduleBuilder {
+    /// No disruptions at all.
+    pub fn calm(seed: u64) -> Self {
+        EventScheduleBuilder {
+            seed,
+            incidents_per_hour: 0.0,
+            incident_radius_m: 800.0,
+            incident_factor: (1.5, 2.5),
+            incident_duration_mins: (20.0, 50.0),
+            rain: None,
+            cancellation_rate: 0.0,
+            prep_delay_rate: 0.0,
+            prep_delay_extra_mins: (3.0, 10.0),
+            off_shift_fraction: 0.0,
+            on_shift_fraction: 0.0,
+        }
+    }
+
+    /// A rainy evening: one city-wide surge over the back of the horizon,
+    /// slow kitchens, the odd weather incident.
+    pub fn rainy_evening(seed: u64) -> Self {
+        EventScheduleBuilder {
+            rain: Some((1.4, (0.3, 1.0))),
+            incidents_per_hour: 0.5,
+            incident_factor: (1.4, 2.0),
+            cancellation_rate: 0.02,
+            prep_delay_rate: 0.12,
+            prep_delay_extra_mins: (3.0, 8.0),
+            ..Self::calm(seed)
+        }
+    }
+
+    /// Frequent localized incidents, cancellations and fleet churn.
+    pub fn incident_heavy(seed: u64) -> Self {
+        EventScheduleBuilder {
+            incidents_per_hour: 3.0,
+            incident_radius_m: 900.0,
+            incident_factor: (1.8, 3.5),
+            incident_duration_mins: (25.0, 60.0),
+            cancellation_rate: 0.06,
+            prep_delay_rate: 0.05,
+            off_shift_fraction: 0.15,
+            on_shift_fraction: 0.10,
+            ..Self::calm(seed)
+        }
+    }
+
+    /// A calm baseline to customise field by field.
+    pub fn custom(seed: u64) -> Self {
+        Self::calm(seed)
+    }
+
+    /// Renders the deterministic event stream for `scenario`. The same
+    /// builder and scenario always produce the same events; different seeds
+    /// produce different days.
+    pub fn build(&self, scenario: &Scenario) -> Vec<DisruptionEvent> {
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_mul(0xD129_42F1).wrapping_add(17));
+        let start = scenario.options.start;
+        let end = scenario.options.end;
+        let span = (end - start).as_secs_f64();
+        let nodes: Vec<NodeId> = scenario.city.network.node_ids().collect();
+        let mut events = Vec::new();
+
+        // Localized incidents: a Poisson count over the horizon, each around
+        // a random node.
+        let expected = self.incidents_per_hour * span / 3_600.0;
+        if expected > 0.0 {
+            let count = poisson(&mut rng, expected);
+            for _ in 0..count {
+                let at = start + Duration::from_secs_f64(rng.random_range(0.0..span));
+                let minutes =
+                    rng.random_range(self.incident_duration_mins.0..=self.incident_duration_mins.1);
+                let factor = rng.random_range(self.incident_factor.0..=self.incident_factor.1);
+                let center = *nodes.choose(&mut rng).expect("network has nodes");
+                events.push(DisruptionEvent::new(
+                    at,
+                    EventKind::Traffic(TrafficDisruption::localized(
+                        DisruptionCause::Incident,
+                        center,
+                        self.incident_radius_m,
+                        factor,
+                        at + Duration::from_mins(minutes),
+                    )),
+                ));
+            }
+        }
+
+        // The rain surge.
+        if let Some((factor, (from_frac, to_frac))) = self.rain {
+            let at = start + Duration::from_secs_f64(span * from_frac);
+            let until = start + Duration::from_secs_f64(span * to_frac);
+            if until > at {
+                events.push(DisruptionEvent::new(
+                    at,
+                    EventKind::Traffic(TrafficDisruption::city_wide(
+                        DisruptionCause::Rain,
+                        factor,
+                        until,
+                    )),
+                ));
+            }
+        }
+
+        // Order churn: cancellations arrive a few minutes after placement
+        // (sometimes too late — the simulator ignores post-pickup
+        // cancellations, as the platform does); prep delays arrive while the
+        // kitchen is already cooking.
+        for order in &scenario.orders {
+            if self.cancellation_rate > 0.0 && rng.random_bool(self.cancellation_rate) {
+                let at = order.placed_at + Duration::from_mins(rng.random_range(0.5..8.0));
+                events
+                    .push(DisruptionEvent::new(at, EventKind::OrderCancelled { order: order.id }));
+            }
+            if self.prep_delay_rate > 0.0 && rng.random_bool(self.prep_delay_rate) {
+                let at = order.placed_at + Duration::from_mins(rng.random_range(0.0..3.0));
+                let extra = Duration::from_mins(
+                    rng.random_range(self.prep_delay_extra_mins.0..=self.prep_delay_extra_mins.1),
+                );
+                events.push(DisruptionEvent::new(
+                    at,
+                    EventKind::PrepDelay { order: order.id, extra },
+                ));
+            }
+        }
+
+        // Fleet churn. Departures are drawn from the initial roster without
+        // replacement; arrivals get fresh vehicle ids above the roster.
+        let fleet = scenario.vehicle_starts.len();
+        let leaving = (self.off_shift_fraction * fleet as f64).round() as usize;
+        if leaving > 0 {
+            let mut roster: Vec<VehicleId> =
+                scenario.vehicle_starts.iter().map(|&(id, _)| id).collect();
+            // Partial Fisher–Yates: the first `leaving` entries are a uniform
+            // draw without replacement.
+            for i in 0..leaving.min(fleet) {
+                let j = rng.random_range(i..fleet);
+                roster.swap(i, j);
+            }
+            for &vehicle in roster.iter().take(leaving) {
+                // Departures happen in the middle stretch of the horizon so
+                // the driver had a shift to end.
+                let at = start + Duration::from_secs_f64(rng.random_range(0.25..0.9) * span);
+                events.push(DisruptionEvent::new(at, EventKind::VehicleOffShift { vehicle }));
+            }
+        }
+        let joining = (self.on_shift_fraction * fleet as f64).round() as usize;
+        if joining > 0 {
+            let next_id =
+                scenario.vehicle_starts.iter().map(|&(id, _)| id.0).max().map_or(0, |m| m + 1);
+            for i in 0..joining {
+                let at = start + Duration::from_secs_f64(rng.random_range(0.1..0.75) * span);
+                let location = *nodes.choose(&mut rng).expect("network has nodes");
+                events.push(DisruptionEvent::new(
+                    at,
+                    EventKind::VehicleOnShift { vehicle: VehicleId(next_id + i as u32), location },
+                ));
+            }
+        }
+
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CityId, ScenarioOptions};
+
+    fn scenario() -> Scenario {
+        Scenario::generate(CityId::A, ScenarioOptions::lunch_peak(7))
+    }
+
+    #[test]
+    fn calm_preset_is_empty() {
+        let s = scenario();
+        assert!(DisruptionPreset::Calm.builder(1).build(&s).is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let s = scenario();
+        let a = DisruptionPreset::IncidentHeavy.builder(3).build(&s);
+        let b = DisruptionPreset::IncidentHeavy.builder(3).build(&s);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        let c = DisruptionPreset::IncidentHeavy.builder(4).build(&s);
+        assert_ne!(a, c, "different seeds must disrupt differently");
+    }
+
+    #[test]
+    fn events_land_inside_the_horizon_and_reference_the_scenario() {
+        let s = scenario();
+        let order_ids: std::collections::HashSet<_> = s.orders.iter().map(|o| o.id).collect();
+        let fleet_ids: std::collections::HashSet<_> =
+            s.vehicle_starts.iter().map(|&(id, _)| id).collect();
+        for preset in [DisruptionPreset::RainyEvening, DisruptionPreset::IncidentHeavy] {
+            for event in preset.builder(11).build(&s) {
+                assert!(event.at >= s.options.start, "{preset:?}: {event:?}");
+                match event.kind {
+                    EventKind::Traffic(d) => {
+                        assert!(d.factor >= 1.0);
+                        assert!(d.until > event.at);
+                        if let Some(center) = d.center {
+                            assert!(center.index() < s.city.network.node_count());
+                        }
+                    }
+                    EventKind::OrderCancelled { order } => assert!(order_ids.contains(&order)),
+                    EventKind::PrepDelay { order, extra } => {
+                        assert!(order_ids.contains(&order));
+                        assert!(extra > Duration::ZERO);
+                    }
+                    EventKind::VehicleOffShift { vehicle } => {
+                        assert!(fleet_ids.contains(&vehicle), "departures come from the roster");
+                        assert!(event.at < s.options.end);
+                    }
+                    EventKind::VehicleOnShift { vehicle, location } => {
+                        assert!(!fleet_ids.contains(&vehicle), "arrivals get fresh ids");
+                        assert!(location.index() < s.city.network.node_count());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rainy_evening_has_a_city_wide_surge() {
+        let s = scenario();
+        let events = DisruptionPreset::RainyEvening.builder(5).build(&s);
+        let surge = events
+            .iter()
+            .find_map(|e| match e.kind {
+                EventKind::Traffic(d) if d.center.is_none() => Some(d),
+                _ => None,
+            })
+            .expect("rainy_evening must carry a rain surge");
+        assert_eq!(surge.cause, DisruptionCause::Rain);
+        assert!(surge.factor > 1.0);
+    }
+
+    #[test]
+    fn incident_heavy_churns_orders_and_fleet() {
+        let s = scenario();
+        let events = DisruptionPreset::IncidentHeavy.builder(9).build(&s);
+        let incidents = events.iter().filter(|e| matches!(e.kind, EventKind::Traffic(_))).count();
+        let cancels =
+            events.iter().filter(|e| matches!(e.kind, EventKind::OrderCancelled { .. })).count();
+        let off =
+            events.iter().filter(|e| matches!(e.kind, EventKind::VehicleOffShift { .. })).count();
+        let on =
+            events.iter().filter(|e| matches!(e.kind, EventKind::VehicleOnShift { .. })).count();
+        assert!(incidents > 0, "expected incidents");
+        assert!(cancels > 0, "expected cancellations");
+        assert!(off > 0 && on > 0, "expected shift churn, got {off} off / {on} on");
+    }
+}

@@ -3,8 +3,11 @@
 //! Synthetic workload generation for the FoodMatch reproduction: city
 //! presets shaped after Table II of the paper, a diurnal demand model with
 //! the lunch/dinner peaks of Fig. 6(a), spatially clustered restaurants with
-//! per-restaurant Gaussian preparation times, and a scenario builder that
-//! turns all of it into a runnable [`foodmatch_sim::Simulation`].
+//! per-restaurant Gaussian preparation times, a scenario builder that turns
+//! all of it into a runnable [`foodmatch_sim::Simulation`], and disruption
+//! profiles ([`EventScheduleBuilder`], presets `calm` / `rainy_evening` /
+//! `incident_heavy`) that script the dynamic-events subsystem against a
+//! generated scenario.
 //!
 //! ```no_run
 //! use foodmatch_workload::{CityId, Scenario, ScenarioOptions};
@@ -20,7 +23,9 @@
 
 pub mod city;
 pub mod demand;
+pub mod disruptions;
 pub mod scenario;
 
 pub use city::{CityId, CityPreset};
+pub use disruptions::{DisruptionPreset, EventScheduleBuilder};
 pub use scenario::{CityStats, GeneratedCity, Restaurant, Scenario, ScenarioOptions};

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""CI guard against dispatch-oracle throughput regressions.
+
+Compares a freshly measured ``BENCH_dispatch.json`` against the committed
+baseline and fails (exit 1) when any backend's ``queries_per_sec`` dropped by
+more than the threshold (default 30%). The comparison is skipped (exit 0)
+when the two runs are not comparable: different ``available_parallelism``
+(thread-scaling numbers only mean something on like-for-like runners) or a
+different ``quick`` flag (different workloads).
+
+Usage:
+    check_bench_regression.py NEW_JSON BASELINE_JSON [--threshold 0.30]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("new", help="freshly generated BENCH_dispatch.json")
+    parser.add_argument("baseline", help="committed baseline BENCH_dispatch.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="maximum tolerated fractional queries/sec drop (default 0.30)",
+    )
+    args = parser.parse_args()
+
+    new = load(args.new)
+    baseline = load(args.baseline)
+
+    comparable = True
+    for key, reason in [
+        ("available_parallelism", "different core counts"),
+        ("quick", "different workloads"),
+    ]:
+        if new.get(key) != baseline.get(key):
+            print(
+                f"SKIP bench regression check: {key} differs "
+                f"({baseline.get(key)} -> {new.get(key)}, {reason})"
+            )
+            comparable = False
+    if not comparable:
+        print(
+            "::warning::bench regression guard is NOT enforcing — the committed "
+            "BENCH_dispatch.json was measured on different hardware. Refresh it "
+            "from this runner's BENCH_dispatch artifact (download, rename to "
+            "BENCH_dispatch.json, commit) to arm the guard."
+        )
+        print("informational comparison (not comparable, not enforced):")
+
+    baseline_backends = {b["kind"]: b for b in baseline.get("backends", [])}
+    failures = []
+    for backend in new.get("backends", []):
+        kind = backend["kind"]
+        old = baseline_backends.get(kind)
+        if old is None:
+            print(f"note: backend {kind} has no committed baseline, skipping")
+            continue
+        old_qps = float(old["queries_per_sec"])
+        new_qps = float(backend["queries_per_sec"])
+        if old_qps <= 0:
+            continue
+        drop = (old_qps - new_qps) / old_qps
+        status = "REGRESSION" if drop > args.threshold else "ok"
+        print(
+            f"{kind:<24} baseline {old_qps:>12.0f} q/s  now {new_qps:>12.0f} q/s  "
+            f"({-drop:+.1%}) {status}"
+        )
+        if drop > args.threshold:
+            failures.append(kind)
+
+    if not comparable:
+        return 0
+    if failures:
+        print(
+            f"FAIL: queries/sec dropped by more than {args.threshold:.0%} on: "
+            + ", ".join(failures)
+        )
+        return 1
+    print("bench regression check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
