@@ -96,6 +96,38 @@ fn bench_hungarian(c: &mut Criterion) {
             b.iter(|| black_box(solve_hungarian(matrix)))
         });
     }
+    // Tall matrices (rows > cols) exercise the index-swapped view that
+    // replaced the clone-and-transpose path.
+    for (rows, cols) in [(120usize, 30usize), (300, 60)] {
+        let matrix = CostMatrix::from_fn(rows, cols, |_, _| rng.random_range(0.0..1_000.0));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("tall_{rows}x{cols}")),
+            &matrix,
+            |b, matrix| b.iter(|| black_box(solve_hungarian(matrix))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    use foodmatch_matching::{SolverKind, SparseCostMatrix};
+    // A sparse window-shaped instance: 200 batches × 90 vehicles, ~8 finite
+    // edges per vehicle, Ω everywhere else.
+    let mut rng = StdRng::seed_from_u64(17);
+    let (rows, cols) = (200usize, 90usize);
+    let mut costs = SparseCostMatrix::new(rows, cols, 7_200.0);
+    for col in 0..cols {
+        for _ in 0..8 {
+            let row = rng.random_range(0..rows);
+            costs.set(row, col, rng.random_range(0.0..3_000.0));
+        }
+    }
+    let mut group = c.benchmark_group("assignment_solvers");
+    group.sample_size(10);
+    for kind in SolverKind::ALL {
+        let solver = kind.build(4);
+        group.bench_function(kind.name(), |b| b.iter(|| black_box(solver.solve(&costs))));
+    }
     group.finish();
 }
 
@@ -158,6 +190,7 @@ criterion_group!(
     bench_shortest_paths,
     bench_index_build,
     bench_hungarian,
+    bench_solvers,
     bench_batching,
     bench_foodgraph,
     bench_window_assignment

@@ -5,10 +5,12 @@
 //! repro all [--quick]                      # run the whole suite
 //! repro fig6cde [--seed 3]                 # run one experiment
 //! repro dispatch --bench-out BENCH_dispatch.json   # machine-readable perf baseline
+//! repro matching --solver dense-km         # pin the assignment solver
 //! ```
 
 use foodmatch_bench::experiments;
 use foodmatch_bench::ExperimentContext;
+use foodmatch_core::SolverKind;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -35,6 +37,16 @@ fn main() -> ExitCode {
                 Some(path) => ctx.bench_out = Some(path.into()),
                 None => {
                     eprintln!("--bench-out requires a file path argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--solver" => match iter.next().as_deref().and_then(SolverKind::parse) {
+                Some(solver) => ctx.solver = Some(solver),
+                None => {
+                    eprintln!(
+                        "--solver requires one of: {}",
+                        SolverKind::ALL.map(|s| s.name()).join(", ")
+                    );
                     return ExitCode::FAILURE;
                 }
             },
@@ -89,6 +101,10 @@ fn main() -> ExitCode {
 }
 
 fn usage() {
-    eprintln!("usage: repro <experiment|all|list> [--quick] [--seed N] [--bench-out FILE]");
+    eprintln!(
+        "usage: repro <experiment|all|list> [--quick] [--seed N] [--bench-out FILE] \
+         [--solver NAME]"
+    );
     eprintln!("run `repro list` to see the available experiments");
+    eprintln!("solvers: {}", SolverKind::ALL.map(|s| s.name()).join(", "));
 }

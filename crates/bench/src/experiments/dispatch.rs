@@ -18,7 +18,7 @@
 //! With `--bench-out FILE` the results are additionally written as JSON
 //! (`BENCH_dispatch.json` in CI) so successive commits can be compared.
 
-use crate::harness::{header, ExperimentContext};
+use crate::harness::{header, percentile, ExperimentContext};
 use foodmatch_core::{DispatchConfig, FoodMatchPolicy};
 use foodmatch_roadnet::{EngineKind, NodeId, ShortestPathEngine, TimePoint};
 use foodmatch_sim::Simulation;
@@ -104,7 +104,7 @@ pub fn run(ctx: &ExperimentContext) {
         "{:<14} {:>9} {:>11} {:>10} {:>10} {:>10} {:>10}",
         "Dispatch (B)", "windows", "mean (ms)", "p50", "p90", "p99", "max"
     );
-    let dispatch = bench_dispatch_pair(&dispatch_scenario);
+    let dispatch = bench_dispatch_pair(&dispatch_scenario, ctx);
     for result in &dispatch {
         println!(
             "{:<14} {:>9} {:>11.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
@@ -206,13 +206,13 @@ fn bench_backend(
 /// matters: on throttled/shared machines wall-clock drifts over the
 /// benchmark's lifetime, and running one leg entirely after the other would
 /// charge that drift to whichever went second.
-fn bench_dispatch_pair(scenario: &Scenario) -> Vec<DispatchResult> {
+fn bench_dispatch_pair(scenario: &Scenario, ctx: &ExperimentContext) -> Vec<DispatchResult> {
     const LEGS: [usize; 2] = [1, 4];
     let mut best: [Option<(foodmatch_sim::SimulationReport, u64)>; 2] = [None, None];
     for round in 0..3 {
         for position in 0..LEGS.len() {
             let leg = (round + position) % LEGS.len();
-            let (run, queries) = run_dispatch_once(scenario, LEGS[leg]);
+            let (run, queries) = run_dispatch_once(scenario, LEGS[leg], ctx);
             let better = best[leg]
                 .as_ref()
                 .is_none_or(|(r, _)| run.mean_window_compute_secs() < r.mean_window_compute_secs());
@@ -233,8 +233,9 @@ fn bench_dispatch_pair(scenario: &Scenario) -> Vec<DispatchResult> {
 fn run_dispatch_once(
     scenario: &Scenario,
     num_threads: usize,
+    ctx: &ExperimentContext,
 ) -> (foodmatch_sim::SimulationReport, u64) {
-    let config = DispatchConfig { num_threads, ..scenario.default_config() };
+    let config = ctx.apply_solver(DispatchConfig { num_threads, ..scenario.default_config() });
     let engine = ShortestPathEngine::cached(scenario.city.network.clone());
     let simulation = Simulation::new(
         engine.clone(),
@@ -271,15 +272,6 @@ fn summarise_dispatch(
         max_ms: window_ms.last().copied().unwrap_or(0.0),
         engine_query_count: queries,
     }
-}
-
-/// Nearest-rank percentile of an ascending-sorted sample (0 for empty).
-fn percentile(sorted: &[f64], pct: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// Serialises the results by hand: the vendored serde is an offline stub, so
@@ -345,15 +337,6 @@ fn to_json(
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn percentile_uses_nearest_rank() {
-        let sorted = [1.0, 2.0, 3.0, 4.0];
-        assert_eq!(percentile(&sorted, 50.0), 2.0);
-        assert_eq!(percentile(&sorted, 90.0), 4.0);
-        assert_eq!(percentile(&sorted, 1.0), 1.0);
-        assert_eq!(percentile(&[], 50.0), 0.0);
-    }
 
     #[test]
     fn json_layout_is_wellformed() {

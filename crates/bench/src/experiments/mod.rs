@@ -9,6 +9,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod matching;
 pub mod table2;
 
 use crate::harness::ExperimentContext;
@@ -101,6 +102,11 @@ pub const ALL: &[Experiment] = &[
         description: "Dynamic events: policies under calm vs rainy/incident-heavy days",
         run: disruptions::run,
     },
+    Experiment {
+        name: "matching",
+        description: "Assignment solvers: component sharding and solve times vs window pressure",
+        run: matching::run,
+    },
 ];
 
 /// Looks an experiment up by name.
@@ -111,7 +117,7 @@ pub fn find(name: &str) -> Option<&'static Experiment> {
 /// The names every registered experiment must carry, in paper order — the
 /// single source of truth for the registry-coverage tests here and in the
 /// workspace-level smoke suite.
-pub const EXPECTED_NAMES: [&str; 15] = [
+pub const EXPECTED_NAMES: [&str; 16] = [
     "table2",
     "fig4a",
     "fig6a",
@@ -127,6 +133,7 @@ pub const EXPECTED_NAMES: [&str; 15] = [
     "fig9",
     "dispatch",
     "disruptions",
+    "matching",
 ];
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! Shared plumbing for the experiment harness: scenario caching, policy
 //! runs, and summary extraction.
 
-use foodmatch_core::{DispatchConfig, PolicyKind};
+use foodmatch_core::{DispatchConfig, PolicyKind, SolverKind};
 use foodmatch_roadnet::TimePoint;
 use foodmatch_sim::SimulationReport;
 use foodmatch_workload::{CityId, Scenario, ScenarioOptions};
@@ -19,11 +19,15 @@ pub struct ExperimentContext {
     /// Where machine-readable benchmark results should be written
     /// (`--bench-out`); experiments that produce none ignore it.
     pub bench_out: Option<std::path::PathBuf>,
+    /// Assignment-solver override (`--solver`): simulation-driving
+    /// experiments route the matching stage through this solver instead of
+    /// the config default.
+    pub solver: Option<SolverKind>,
 }
 
 impl Default for ExperimentContext {
     fn default() -> Self {
-        ExperimentContext { seed: 1, quick: false, bench_out: None }
+        ExperimentContext { seed: 1, quick: false, bench_out: None, solver: None }
     }
 }
 
@@ -74,6 +78,15 @@ impl ExperimentContext {
             start: TimePoint::from_hms(12, 0, 0),
             end: TimePoint::from_hms(if self.quick { 13 } else { 14 }, 0, 0),
             vehicle_fraction: 1.0,
+        }
+    }
+
+    /// Applies the `--solver` override (when given) to a dispatch
+    /// configuration.
+    pub fn apply_solver(&self, config: DispatchConfig) -> DispatchConfig {
+        match self.solver {
+            Some(solver) => DispatchConfig { solver, ..config },
+            None => config,
         }
     }
 }
@@ -168,6 +181,15 @@ pub fn cell(value: f64) -> String {
     }
 }
 
+/// Nearest-rank percentile of an ascending-sorted sample (0 for empty).
+pub fn percentile(sorted: &[f64], pct: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 /// Prints a rule + header for an experiment section.
 pub fn header(title: &str) {
     println!();
@@ -215,6 +237,24 @@ mod tests {
         assert_eq!(cell(1234.5).len(), 10);
         assert_eq!(cell(12.34).len(), 10);
         assert_eq!(cell(0.1234).len(), 10);
+    }
+
+    #[test]
+    fn percentile_uses_nearest_rank() {
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&sorted, 50.0), 2.0);
+        assert_eq!(percentile(&sorted, 90.0), 4.0);
+        assert_eq!(percentile(&sorted, 1.0), 1.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn apply_solver_overrides_only_when_set() {
+        let ctx = ExperimentContext::default();
+        let config = ctx.apply_solver(DispatchConfig::default());
+        assert_eq!(config.solver, SolverKind::DecomposedSparseKm);
+        let ctx = ExperimentContext { solver: Some(SolverKind::DenseKm), ..ctx };
+        assert_eq!(ctx.apply_solver(DispatchConfig::default()).solver, SolverKind::DenseKm);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! 45-minute maximum first mile, `Δ = 3 min`, `η = 60 s`, `γ = 0.5`,
 //! `k = 200 × |O(ℓ)|/|V(ℓ)|`.
 
+use foodmatch_matching::SolverKind;
 use foodmatch_roadnet::Duration;
 use serde::{Deserialize, Serialize};
 
@@ -45,11 +46,17 @@ pub struct DispatchConfig {
     /// Enable the angular-distance component of the edge weight (Eq. 8).
     pub use_angular_distance: bool,
     /// Worker threads for per-window dispatch (FoodGraph per-vehicle edge
-    /// construction and batch cost evaluation). `0` means "use the machine's
-    /// available parallelism"; `1` reproduces the serial dispatch path
-    /// bit-for-bit. Results are identical for every value — the fan-out is
-    /// deterministic — so this knob only trades wall-clock for cores.
+    /// construction, batch cost evaluation, and per-component assignment
+    /// solving). `0` means "use the machine's available parallelism"; `1`
+    /// reproduces the serial dispatch path bit-for-bit. Results are identical
+    /// for every value — the fan-out is deterministic — so this knob only
+    /// trades wall-clock for cores.
     pub num_threads: usize,
+    /// The assignment solver the matching stage routes through (§IV-A). All
+    /// exact solvers produce equal-cost assignments; the default shards the
+    /// FoodGraph by connected component and solves the shards in parallel
+    /// with the sparse Kuhn–Munkres solver.
+    pub solver: SolverKind,
 }
 
 impl Default for DispatchConfig {
@@ -69,6 +76,7 @@ impl Default for DispatchConfig {
             use_bfs_sparsification: true,
             use_angular_distance: true,
             num_threads: 0,
+            solver: SolverKind::DecomposedSparseKm,
         }
     }
 }
@@ -136,6 +144,13 @@ impl DispatchConfig {
         Duration::from_secs_f64(self.rejection_penalty_secs)
     }
 
+    /// Instantiates the configured assignment solver with the dispatch
+    /// fan-out width (used by `Decomposed*` solvers for per-component
+    /// parallelism; the result is identical for every width).
+    pub fn build_solver(&self) -> Box<dyn foodmatch_matching::AssignmentSolver> {
+        self.solver.build(self.effective_threads())
+    }
+
     /// Returns a copy configured as the plain Kuhn–Munkres baseline (§IV-A):
     /// no batching, no reshuffling, full FoodGraph, no angular distance.
     pub fn as_vanilla_km(&self) -> Self {
@@ -165,6 +180,8 @@ mod tests {
         assert_eq!(c.rejection_deadline.as_mins_f64(), 30.0);
         assert_eq!(c.max_first_mile.as_mins_f64(), 45.0);
         assert_eq!(c.num_threads, 0, "default dispatch fan-out is auto");
+        assert_eq!(c.solver, SolverKind::DecomposedSparseKm, "default solver is sharded sparse KM");
+        assert_eq!(c.build_solver().name(), "decomposed-sparse-km");
         assert!(c.effective_threads() >= 1);
         let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
         assert_eq!(

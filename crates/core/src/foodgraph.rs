@@ -56,6 +56,17 @@ impl FoodGraph {
     pub fn vehicle_count(&self) -> usize {
         self.costs.cols()
     }
+
+    /// The edge weight between batch `row` and vehicle `col` (Ω when the
+    /// pair was pruned or infeasible) — a sparse lookup, no densification.
+    pub fn cost(&self, row: usize, col: usize) -> f64 {
+        self.costs.get(row, col)
+    }
+
+    /// Number of explicit (finite marginal-cost) edges in the graph.
+    pub fn explicit_edges(&self) -> usize {
+        self.costs.explicit_entries()
+    }
 }
 
 /// Builds the FoodGraph between `batches` and `vehicles` at window time `t`.

@@ -66,10 +66,11 @@ pub mod route;
 pub mod vehicle;
 pub mod window;
 
-pub use batching::{batch_orders, Batch, BatchingOutcome};
+pub use batching::{batch_orders, singleton_batches, Batch, BatchingOutcome};
 pub use config::DispatchConfig;
 pub use cost::{marginal_cost, shortest_delivery_time, MarginalCost};
 pub use foodgraph::{build_food_graph, FoodGraph};
+pub use foodmatch_matching::{AssignmentSolver, SolverKind};
 pub use order::{Order, OrderId};
 pub use parallel::parallel_map;
 pub use policies::{

@@ -1,21 +1,20 @@
 //! Deterministic scoped fan-out for the dispatch hot path.
 //!
 //! Per-window dispatch work — FoodGraph per-vehicle edge construction,
-//! batch route planning, pairwise merge-candidate evaluation — consists of
-//! many independent evaluations against a shared `Send + Sync`
-//! [`ShortestPathEngine`](foodmatch_roadnet::ShortestPathEngine).
-//! [`parallel_map`] fans such work out across `std::thread::scope` workers
-//! while keeping the output *bit-for-bit identical* to the serial path:
-//! items are split into contiguous chunks, every worker writes only its own
-//! chunk, and results come back in input order.
-//! [`DispatchConfig::effective_threads`](crate::DispatchConfig) decides the
-//! fan-out width.
+//! batch route planning, pairwise merge-candidate evaluation, per-component
+//! assignment solving — consists of many independent evaluations against
+//! shared `Send + Sync` state. [`parallel_map`] fans such work out across
+//! `std::thread::scope` workers while keeping the output *bit-for-bit
+//! identical* to the serial path: items are split into contiguous chunks,
+//! every worker writes only its own chunk, and results come back in input
+//! order. [`DispatchConfig::effective_threads`](crate::DispatchConfig)
+//! decides the fan-out width.
 //!
-//! The implementation lives in [`foodmatch_roadnet::parallel`] so the road
-//! network layer can use the same primitive for concurrent per-hour-slot
-//! index warm-up
-//! ([`ShortestPathEngine::warm_all`](foodmatch_roadnet::ShortestPathEngine::warm_all));
-//! this module re-exports it under the historical `foodmatch_core::parallel`
-//! path.
+//! The implementation lives in [`foodmatch_matching::parallel`] — the
+//! workspace's dependency-free leaf crate — so the matching layer
+//! ([`Decomposed`](foodmatch_matching::Decomposed)), the road network layer
+//! (`ShortestPathEngine::warm_all`), and this crate all share one
+//! primitive; this module re-exports it under the historical
+//! `foodmatch_core::parallel` path.
 
-pub use foodmatch_roadnet::parallel::parallel_map;
+pub use foodmatch_matching::parallel::parallel_map;

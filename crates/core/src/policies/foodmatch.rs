@@ -8,8 +8,11 @@
 //! 2. **FoodGraph construction** — a sparse bipartite graph between batches
 //!    and vehicles is built with the best-first search of Algorithm 2,
 //!    using the angular-distance-aware edge weight of Eq. 8 when enabled.
-//! 3. **Matching** — Kuhn–Munkres computes the minimum-weight matching of
-//!    the FoodGraph; matched pairs whose edge carries Ω are discarded.
+//! 3. **Matching** — the configured [`AssignmentSolver`]
+//!    (`DispatchConfig::solver`, by default component-sharded sparse
+//!    Kuhn–Munkres solved in parallel) computes the minimum-weight matching
+//!    directly on the sparse FoodGraph; matched pairs whose edge carries Ω
+//!    are discarded. The Ω entries are never materialised.
 //! 4. **Reshuffling** (§IV-D2) happens outside the policy: when
 //!    [`DispatchPolicy::uses_reshuffling`] returns true the driving loop puts
 //!    assigned-but-not-picked-up orders back into the window snapshot, so
@@ -24,7 +27,6 @@ use crate::config::DispatchConfig;
 use crate::foodgraph::build_food_graph;
 use crate::policies::{outcome_from_assignments, DispatchPolicy};
 use crate::window::{AssignmentOutcome, VehicleAssignment, WindowSnapshot};
-use foodmatch_matching::solve_hungarian;
 use foodmatch_roadnet::ShortestPathEngine;
 
 /// Statistics of the last processed window, useful for instrumentation and
@@ -91,14 +93,14 @@ impl DispatchPolicy for FoodMatchPolicy {
         let graph = build_food_graph(&batches, &window.vehicles, engine, window.time, config);
         self.stats.foodgraph_evaluations = graph.evaluations;
 
-        // Stage 3: minimum-weight matching (Kuhn–Munkres).
-        let dense = graph.costs.to_dense();
-        let matching = solve_hungarian(&dense);
+        // Stage 3: minimum-weight matching through the configured solver,
+        // directly on the sparse FoodGraph.
+        let matching = config.build_solver().solve(&graph.costs);
         let omega = config.rejection_penalty_secs;
 
         let assignments: Vec<VehicleAssignment> = matching
             .pairs()
-            .filter(|&(row, col)| dense.get(row, col) < omega)
+            .filter(|&(row, col)| graph.costs.get(row, col) < omega)
             .map(|(row, col)| VehicleAssignment {
                 vehicle: graph.vehicle_ids[col],
                 orders: batches[row].order_ids(),
@@ -252,5 +254,39 @@ mod tests {
         let outcome = FoodMatchPolicy::new().assign(&window, &engine, &DispatchConfig::default());
         assert!(outcome.assignments.is_empty());
         assert!(outcome.unassigned.is_empty());
+    }
+
+    #[test]
+    fn every_solver_kind_serves_the_same_number_of_orders() {
+        use foodmatch_matching::SolverKind;
+        let (engine, b) = setup();
+        let t = TimePoint::from_hms(13, 0, 0);
+        let orders: Vec<Order> = (0..6)
+            .map(|i| order(i, b.node_at((i % 3) as usize * 2, 1), b.node_at(5, i as usize), t))
+            .collect();
+        let window = WindowSnapshot::new(
+            t,
+            orders,
+            vec![
+                VehicleSnapshot::idle(VehicleId(0), b.node_at(0, 0)),
+                VehicleSnapshot::idle(VehicleId(1), b.node_at(7, 7)),
+                VehicleSnapshot::idle(VehicleId(2), b.node_at(3, 3)),
+            ],
+        );
+        let reference = FoodMatchPolicy::new().assign(
+            &window,
+            &engine,
+            &DispatchConfig { solver: SolverKind::DenseKm, ..Default::default() },
+        );
+        for kind in SolverKind::ALL {
+            let config = DispatchConfig { solver: kind, ..Default::default() };
+            let outcome = FoodMatchPolicy::new().assign(&window, &engine, &config);
+            outcome.validate(&window).unwrap();
+            assert_eq!(
+                outcome.assigned_order_count(),
+                reference.assigned_order_count(),
+                "solver {kind} serves a different number of orders"
+            );
+        }
     }
 }

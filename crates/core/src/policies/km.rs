@@ -7,12 +7,18 @@
 //! the rejection penalty Ω are treated as unassigned — matching an order to a
 //! vehicle it cannot feasibly serve would be worse than letting it wait for
 //! the next window.
+//!
+//! The matching itself routes through the configured
+//! [`AssignmentSolver`](foodmatch_matching::AssignmentSolver): infeasible
+//! pairs stay implicit Ω entries of a [`SparseCostMatrix`], so sparse solvers
+//! skip them entirely while the dense solver reproduces the classic
+//! full-matrix Kuhn–Munkres run.
 
 use crate::config::DispatchConfig;
 use crate::cost::marginal_cost;
 use crate::policies::{outcome_from_assignments, DispatchPolicy};
 use crate::window::{AssignmentOutcome, VehicleAssignment, WindowSnapshot};
-use foodmatch_matching::{solve_hungarian, CostMatrix};
+use foodmatch_matching::SparseCostMatrix;
 use foodmatch_roadnet::ShortestPathEngine;
 
 /// The vanilla Kuhn–Munkres assignment policy (§IV-A).
@@ -44,11 +50,17 @@ impl DispatchPolicy for KuhnMunkresPolicy {
         }
 
         let omega = config.rejection_penalty_secs;
-        let costs = CostMatrix::from_fn(window.orders.len(), window.vehicles.len(), |row, col| {
-            marginal_cost(&window.vehicles[col], &[window.orders[row]], engine, window.time, config)
-                .edge_weight(config)
-        });
-        let matching = solve_hungarian(&costs);
+        let mut costs = SparseCostMatrix::new(window.orders.len(), window.vehicles.len(), omega);
+        for (row, order) in window.orders.iter().enumerate() {
+            for (col, vehicle) in window.vehicles.iter().enumerate() {
+                let weight = marginal_cost(vehicle, &[*order], engine, window.time, config)
+                    .edge_weight(config);
+                if weight < omega {
+                    costs.set(row, col, weight);
+                }
+            }
+        }
+        let matching = config.build_solver().solve(&costs);
 
         let assignments: Vec<VehicleAssignment> = matching
             .pairs()

@@ -21,7 +21,7 @@ use crate::config::DispatchConfig;
 use crate::order::Order;
 use crate::policies::{outcome_from_assignments, DispatchPolicy};
 use crate::window::{AssignmentOutcome, VehicleAssignment, WindowSnapshot};
-use foodmatch_matching::{solve_hungarian, CostMatrix};
+use foodmatch_matching::SparseCostMatrix;
 use foodmatch_roadnet::{haversine_meters, ShortestPathEngine};
 use std::collections::BTreeMap;
 
@@ -83,35 +83,41 @@ impl DispatchPolicy for ReyesPolicy {
             }
         }
 
-        // Straight-line cost estimate of serving a batch with a vehicle.
+        // Straight-line cost estimate of serving a batch with a vehicle;
+        // infeasible pairs stay implicit Ω entries so the configured solver
+        // sees the same sparse structure the FoodGraph produces.
         let omega = config.rejection_penalty_secs;
-        let costs = CostMatrix::from_fn(batches.len(), window.vehicles.len(), |row, col| {
-            let vehicle = &window.vehicles[col];
-            let batch = &batches[row];
-            let extra: Vec<Order> = batch.iter().map(|&&o| o).collect();
-            if !vehicle.can_take(&extra, config) {
-                return omega;
+        let mut costs = SparseCostMatrix::new(batches.len(), window.vehicles.len(), omega);
+        for (row, batch) in batches.iter().enumerate() {
+            for (col, vehicle) in window.vehicles.iter().enumerate() {
+                let extra: Vec<Order> = batch.iter().map(|&&o| o).collect();
+                if !vehicle.can_take(&extra, config) {
+                    continue;
+                }
+                let vehicle_pos = network.position(vehicle.location);
+                let restaurant_pos = network.position(batch[0].restaurant);
+                let first_mile = haversine_meters(vehicle_pos, restaurant_pos) / ASSUMED_SPEED_MPS;
+                if first_mile > config.max_first_mile.as_secs_f64() {
+                    continue;
+                }
+                // Last mile estimate: serve customers in the order given,
+                // straight-line leg by leg.
+                let mut last_mile = 0.0;
+                let mut cursor = restaurant_pos;
+                for order in batch.iter() {
+                    let customer_pos = network.position(order.customer);
+                    last_mile += haversine_meters(cursor, customer_pos) / ASSUMED_SPEED_MPS;
+                    cursor = customer_pos;
+                }
+                let prep = batch.iter().map(|o| o.prep_time.as_secs_f64()).fold(0.0, f64::max);
+                let estimate = (first_mile.max(prep) + last_mile).min(omega);
+                if estimate < omega {
+                    costs.set(row, col, estimate);
+                }
             }
-            let vehicle_pos = network.position(vehicle.location);
-            let restaurant_pos = network.position(batch[0].restaurant);
-            let first_mile = haversine_meters(vehicle_pos, restaurant_pos) / ASSUMED_SPEED_MPS;
-            if first_mile > config.max_first_mile.as_secs_f64() {
-                return omega;
-            }
-            // Last mile estimate: serve customers in the order given,
-            // straight-line leg by leg.
-            let mut last_mile = 0.0;
-            let mut cursor = restaurant_pos;
-            for order in batch.iter() {
-                let customer_pos = network.position(order.customer);
-                last_mile += haversine_meters(cursor, customer_pos) / ASSUMED_SPEED_MPS;
-                cursor = customer_pos;
-            }
-            let prep = batch.iter().map(|o| o.prep_time.as_secs_f64()).fold(0.0, f64::max);
-            (first_mile.max(prep) + last_mile).min(omega)
-        });
+        }
 
-        let matching = solve_hungarian(&costs);
+        let matching = config.build_solver().solve(&costs);
         let assignments: Vec<VehicleAssignment> = matching
             .pairs()
             .filter(|&(row, col)| costs.get(row, col) < omega)

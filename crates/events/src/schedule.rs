@@ -13,7 +13,8 @@
 //! involved.
 
 use crate::event::{DisruptionEvent, EventKind, TrafficDisruption};
-use foodmatch_roadnet::{RoadNetwork, TimePoint, TrafficOverlay};
+use foodmatch_roadnet::{EdgeId, RoadNetwork, TimePoint, TrafficOverlay};
+use std::collections::{HashMap, HashSet};
 
 /// The outcome of advancing a schedule to a window boundary.
 #[derive(Clone, Debug, Default)]
@@ -23,6 +24,15 @@ pub struct WindowEvents {
     /// True when the set of active traffic disruptions changed (a disruption
     /// started or cleared), i.e. when the engine's overlay must be replaced.
     pub traffic_changed: bool,
+}
+
+/// One disruption's rendered footprint, cached for incremental updates.
+#[derive(Clone, Debug)]
+struct RenderedDisruption {
+    /// The disruption this footprint belongs to.
+    disruption: TrafficDisruption,
+    /// Every edge the disruption perturbs (its factor applies to all).
+    edges: Vec<EdgeId>,
 }
 
 /// A sorted stream of [`DisruptionEvent`]s plus the active-traffic state
@@ -35,6 +45,11 @@ pub struct EventSchedule {
     cursor: usize,
     /// Traffic disruptions currently in force.
     active: Vec<TrafficDisruption>,
+    /// The disruptions whose footprints are folded into `edge_mult`, in the
+    /// order they were active at the last [`render_overlay`](Self::render_overlay).
+    rendered: Vec<RenderedDisruption>,
+    /// Running per-edge worst multiplier of everything in `rendered`.
+    edge_mult: HashMap<EdgeId, f64>,
 }
 
 impl EventSchedule {
@@ -43,7 +58,13 @@ impl EventSchedule {
     pub fn new(mut events: Vec<DisruptionEvent>) -> Self {
         // Stable sort: ties keep their input order.
         events.sort_by_key(|e| e.at);
-        EventSchedule { events, cursor: 0, active: Vec::new() }
+        EventSchedule {
+            events,
+            cursor: 0,
+            active: Vec::new(),
+            rendered: Vec::new(),
+            edge_mult: HashMap::new(),
+        }
     }
 
     /// Total number of events in the stream (fired or not).
@@ -100,39 +121,115 @@ impl EventSchedule {
         out
     }
 
-    /// Renders the active traffic set as a [`TrafficOverlay`] over `network`.
+    /// Renders the active traffic set as a [`TrafficOverlay`] over `network`
+    /// by rebuilding from scratch — `O(active × (V + E))`.
     ///
     /// A localized disruption affects every edge whose *both* endpoints lie
     /// within `radius_m` (straight-line) of its centre; a city-wide one
     /// affects every edge. Overlapping disruptions combine by taking the
     /// worst factor per edge.
+    ///
+    /// This is the reference renderer; the simulator uses the diff-based
+    /// [`render_overlay`](Self::render_overlay), which debug-asserts
+    /// agreement with this one on every call.
     pub fn overlay(&self, network: &RoadNetwork) -> TrafficOverlay {
         let mut overlay = TrafficOverlay::new();
         for disruption in &self.active {
-            match disruption.center {
-                None => {
-                    for eid in network.edge_ids() {
-                        overlay.slow_edge(eid, disruption.factor);
-                    }
-                }
-                Some(center) => {
-                    let origin = network.position(center);
-                    // Affected nodes first, then edges inside the set —
-                    // O(V + E) per disruption.
-                    let within: Vec<bool> = network
-                        .node_ids()
-                        .map(|n| network.position(n).distance_m(origin) <= disruption.radius_m)
-                        .collect();
-                    for eid in network.edge_ids() {
-                        let e = network.edge(eid);
-                        if within[e.from.index()] && within[e.to.index()] {
-                            overlay.slow_edge(eid, disruption.factor);
-                        }
+            for eid in disruption_footprint(network, disruption) {
+                overlay.slow_edge(eid, disruption.factor);
+            }
+        }
+        overlay
+    }
+
+    /// Renders the active traffic set as a [`TrafficOverlay`] by applying
+    /// only the *diffs* since the previous render: footprints of newly
+    /// activated disruptions are folded in, footprints of expired ones are
+    /// retired and only their edges re-maximised over the survivors. Steady
+    /// churn therefore costs `O(changed footprints)` instead of
+    /// `O(active × E)` per change.
+    ///
+    /// The rendered result is identical to [`overlay`](Self::overlay)
+    /// (debug-asserted), so the two can be used interchangeably; only the
+    /// incremental state kept between calls differs.
+    pub fn render_overlay(&mut self, network: &RoadNetwork) -> TrafficOverlay {
+        // Diff the previously rendered list against the active list. The
+        // active list only ever drops entries (order-preserving retain) and
+        // appends new ones, so a single forward walk aligns the two.
+        let mut ai = 0usize;
+        let mut kept: Vec<RenderedDisruption> = Vec::with_capacity(self.active.len());
+        let mut expired: Vec<RenderedDisruption> = Vec::new();
+        for entry in self.rendered.drain(..) {
+            if ai < self.active.len() && entry.disruption == self.active[ai] {
+                kept.push(entry);
+                ai += 1;
+            } else {
+                expired.push(entry);
+            }
+        }
+        self.rendered = kept;
+
+        // Retire expired footprints: drop their edges, then re-maximise just
+        // those edges over the surviving footprints.
+        if !expired.is_empty() {
+            let affected: HashSet<EdgeId> =
+                expired.iter().flat_map(|e| e.edges.iter().copied()).collect();
+            for eid in &affected {
+                self.edge_mult.remove(eid);
+            }
+            for survivor in &self.rendered {
+                for eid in &survivor.edges {
+                    if affected.contains(eid) {
+                        let slot = self.edge_mult.entry(*eid).or_insert(1.0);
+                        *slot = slot.max(survivor.disruption.factor);
                     }
                 }
             }
         }
+
+        // Fold in newly activated footprints.
+        for disruption in self.active[ai..].iter().copied() {
+            let edges = disruption_footprint(network, &disruption);
+            for &eid in &edges {
+                let slot = self.edge_mult.entry(eid).or_insert(1.0);
+                *slot = slot.max(disruption.factor);
+            }
+            self.rendered.push(RenderedDisruption { disruption, edges });
+        }
+
+        let mut overlay = TrafficOverlay::new();
+        for (&eid, &factor) in &self.edge_mult {
+            overlay.slow_edge(eid, factor);
+        }
+        debug_assert_eq!(
+            overlay,
+            self.overlay(network),
+            "diffed overlay must agree with the full rebuild"
+        );
         overlay
+    }
+}
+
+/// The edges a single disruption perturbs: every edge for a city-wide
+/// disruption, and every edge with *both* endpoints within `radius_m` of the
+/// centre for a localized one — `O(V + E)`.
+fn disruption_footprint(network: &RoadNetwork, disruption: &TrafficDisruption) -> Vec<EdgeId> {
+    match disruption.center {
+        None => network.edge_ids().collect(),
+        Some(center) => {
+            let origin = network.position(center);
+            let within: Vec<bool> = network
+                .node_ids()
+                .map(|n| network.position(n).distance_m(origin) <= disruption.radius_m)
+                .collect();
+            network
+                .edge_ids()
+                .filter(|&eid| {
+                    let e = network.edge(eid);
+                    within[e.from.index()] && within[e.to.index()]
+                })
+                .collect()
+        }
     }
 }
 
@@ -226,6 +323,71 @@ mod tests {
                 assert!(net.position(e.from).distance_m(origin) <= 300.0);
                 assert!(net.position(e.to).distance_m(origin) <= 300.0);
             }
+        }
+    }
+
+    #[test]
+    fn incremental_render_tracks_the_full_rebuild_through_a_lifecycle() {
+        let b = GridCityBuilder::new(6, 6).spacing_m(250.0);
+        let net = b.build();
+        let incident_a = TrafficDisruption::localized(
+            DisruptionCause::Incident,
+            b.node_at(0, 0),
+            400.0,
+            2.0,
+            t(12, 30),
+        );
+        let incident_b = TrafficDisruption::localized(
+            DisruptionCause::Incident,
+            b.node_at(5, 5),
+            400.0,
+            3.0,
+            t(13, 0),
+        );
+        let rain = TrafficDisruption::city_wide(DisruptionCause::Rain, 1.4, t(13, 30));
+        let mut schedule = EventSchedule::new(vec![
+            DisruptionEvent::new(t(12, 0), EventKind::Traffic(incident_a)),
+            DisruptionEvent::new(t(12, 10), EventKind::Traffic(incident_b)),
+            DisruptionEvent::new(t(12, 40), EventKind::Traffic(rain)),
+        ]);
+        // Walk the whole lifecycle: 2 activations, an overlapping city-wide
+        // activation, then staggered expiries down to empty. At every step
+        // the diffed render must equal the from-scratch rebuild.
+        for minutes in [5, 15, 35, 45, 55, 65, 95] {
+            schedule.advance_to(t(12, 0) + foodmatch_roadnet::Duration::from_mins(minutes as f64));
+            let incremental = schedule.render_overlay(&net);
+            let rebuilt = schedule.overlay(&net);
+            assert_eq!(incremental, rebuilt, "diverged at +{minutes} min");
+        }
+        assert!(!schedule.traffic_active());
+        assert!(schedule.render_overlay(&net).is_empty());
+    }
+
+    #[test]
+    fn incremental_render_handles_skipped_renders() {
+        // The simulator only renders when the active set changed, but the
+        // diff must also absorb several changes batched between renders.
+        let net = GridCityBuilder::new(4, 4).build();
+        let first = TrafficDisruption::city_wide(DisruptionCause::Rain, 1.5, t(12, 10));
+        let second = TrafficDisruption::localized(
+            DisruptionCause::Incident,
+            NodeId(5),
+            10_000.0,
+            2.5,
+            t(12, 40),
+        );
+        let mut schedule = EventSchedule::new(vec![
+            DisruptionEvent::new(t(12, 0), EventKind::Traffic(first)),
+            DisruptionEvent::new(t(12, 20), EventKind::Traffic(second)),
+        ]);
+        schedule.advance_to(t(12, 5));
+        // Skip rendering the first activation; advance through the first
+        // expiry and the second activation, then render once.
+        schedule.advance_to(t(12, 25));
+        let overlay = schedule.render_overlay(&net);
+        assert_eq!(overlay, schedule.overlay(&net));
+        for eid in net.edge_ids() {
+            assert_eq!(overlay.multiplier(eid), 2.5);
         }
     }
 

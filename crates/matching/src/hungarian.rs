@@ -5,8 +5,9 @@
 //! it finds the assignment of `min(rows, cols)` pairs with minimum total
 //! cost. The implementation is the classic potentials-based formulation
 //! (sometimes called the Jonker–Volgenant variant of Kuhn–Munkres), running
-//! in `O(rows² · cols)` after internally transposing so that rows ≤ columns —
-//! i.e. the Bourgeois–Lassalle rectangular extension the paper cites.
+//! in `O(rows² · cols)` over an index-swapped *view* when rows > columns (no
+//! transposed copy is ever materialised) — i.e. the Bourgeois–Lassalle
+//! rectangular extension the paper cites.
 
 use crate::matrix::{Assignment, CostMatrix};
 
@@ -17,11 +18,11 @@ use crate::matrix::{Assignment, CostMatrix};
 /// [`Assignment::total_cost`] is the sum of matched entries.
 pub fn solve(costs: &CostMatrix) -> Assignment {
     if costs.rows() <= costs.cols() {
-        solve_wide(costs)
+        solve_wide(costs.rows(), costs.cols(), |r, c| costs.get(r, c))
     } else {
-        // Transpose, solve, and swap the two directions back.
-        let transposed = costs.transposed();
-        let solved = solve_wide(&transposed);
+        // Solve the transpose as an index-swapped *view* (no copy of the
+        // matrix data), then swap the two directions back.
+        let solved = solve_wide(costs.cols(), costs.rows(), |r, c| costs.get(c, r));
         Assignment {
             row_to_col: solved.col_to_row,
             col_to_row: solved.row_to_col,
@@ -30,10 +31,8 @@ pub fn solve(costs: &CostMatrix) -> Assignment {
     }
 }
 
-/// Core solver requiring `rows ≤ cols`.
-fn solve_wide(costs: &CostMatrix) -> Assignment {
-    let n = costs.rows();
-    let m = costs.cols();
+/// Core solver over an `n × m` cost view, requiring `n ≤ m`.
+fn solve_wide(n: usize, m: usize, costs: impl Fn(usize, usize) -> f64) -> Assignment {
     debug_assert!(n <= m);
 
     // Potentials for rows (u) and columns (v); p[j] is the row (1-based)
@@ -58,7 +57,7 @@ fn solve_wide(costs: &CostMatrix) -> Assignment {
                 if used[j] {
                     continue;
                 }
-                let cur = costs.get(i0 - 1, j - 1) - u[i0] - v[j];
+                let cur = costs(i0 - 1, j - 1) - u[i0] - v[j];
                 if cur < minv[j] {
                     minv[j] = cur;
                     way[j] = j0;
@@ -103,7 +102,7 @@ fn solve_wide(costs: &CostMatrix) -> Assignment {
             let col = j - 1;
             row_to_col[row] = Some(col);
             col_to_row[col] = Some(row);
-            total_cost += costs.get(row, col);
+            total_cost += costs(row, col);
         }
     }
 

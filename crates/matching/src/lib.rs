@@ -1,46 +1,69 @@
 //! # foodmatch-matching
 //!
 //! Minimum-weight bipartite matching substrate for the FoodMatch
-//! reproduction.
+//! reproduction — a pluggable assignment-solver library.
 //!
 //! The paper assigns order batches to vehicles by building a bipartite
-//! "FoodGraph" and computing a minimum-weight perfect matching with the
-//! Kuhn–Munkres algorithm, using the Bourgeois–Lassalle extension to
-//! rectangular matrices (reference [19]) because the number of batches and
-//! the number of vehicles rarely agree. This crate provides:
+//! "FoodGraph" and computing a minimum-weight perfect matching (§IV-A),
+//! using the Bourgeois–Lassalle extension to rectangular matrices
+//! (reference [19]) because the number of batches and the number of
+//! vehicles rarely agree. After Algorithm 2's sparsification most
+//! (batch, vehicle) pairs sit at the rejection penalty Ω, so the crate is
+//! organised around solvers that exploit that sparsity behind one trait:
 //!
-//! * [`CostMatrix`] — a dense rectangular cost matrix.
-//! * [`SparseCostMatrix`] — a sparse builder used by the sparsified FoodGraph
-//!   of Algorithm 2, where most entries are the rejection penalty Ω.
-//! * [`hungarian::solve`] — the Kuhn–Munkres solver (O(n²·m) with
-//!   potentials), which matches every row when `rows ≤ cols`, and every
-//!   column otherwise, i.e. `min(|U1|, |U2|)` pairs as required by the
-//!   paper's LP formulation in §IV-A.
+//! * [`AssignmentSolver`] — the solver trait: sparse matrix in,
+//!   [`Assignment`] out, deterministic.
+//! * [`DenseKm`] / [`hungarian::solve`] — the serial dense Kuhn–Munkres
+//!   solver (`O(n²·m)` with potentials); the fully general reference.
+//! * [`SparseKm`] — Kuhn–Munkres via successive shortest paths directly on
+//!   the explicit entries; never materialises the Ω cells.
+//! * [`Auction`] — the ε-scaling auction algorithm; exact on integer costs,
+//!   within `t·ε` on reals.
+//! * [`Decomposed`] — a meta-solver that shards the instance by connected
+//!   component of the finite-cost graph ([`decompose`]) and solves the
+//!   components in parallel via [`parallel::parallel_map`], exactly.
+//! * [`SolverKind`] — run-time solver selection (the `DispatchConfig` knob
+//!   and the `repro --solver` flag).
+//! * [`CostMatrix`] / [`SparseCostMatrix`] — dense and sparse cost storage.
 //! * [`greedy::solve`] — the locally-optimal matcher used as a reference
 //!   point in tests and ablation benchmarks.
 //!
-//! The crate is deliberately free of food-delivery concepts: it is a reusable
-//! assignment-problem library.
+//! The crate is deliberately free of food-delivery concepts: it is a
+//! reusable assignment-problem library (and the workspace's dependency-free
+//! leaf — `parallel_map` lives here so every layer above can share it).
 //!
 //! ```
-//! use foodmatch_matching::{CostMatrix, solve_hungarian};
+//! use foodmatch_matching::{SolverKind, SparseCostMatrix};
 //!
-//! // Two workers, three tasks.
-//! let costs = CostMatrix::from_rows(&[
-//!     vec![4.0, 1.0, 3.0],
-//!     vec![2.0, 0.0, 5.0],
-//! ]);
-//! let assignment = solve_hungarian(&costs);
-//! assert_eq!(assignment.matched_pairs(), 2);
-//! assert!(assignment.total_cost <= 4.0);
+//! // Three batches, three vehicles; most pairs are at Ω = 3600 s.
+//! let mut costs = SparseCostMatrix::new(3, 3, 3600.0);
+//! costs.set(0, 0, 240.0);
+//! costs.set(1, 0, 300.0);
+//! costs.set(1, 1, 180.0);
+//! costs.set(2, 2, 420.0);
+//!
+//! let solver = SolverKind::DecomposedSparseKm.build(4);
+//! let assignment = solver.solve(&costs);
+//! assert_eq!(assignment.matched_pairs(), 3);
+//! assert_eq!(assignment.total_cost, 240.0 + 180.0 + 420.0);
 //! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod auction;
+pub mod decompose;
 pub mod greedy;
 pub mod hungarian;
 pub mod matrix;
+pub mod parallel;
+pub mod solver;
+pub mod sparse_km;
 
+pub use auction::Auction;
+pub use decompose::{decompose, Component, Decomposed};
 pub use hungarian::solve as solve_hungarian;
 pub use matrix::{Assignment, CostMatrix, SparseCostMatrix};
+pub use parallel::parallel_map;
+pub use solver::{AssignmentSolver, DenseKm, SolverKind};
+pub use sparse_km::SparseKm;

@@ -114,13 +114,20 @@ impl fmt::Display for CostMatrix {
 ///
 /// The sparsified FoodGraph of Algorithm 2 produces exactly this structure:
 /// each vehicle has true marginal-cost edges to at most `k` batches and
-/// Ω-edges to every other batch.
+/// Ω-edges to every other batch. The sparse solvers
+/// ([`SparseKm`](crate::SparseKm), [`Auction`](crate::Auction),
+/// [`Decomposed`](crate::Decomposed)) operate on this representation
+/// directly, without ever materialising the Ω entries.
 #[derive(Clone, Debug)]
 pub struct SparseCostMatrix {
     rows: usize,
     cols: usize,
     default_cost: f64,
+    /// One record per distinct cell, in first-write order; re-writes update
+    /// the record in place (later writes win).
     entries: Vec<(usize, usize, f64)>,
+    /// `(row, col)` → index into `entries`.
+    index: std::collections::HashMap<(usize, usize), usize>,
 }
 
 impl SparseCostMatrix {
@@ -131,7 +138,13 @@ impl SparseCostMatrix {
     pub fn new(rows: usize, cols: usize, default_cost: f64) -> Self {
         assert!(rows > 0 && cols > 0, "cost matrix dimensions must be positive");
         assert!(default_cost.is_finite(), "default cost must be finite");
-        SparseCostMatrix { rows, cols, default_cost, entries: Vec::new() }
+        SparseCostMatrix {
+            rows,
+            cols,
+            default_cost,
+            entries: Vec::new(),
+            index: std::collections::HashMap::new(),
+        }
     }
 
     /// Number of rows.
@@ -149,7 +162,7 @@ impl SparseCostMatrix {
         self.default_cost
     }
 
-    /// Number of explicitly set entries.
+    /// Number of distinct explicitly set cells.
     pub fn explicit_entries(&self) -> usize {
         self.entries.len()
     }
@@ -161,7 +174,60 @@ impl SparseCostMatrix {
     pub fn set(&mut self, row: usize, col: usize, value: f64) {
         assert!(row < self.rows && col < self.cols, "cost matrix index out of bounds");
         assert!(value.is_finite(), "cost entries must be finite, got {value}");
-        self.entries.push((row, col, value));
+        match self.index.entry((row, col)) {
+            std::collections::hash_map::Entry::Occupied(slot) => {
+                self.entries[*slot.get()].2 = value;
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(self.entries.len());
+                self.entries.push((row, col, value));
+            }
+        }
+    }
+
+    /// The cost at `(row, col)`: the explicitly set value, or the default.
+    ///
+    /// # Panics
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "cost matrix index out of bounds");
+        match self.index.get(&(row, col)) {
+            Some(&i) => self.entries[i].2,
+            None => self.default_cost,
+        }
+    }
+
+    /// The distinct explicit cells as `(row, col, cost)`, in first-write
+    /// order (deterministic for deterministic construction).
+    pub fn entries(&self) -> &[(usize, usize, f64)] {
+        &self.entries
+    }
+
+    /// Per-row adjacency of the *useful* explicit entries — those strictly
+    /// below the default cost, i.e. the finite-cost edges of the bipartite
+    /// graph. Each row's `(col, cost)` list is sorted by column, so the
+    /// result is independent of insertion order.
+    pub fn row_adjacency(&self) -> Vec<Vec<(usize, f64)>> {
+        let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.rows];
+        for &(r, c, v) in &self.entries {
+            if v < self.default_cost {
+                adj[r].push((c, v));
+            }
+        }
+        for row in &mut adj {
+            row.sort_by_key(|&(c, _)| c);
+        }
+        adj
+    }
+
+    /// The transposed sparse matrix (rows and columns swapped).
+    pub fn transposed(&self) -> SparseCostMatrix {
+        let mut t = SparseCostMatrix::new(self.cols, self.rows, self.default_cost);
+        for &(r, c, v) in &self.entries {
+            t.set(c, r, v);
+        }
+        t
     }
 
     /// Materialises the sparse matrix into a dense [`CostMatrix`].
@@ -254,12 +320,27 @@ mod tests {
         let mut s = SparseCostMatrix::new(2, 3, 100.0);
         s.set(0, 1, 5.0);
         s.set(1, 2, 7.0);
-        s.set(0, 1, 4.0); // later write wins
+        s.set(0, 1, 4.0); // later write wins, in place
         let d = s.to_dense();
         assert_eq!(d.get(0, 0), 100.0);
         assert_eq!(d.get(0, 1), 4.0);
         assert_eq!(d.get(1, 2), 7.0);
-        assert_eq!(s.explicit_entries(), 3);
+        assert_eq!(s.explicit_entries(), 2, "duplicate writes collapse to one cell");
+        assert_eq!(s.get(0, 1), 4.0);
+        assert_eq!(s.get(0, 0), 100.0, "unset cells read the default");
+    }
+
+    #[test]
+    fn sparse_row_adjacency_is_sorted_and_skips_non_useful_entries() {
+        let mut s = SparseCostMatrix::new(3, 4, 50.0);
+        s.set(0, 3, 10.0);
+        s.set(0, 1, 20.0);
+        s.set(1, 2, 50.0); // == default: not a useful edge
+        s.set(1, 0, 60.0); // > default: not a useful edge either
+        let adj = s.row_adjacency();
+        assert_eq!(adj[0], vec![(1, 20.0), (3, 10.0)]);
+        assert!(adj[1].is_empty());
+        assert!(adj[2].is_empty());
     }
 
     #[test]

@@ -1,0 +1,269 @@
+//! The pluggable assignment-solver architecture.
+//!
+//! Every solver answers the same question as the paper's matching stage
+//! (§IV-A): given a (sparse) cost matrix between order batches (rows) and
+//! vehicles (columns) whose unset entries carry the rejection penalty Ω,
+//! return a minimum-cost assignment of `min(rows, cols)` pairs. The
+//! implementations trade generality for speed on the sparse instances the
+//! FoodGraph actually produces:
+//!
+//! | Solver | Complexity | Exact? | When to use |
+//! |---|---|---|---|
+//! | [`DenseKm`] | `O(n²·m)` over *all* cells | always | tiny or fully dense instances; arbitrary matrices (entries may exceed Ω) |
+//! | [`SparseKm`](crate::SparseKm) | `O(t·(E + V) log V)` over explicit entries | always¹ | sparse instances — never touches the Ω cells |
+//! | [`Auction`](crate::Auction) | ε-scaling forward auction | on integer costs¹ | very sparse instances; within `t·ε` of optimal on real costs |
+//! | [`Decomposed<S>`](crate::Decomposed) | per connected component, in parallel | as `S`¹ | windows whose bipartite graph splits — the dispatch default |
+//!
+//! ¹ requires the FoodGraph invariant that explicit entries never exceed the
+//! default cost Ω (Algorithm 2 clamps every edge weight with `min(·, Ω)`).
+//! [`DenseKm`] has no such precondition.
+//!
+//! ## The rejection-padding convention
+//!
+//! All solvers return an [`Assignment`] with exactly `min(rows, cols)`
+//! matched pairs and a `total_cost` equal to the dense optimum: pairs the
+//! solver left at the rejection penalty are padded in deterministically
+//! (free rows and free columns paired in ascending index order, Ω each).
+//! Consumers that only want the *useful* pairs filter on
+//! `costs.get(row, col) < Ω`, exactly as they would against a dense matrix.
+
+use crate::hungarian;
+use crate::matrix::{Assignment, SparseCostMatrix};
+
+/// A minimum-cost bipartite assignment solver over sparse cost matrices.
+///
+/// Implementations must be deterministic: the same matrix must always
+/// produce the same [`Assignment`], bit for bit, regardless of thread count
+/// or environment.
+pub trait AssignmentSolver: Send + Sync {
+    /// Short human-readable solver name used in reports and benchmarks.
+    fn name(&self) -> &'static str;
+
+    /// Computes a minimum-cost assignment of `min(rows, cols)` pairs.
+    fn solve(&self, costs: &SparseCostMatrix) -> Assignment;
+}
+
+/// Today's baseline: densify the matrix (materialising every Ω entry) and
+/// run the serial rectangular Kuhn–Munkres solver on it.
+///
+/// This is the only solver with no precondition on the explicit entries —
+/// cells larger than the default cost are honoured — and the reference
+/// implementation the sparse solvers are equivalence-tested against.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DenseKm;
+
+impl AssignmentSolver for DenseKm {
+    fn name(&self) -> &'static str {
+        "dense-km"
+    }
+
+    fn solve(&self, costs: &SparseCostMatrix) -> Assignment {
+        hungarian::solve(&costs.to_dense())
+    }
+}
+
+/// Assembles the canonical [`Assignment`] from the useful (below-default)
+/// pairs a sparse solver matched: fills both directions, then pads with
+/// default-cost pairs — free rows and free columns in ascending index order —
+/// until `min(rows, cols)` pairs are matched, mirroring the perfect matching
+/// a dense solver would return.
+pub(crate) fn pad_assignment(
+    rows: usize,
+    cols: usize,
+    default_cost: f64,
+    useful: &[(usize, usize, f64)],
+) -> Assignment {
+    let target = rows.min(cols);
+    let mut row_to_col = vec![None; rows];
+    let mut col_to_row = vec![None; cols];
+    let mut total_cost = 0.0;
+    let mut matched = 0usize;
+    for &(r, c, cost) in useful {
+        debug_assert!(
+            row_to_col[r].is_none() && col_to_row[c].is_none(),
+            "pairs must be a matching"
+        );
+        row_to_col[r] = Some(c);
+        col_to_row[c] = Some(r);
+        total_cost += cost;
+        matched += 1;
+    }
+    debug_assert!(matched <= target);
+    let free_cols: Vec<usize> = (0..cols).filter(|&c| col_to_row[c].is_none()).collect();
+    let mut next_free = free_cols.into_iter();
+    for (r, slot) in row_to_col.iter_mut().enumerate() {
+        if matched == target {
+            break;
+        }
+        if slot.is_some() {
+            continue;
+        }
+        let c = next_free.next().expect("a free column exists while matched < min(rows, cols)");
+        *slot = Some(c);
+        col_to_row[c] = Some(r);
+        total_cost += default_cost;
+        matched += 1;
+    }
+    let assignment = Assignment { row_to_col, col_to_row, total_cost };
+    debug_assert!(assignment.is_consistent());
+    assignment
+}
+
+/// In debug builds, checks the sparse-solver precondition that no explicit
+/// entry exceeds the default cost (the FoodGraph invariant; see the module
+/// docs). [`DenseKm`] is the escape hatch for matrices that violate it.
+pub(crate) fn debug_assert_entries_at_most_default(costs: &SparseCostMatrix) {
+    debug_assert!(
+        costs.entries().iter().all(|&(_, _, v)| v <= costs.default_cost()),
+        "sparse solvers require explicit entries <= default cost; use DenseKm otherwise"
+    );
+}
+
+/// The solver configurations selectable at run time (the `DispatchConfig`
+/// knob and the `repro --solver` flag).
+///
+/// `Decomposed*` variants wrap the base solver in
+/// [`Decomposed`](crate::Decomposed), sharding the instance by connected
+/// component and solving components in parallel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SolverKind {
+    /// Serial dense Kuhn–Munkres (the pre-refactor behaviour).
+    DenseKm,
+    /// Sparse Kuhn–Munkres (successive shortest paths on explicit entries).
+    SparseKm,
+    /// ε-scaling auction.
+    Auction,
+    /// Component-sharded dense Kuhn–Munkres.
+    DecomposedDenseKm,
+    /// Component-sharded sparse Kuhn–Munkres — the dispatch default.
+    DecomposedSparseKm,
+    /// Component-sharded auction.
+    DecomposedAuction,
+}
+
+impl SolverKind {
+    /// Every selectable solver, in documentation order.
+    pub const ALL: [SolverKind; 6] = [
+        SolverKind::DenseKm,
+        SolverKind::SparseKm,
+        SolverKind::Auction,
+        SolverKind::DecomposedDenseKm,
+        SolverKind::DecomposedSparseKm,
+        SolverKind::DecomposedAuction,
+    ];
+
+    /// The canonical command-line name of the solver.
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverKind::DenseKm => "dense-km",
+            SolverKind::SparseKm => "sparse-km",
+            SolverKind::Auction => "auction",
+            SolverKind::DecomposedDenseKm => "decomposed-dense-km",
+            SolverKind::DecomposedSparseKm => "decomposed-sparse-km",
+            SolverKind::DecomposedAuction => "decomposed-auction",
+        }
+    }
+
+    /// Parses a solver name (case-insensitive; `_` and `-` interchangeable).
+    pub fn parse(name: &str) -> Option<SolverKind> {
+        let normalised: String = name
+            .trim()
+            .chars()
+            .map(|c| if c == '_' { '-' } else { c.to_ascii_lowercase() })
+            .collect();
+        SolverKind::ALL.into_iter().find(|kind| kind.name() == normalised)
+    }
+
+    /// Instantiates the solver. `threads` bounds the per-component fan-out of
+    /// the `Decomposed*` variants (`<= 1` solves components serially) and is
+    /// ignored by the base solvers.
+    pub fn build(self, threads: usize) -> Box<dyn AssignmentSolver> {
+        match self {
+            SolverKind::DenseKm => Box::new(DenseKm),
+            SolverKind::SparseKm => Box::new(crate::SparseKm),
+            SolverKind::Auction => Box::new(crate::Auction),
+            SolverKind::DecomposedDenseKm => {
+                Box::new(crate::Decomposed::new(DenseKm).with_threads(threads))
+            }
+            SolverKind::DecomposedSparseKm => {
+                Box::new(crate::Decomposed::new(crate::SparseKm).with_threads(threads))
+            }
+            SolverKind::DecomposedAuction => {
+                Box::new(crate::Decomposed::new(crate::Auction).with_threads(threads))
+            }
+        }
+    }
+
+    /// True when the solver is exact on arbitrary real-valued costs. The
+    /// auction variants are exact on integer costs and within `t·ε` (well
+    /// under one cost unit) of optimal otherwise.
+    pub fn is_exact_on_reals(self) -> bool {
+        !matches!(self, SolverKind::Auction | SolverKind::DecomposedAuction)
+    }
+}
+
+impl std::fmt::Display for SolverKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_km_matches_the_bare_hungarian_solver() {
+        let mut costs = SparseCostMatrix::new(2, 3, 100.0);
+        costs.set(0, 1, 5.0);
+        costs.set(1, 0, 7.0);
+        let via_trait = DenseKm.solve(&costs);
+        let direct = hungarian::solve(&costs.to_dense());
+        assert_eq!(via_trait, direct);
+        assert_eq!(via_trait.matched_pairs(), 2);
+        assert!((via_trait.total_cost - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn padding_fills_to_the_dense_matching_size() {
+        let padded = pad_assignment(3, 2, 50.0, &[(1, 1, 7.0)]);
+        assert_eq!(padded.matched_pairs(), 2);
+        // Row 0 takes the first free column (0); row 2 stays unmatched.
+        assert_eq!(padded.row_to_col, vec![Some(0), Some(1), None]);
+        assert!((padded.total_cost - 57.0).abs() < 1e-9);
+        assert!(padded.is_consistent());
+    }
+
+    #[test]
+    fn padding_with_no_useful_pairs_is_all_default() {
+        let padded = pad_assignment(2, 4, 9.0, &[]);
+        assert_eq!(padded.matched_pairs(), 2);
+        assert_eq!(padded.row_to_col, vec![Some(0), Some(1)]);
+        assert!((padded.total_cost - 18.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kind_names_round_trip_through_parse() {
+        for kind in SolverKind::ALL {
+            assert_eq!(SolverKind::parse(kind.name()), Some(kind));
+            assert_eq!(SolverKind::parse(&kind.name().to_uppercase()), Some(kind));
+            assert_eq!(SolverKind::parse(&kind.name().replace('-', "_")), Some(kind));
+            assert_eq!(kind.build(2).name(), kind.name());
+        }
+        assert_eq!(SolverKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn every_kind_solves_a_small_instance_identically() {
+        let mut costs = SparseCostMatrix::new(3, 3, 1000.0);
+        costs.set(0, 0, 4.0);
+        costs.set(0, 1, 1.0);
+        costs.set(1, 0, 2.0);
+        costs.set(2, 2, 5.0);
+        for kind in SolverKind::ALL {
+            let a = kind.build(2).solve(&costs);
+            assert_eq!(a.matched_pairs(), 3, "{kind}");
+            assert!((a.total_cost - 8.0).abs() < 1e-9, "{kind}: {}", a.total_cost);
+        }
+    }
+}

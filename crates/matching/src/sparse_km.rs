@@ -1,0 +1,288 @@
+//! Sparse Kuhn–Munkres: minimum-cost assignment without densifying Ω.
+//!
+//! The dense solver spends `O(rows²·cols)` touching every cell, most of
+//! which carry the rejection penalty Ω in a sparsified FoodGraph. This
+//! solver never materialises those cells. It exploits the *rejection
+//! reduction*: for a matrix whose explicit entries never exceed the default
+//! cost Ω (the FoodGraph invariant — Algorithm 2 clamps with `min(·, Ω)`),
+//! the dense optimum over perfect matchings of size `t = min(rows, cols)`
+//! decomposes as
+//!
+//! ```text
+//!   min_dense = Ω·t + min over matchings M of explicit edges of Σ (c_e − Ω)
+//! ```
+//!
+//! because any matching of explicit edges extends to size `t` with Ω edges
+//! (the Ω graph is complete), and every reduced weight `c_e − Ω ≤ 0`. The
+//! right-hand minimisation is a minimum-weight bipartite matching of
+//! *unrestricted size* over only the explicit entries, solved here with
+//! successive shortest augmenting paths under Johnson potentials: each round
+//! runs one Dijkstra over the residual graph (all reduced arc costs ≥ 0) and
+//! augments along the cheapest path, stopping as soon as the cheapest
+//! augmenting path no longer has negative true cost. Path costs are
+//! non-decreasing across rounds, so the stop is globally optimal.
+//!
+//! Complexity: `O(t · (E + V) log V)` with `E` the explicit entries and
+//! `V = rows + cols` — independent of the Ω fill. Fully deterministic: heap
+//! ties break on node index and the adjacency is sorted by column.
+
+use crate::matrix::{Assignment, SparseCostMatrix};
+use crate::solver::{debug_assert_entries_at_most_default, pad_assignment, AssignmentSolver};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// The sparse Kuhn–Munkres solver. See the module docs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SparseKm;
+
+impl AssignmentSolver for SparseKm {
+    fn name(&self) -> &'static str {
+        "sparse-km"
+    }
+
+    fn solve(&self, costs: &SparseCostMatrix) -> Assignment {
+        debug_assert_entries_at_most_default(costs);
+        let useful = min_weight_matching(costs);
+        pad_assignment(costs.rows(), costs.cols(), costs.default_cost(), &useful)
+    }
+}
+
+/// Min-heap entry: smallest distance first, ties on the lower node index.
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed for BinaryHeap's max-heap semantics; distances are finite.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .expect("distances are finite")
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Computes the minimum-weight (most negative) matching over the explicit
+/// sub-Ω entries, returning the matched `(row, col, original cost)` triples
+/// sorted by row.
+fn min_weight_matching(costs: &SparseCostMatrix) -> Vec<(usize, usize, f64)> {
+    let n = costs.rows();
+    let m = costs.cols();
+    let omega = costs.default_cost();
+    // Reduced weights w = c − Ω ≤ 0 on the explicit useful edges.
+    let adj: Vec<Vec<(usize, f64)>> = costs
+        .row_adjacency()
+        .into_iter()
+        .map(|row| row.into_iter().map(|(c, v)| (c, v - omega)).collect())
+        .collect();
+
+    // Nodes: rows are 0..n, columns are n..n+m.
+    let mut match_row: Vec<Option<usize>> = vec![None; n];
+    let mut match_col: Vec<Option<usize>> = vec![None; m];
+    // Johnson potentials keeping every residual arc's reduced cost ≥ 0:
+    // pot_row starts at 0, pot_col at the cheapest incoming weight.
+    let mut pot_row = vec![0.0_f64; n];
+    let mut pot_col = vec![0.0_f64; m];
+    for row in &adj {
+        for &(c, w) in row {
+            if w < pot_col[c] {
+                pot_col[c] = w;
+            }
+        }
+    }
+
+    let mut dist = vec![f64::INFINITY; n + m];
+    let mut parent_col: Vec<usize> = vec![usize::MAX; m];
+    let mut parent_row: Vec<usize> = vec![usize::MAX; n];
+    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
+
+    loop {
+        // One Dijkstra over the residual graph from every free useful row.
+        dist.iter_mut().for_each(|d| *d = f64::INFINITY);
+        heap.clear();
+        for r in 0..n {
+            if match_row[r].is_none() && !adj[r].is_empty() {
+                dist[r] = 0.0;
+                heap.push(HeapEntry { dist: 0.0, node: r });
+            }
+        }
+        while let Some(HeapEntry { dist: d, node }) = heap.pop() {
+            if d > dist[node] {
+                continue; // stale entry
+            }
+            if node < n {
+                let r = node;
+                for &(c, w) in &adj[r] {
+                    if match_row[r] == Some(c) {
+                        continue; // matched edges only have a backward arc
+                    }
+                    let reduced = (w + pot_row[r] - pot_col[c]).max(0.0);
+                    let nd = d + reduced;
+                    if nd < dist[n + c] {
+                        dist[n + c] = nd;
+                        parent_col[c] = r;
+                        heap.push(HeapEntry { dist: nd, node: n + c });
+                    }
+                }
+            } else {
+                let c = node - n;
+                if let Some(r) = match_col[c] {
+                    // Backward arc along the matched edge; its reduced cost is
+                    // 0 up to floating-point noise.
+                    let w = adj[r]
+                        .iter()
+                        .find(|&&(cc, _)| cc == c)
+                        .map(|&(_, w)| w)
+                        .expect("matched edges come from the adjacency");
+                    let reduced = (-(w + pot_row[r] - pot_col[c])).max(0.0);
+                    let nd = d + reduced;
+                    if nd < dist[r] {
+                        dist[r] = nd;
+                        parent_row[r] = c;
+                        heap.push(HeapEntry { dist: nd, node: r });
+                    }
+                }
+            }
+        }
+
+        // Cheapest augmenting path = free column minimising the *true* cost
+        // (reduced distance un-telescoped through the potentials).
+        let mut best: Option<(f64, usize)> = None;
+        for c in 0..m {
+            if match_col[c].is_some() || !dist[n + c].is_finite() {
+                continue;
+            }
+            let true_cost = dist[n + c] + pot_col[c];
+            if best.is_none_or(|(cost, _)| true_cost < cost) {
+                best = Some((true_cost, c));
+            }
+        }
+        let Some((best_cost, target)) = best else { break };
+        if best_cost >= 0.0 {
+            break; // no augmenting path improves on rejection
+        }
+
+        // Update potentials (capped at the target's distance — the classic
+        // rule that keeps unreached arcs non-negative), then augment.
+        let cap = dist[n + target];
+        for r in 0..n {
+            pot_row[r] += dist[r].min(cap);
+        }
+        for c in 0..m {
+            pot_col[c] += dist[n + c].min(cap);
+        }
+        let mut c = target;
+        loop {
+            let r = parent_col[c];
+            let previous = match_row[r];
+            match_row[r] = Some(c);
+            match_col[c] = Some(r);
+            match previous {
+                Some(next) => c = next,
+                None => break,
+            }
+        }
+    }
+
+    (0..n).filter_map(|r| match_row[r].map(|c| (r, c, costs.get(r, c)))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::DenseKm;
+
+    fn assert_matches_dense(costs: &SparseCostMatrix) {
+        let sparse = SparseKm.solve(costs);
+        let dense = DenseKm.solve(costs);
+        assert!(
+            (sparse.total_cost - dense.total_cost).abs() < 1e-6,
+            "sparse {} vs dense {}\n{}",
+            sparse.total_cost,
+            dense.total_cost,
+            costs.to_dense()
+        );
+        assert_eq!(sparse.matched_pairs(), dense.matched_pairs());
+        assert!(sparse.is_consistent());
+    }
+
+    #[test]
+    fn empty_matrix_is_all_rejections() {
+        let costs = SparseCostMatrix::new(3, 2, 100.0);
+        let a = SparseKm.solve(&costs);
+        assert_eq!(a.matched_pairs(), 2);
+        assert!((a.total_cost - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn picks_the_global_optimum_not_the_greedy_one() {
+        // The paper's Example 5/6 shape: greedy takes the 0 edge and is then
+        // forced into rejection; the optimum pays 1 + 1.
+        let mut costs = SparseCostMatrix::new(2, 2, 100.0);
+        costs.set(0, 0, 0.0);
+        costs.set(0, 1, 1.0);
+        costs.set(1, 0, 1.0);
+        let a = SparseKm.solve(&costs);
+        assert!((a.total_cost - 2.0).abs() < 1e-9);
+        assert_eq!(a.row_to_col, vec![Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn leaves_worse_than_rejection_edges_alone() {
+        // A single explicit edge exactly at Ω is no better than rejection;
+        // the solver must not prefer it over the padding.
+        let mut costs = SparseCostMatrix::new(1, 2, 50.0);
+        costs.set(0, 1, 50.0);
+        let a = SparseKm.solve(&costs);
+        assert!((a.total_cost - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn agrees_with_dense_km_on_random_sparse_instances() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..300 {
+            let rows = rng.random_range(1..=7);
+            let cols = rng.random_range(1..=7);
+            let mut costs = SparseCostMatrix::new(rows, cols, 1000.0);
+            for r in 0..rows {
+                for c in 0..cols {
+                    if rng.random_range(0.0..1.0) < 0.45 {
+                        costs.set(r, c, rng.random_range(0.0..900.0));
+                    }
+                }
+            }
+            assert_matches_dense(&costs);
+        }
+    }
+
+    #[test]
+    fn agrees_with_dense_km_on_fully_dense_instances() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let rows = rng.random_range(1..=6);
+            let cols = rng.random_range(1..=6);
+            let mut costs = SparseCostMatrix::new(rows, cols, 500.0);
+            for r in 0..rows {
+                for c in 0..cols {
+                    costs.set(r, c, rng.random_range(0.0..499.0));
+                }
+            }
+            assert_matches_dense(&costs);
+        }
+    }
+}

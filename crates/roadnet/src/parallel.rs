@@ -6,80 +6,13 @@
 //! and per-hour-slot index warm-up
 //! ([`ShortestPathEngine::warm_all`](crate::ShortestPathEngine::warm_all))
 //! consist of many independent evaluations against shared `Send + Sync`
-//! state. This module fans such work out across `std::thread::scope` workers
-//! while keeping the output *bit-for-bit identical* to the serial path: items
-//! are split into contiguous chunks, every worker writes only its own chunk,
-//! and results come back in input order.
+//! state, fanned out across `std::thread::scope` workers with output
+//! *bit-for-bit identical* to the serial path.
+//!
+//! The implementation lives in [`foodmatch_matching::parallel`] — the
+//! workspace's dependency-free leaf crate — so the assignment layer's
+//! per-component parallel solve ([`foodmatch_matching::Decomposed`]) can use
+//! the same primitive; this module re-exports it under the historical
+//! `foodmatch_roadnet::parallel` path.
 
-/// Maps `f` over `items` with up to `threads` scoped workers, returning
-/// results in input order (the closure also receives the item's index).
-///
-/// With `threads <= 1` — or fewer items than would justify a spawn — the map
-/// runs inline on the calling thread; the output is identical either way, so
-/// callers choose a thread count purely on wall-clock grounds.
-pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(usize, &T) -> R + Sync,
-{
-    let threads = threads.clamp(1, items.len().max(1));
-    if threads <= 1 || items.len() < 2 {
-        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
-    }
-    let chunk_size = items.len().div_ceil(threads);
-    let chunks: Vec<Vec<R>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .chunks(chunk_size)
-            .enumerate()
-            .map(|(chunk_idx, chunk)| {
-                let f = &f;
-                scope.spawn(move || {
-                    chunk
-                        .iter()
-                        .enumerate()
-                        .map(|(i, item)| f(chunk_idx * chunk_size + i, item))
-                        .collect::<Vec<R>>()
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("parallel_map worker panicked")).collect()
-    });
-    let mut out = Vec::with_capacity(items.len());
-    for chunk in chunks {
-        out.extend(chunk);
-    }
-    out
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn preserves_input_order_for_any_thread_count() {
-        let items: Vec<u64> = (0..97).collect();
-        let expected: Vec<u64> = items.iter().map(|&x| x * x).collect();
-        for threads in [0, 1, 2, 3, 8, 200] {
-            assert_eq!(
-                parallel_map(&items, threads, |_, &x| x * x),
-                expected,
-                "threads = {threads}"
-            );
-        }
-    }
-
-    #[test]
-    fn passes_global_indices() {
-        let items = vec!['a'; 23];
-        let indices = parallel_map(&items, 4, |i, _| i);
-        assert_eq!(indices, (0..23).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn handles_empty_and_singleton_inputs() {
-        let empty: Vec<i32> = Vec::new();
-        assert!(parallel_map(&empty, 4, |_, &x| x).is_empty());
-        assert_eq!(parallel_map(&[42], 4, |_, &x| x + 1), vec![43]);
-    }
-}
+pub use foodmatch_matching::parallel::parallel_map;

@@ -180,8 +180,11 @@ impl Simulation {
                 let window_open = window_close - delta;
                 let fired = schedule.advance_to(window_close);
                 if fired.traffic_changed {
+                    // Diff-based render: only changed disruption footprints
+                    // are reapplied (debug-asserted against a full rebuild).
+                    let overlay = schedule.render_overlay(self.engine.network());
                     if schedule.traffic_active() {
-                        self.engine.set_overlay(schedule.overlay(self.engine.network()));
+                        self.engine.set_overlay(overlay);
                     } else {
                         self.engine.clear_overlay();
                     }

@@ -1,12 +1,24 @@
 #!/usr/bin/env python3
-"""CI guard against dispatch-oracle throughput regressions.
+"""CI guard against benchmark regressions.
 
-Compares a freshly measured ``BENCH_dispatch.json`` against the committed
-baseline and fails (exit 1) when any backend's ``queries_per_sec`` dropped by
-more than the threshold (default 30%). The comparison is skipped (exit 0)
-when the two runs are not comparable: different ``available_parallelism``
-(thread-scaling numbers only mean something on like-for-like runners) or a
-different ``quick`` flag (different workloads).
+Compares a freshly measured benchmark JSON against the committed baseline and
+fails (exit 1) on regressions beyond the threshold (default 30%). The file
+kind is auto-detected from its keys:
+
+* ``BENCH_dispatch.json`` (``backends``): fails when any backend's
+  ``queries_per_sec`` dropped by more than the threshold.
+* ``BENCH_matching.json`` (``pressures``): fails when any solver's mean
+  solve time at any pressure level grew by more than the threshold, or a
+  metro-tier ``speedup_decomposed_sparse_vs_dense`` fell by more than the
+  threshold (city-tier speedups are informational only).
+* ``BENCH_disruptions.json`` (``runs``): fails when any (policy, profile)
+  run's ``xdt_hours_per_day`` grew by more than the threshold (policy
+  quality, not wall-clock, so it is hardware-independent).
+
+Timing-based comparisons (dispatch, matching) are skipped — informational
+only, exit 0 — when the two runs are not comparable: different
+``available_parallelism`` or a different ``quick`` flag. The deterministic
+disruptions metrics only require matching ``quick`` and ``seed``.
 
 Usage:
     check_bench_regression.py NEW_JSON BASELINE_JSON [--threshold 0.30]
@@ -22,41 +34,34 @@ def load(path):
         return json.load(handle)
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("new", help="freshly generated BENCH_dispatch.json")
-    parser.add_argument("baseline", help="committed baseline BENCH_dispatch.json")
-    parser.add_argument(
-        "--threshold",
-        type=float,
-        default=0.30,
-        help="maximum tolerated fractional queries/sec drop (default 0.30)",
-    )
-    args = parser.parse_args()
-
-    new = load(args.new)
-    baseline = load(args.baseline)
-
+def check_comparable(new, baseline, keys):
+    """Returns True when the runs are comparable on every key in ``keys``."""
     comparable = True
-    for key, reason in [
-        ("available_parallelism", "different core counts"),
-        ("quick", "different workloads"),
-    ]:
+    reasons = {
+        "available_parallelism": "different core counts",
+        "quick": "different workloads",
+        "seed": "different scenario days",
+    }
+    for key in keys:
         if new.get(key) != baseline.get(key):
             print(
                 f"SKIP bench regression check: {key} differs "
-                f"({baseline.get(key)} -> {new.get(key)}, {reason})"
+                f"({baseline.get(key)} -> {new.get(key)}, {reasons[key]})"
             )
             comparable = False
     if not comparable:
         print(
             "::warning::bench regression guard is NOT enforcing — the committed "
-            "BENCH_dispatch.json was measured on different hardware. Refresh it "
-            "from this runner's BENCH_dispatch artifact (download, rename to "
-            "BENCH_dispatch.json, commit) to arm the guard."
+            "baseline was measured under different conditions. Refresh it from "
+            "this runner's CI artifact (download, rename, commit) to arm the "
+            "guard."
         )
         print("informational comparison (not comparable, not enforced):")
+    return comparable
 
+
+def check_dispatch(new, baseline, threshold):
+    """Queries/sec guard for BENCH_dispatch.json. Returns failure labels."""
     baseline_backends = {b["kind"]: b for b in baseline.get("backends", [])}
     failures = []
     for backend in new.get("backends", []):
@@ -70,20 +75,117 @@ def main():
         if old_qps <= 0:
             continue
         drop = (old_qps - new_qps) / old_qps
-        status = "REGRESSION" if drop > args.threshold else "ok"
+        status = "REGRESSION" if drop > threshold else "ok"
         print(
             f"{kind:<24} baseline {old_qps:>12.0f} q/s  now {new_qps:>12.0f} q/s  "
             f"({-drop:+.1%}) {status}"
         )
-        if drop > args.threshold:
-            failures.append(kind)
+        if drop > threshold:
+            failures.append(f"{kind} queries/sec")
+    return failures
+
+
+def check_matching(new, baseline, threshold):
+    """Solver solve-time and speedup guard for BENCH_matching.json."""
+    baseline_pressures = {p["label"]: p for p in baseline.get("pressures", [])}
+    failures = []
+    for pressure in new.get("pressures", []):
+        label = pressure["label"]
+        old_pressure = baseline_pressures.get(label)
+        if old_pressure is None:
+            print(f"note: pressure {label} has no committed baseline, skipping")
+            continue
+        old_solvers = {s["name"]: s for s in old_pressure.get("solvers", [])}
+        for solver in pressure.get("solvers", []):
+            name = solver["name"]
+            old = old_solvers.get(name)
+            if old is None or float(old["mean_us"]) <= 0:
+                continue
+            old_us, new_us = float(old["mean_us"]), float(solver["mean_us"])
+            growth = (new_us - old_us) / old_us
+            status = "REGRESSION" if growth > threshold else "ok"
+            print(
+                f"{label:<14} {name:<22} baseline {old_us:>10.0f} us  "
+                f"now {new_us:>10.0f} us  ({growth:+.1%}) {status}"
+            )
+            if growth > threshold:
+                failures.append(f"{label}/{name} solve time")
+        # The speedup is only a promise on the metro tiers (the city tiers
+        # are the regime where dense KM deliberately wins and the ratio is
+        # noise-dominated).
+        old_speedup = float(old_pressure.get("speedup_decomposed_sparse_vs_dense", 0))
+        new_speedup = float(pressure.get("speedup_decomposed_sparse_vs_dense", 0))
+        if label.startswith("metro") and old_speedup > 0:
+            drop = (old_speedup - new_speedup) / old_speedup
+            status = "REGRESSION" if drop > threshold else "ok"
+            print(
+                f"{label:<14} {'speedup vs dense':<22} baseline {old_speedup:>9.2f}x  "
+                f"now {new_speedup:>10.2f}x  ({-drop:+.1%}) {status}"
+            )
+            if drop > threshold:
+                failures.append(f"{label} decomposed-sparse speedup")
+    return failures
+
+
+def check_disruptions(new, baseline, threshold):
+    """Policy-quality guard for BENCH_disruptions.json (XDT per run)."""
+    def key(run):
+        return (run["policy"], run["profile"])
+
+    baseline_runs = {key(r): r for r in baseline.get("runs", [])}
+    failures = []
+    for run in new.get("runs", []):
+        old = baseline_runs.get(key(run))
+        if old is None:
+            print(f"note: run {key(run)} has no committed baseline, skipping")
+            continue
+        old_xdt, new_xdt = float(old["xdt_hours_per_day"]), float(run["xdt_hours_per_day"])
+        if old_xdt <= 0:
+            continue
+        growth = (new_xdt - old_xdt) / old_xdt
+        status = "REGRESSION" if growth > threshold else "ok"
+        print(
+            f"{run['policy']:<10} {run['profile']:<15} baseline XDT {old_xdt:>8.3f} h/d  "
+            f"now {new_xdt:>8.3f} h/d  ({growth:+.1%}) {status}"
+        )
+        if growth > threshold:
+            failures.append(f"{run['policy']}/{run['profile']} XDT")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("new", help="freshly generated benchmark JSON")
+    parser.add_argument("baseline", help="committed baseline benchmark JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="maximum tolerated fractional regression (default 0.30)",
+    )
+    args = parser.parse_args()
+
+    new = load(args.new)
+    baseline = load(args.baseline)
+
+    if "backends" in new:
+        comparable = check_comparable(new, baseline, ["available_parallelism", "quick"])
+        failures = check_dispatch(new, baseline, args.threshold)
+    elif "pressures" in new:
+        comparable = check_comparable(new, baseline, ["available_parallelism", "quick"])
+        failures = check_matching(new, baseline, args.threshold)
+    elif "runs" in new:
+        comparable = check_comparable(new, baseline, ["quick", "seed"])
+        failures = check_disruptions(new, baseline, args.threshold)
+    else:
+        print(f"unrecognised benchmark layout in {args.new}")
+        return 1
 
     if not comparable:
         return 0
     if failures:
         print(
-            f"FAIL: queries/sec dropped by more than {args.threshold:.0%} on: "
-            + ", ".join(failures)
+            f"FAIL: regressed by more than {args.threshold:.0%} on: " + ", ".join(failures)
         )
         return 1
     print("bench regression check passed")
