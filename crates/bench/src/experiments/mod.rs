@@ -10,6 +10,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod matching;
+pub mod service;
 pub mod table2;
 
 use crate::harness::ExperimentContext;
@@ -107,6 +108,11 @@ pub const ALL: &[Experiment] = &[
         description: "Assignment solvers: component sharding and solve times vs window pressure",
         run: matching::run,
     },
+    Experiment {
+        name: "service",
+        description: "Online dispatch service: ingest throughput and advance_to latency",
+        run: service::run,
+    },
 ];
 
 /// Looks an experiment up by name.
@@ -117,7 +123,7 @@ pub fn find(name: &str) -> Option<&'static Experiment> {
 /// The names every registered experiment must carry, in paper order — the
 /// single source of truth for the registry-coverage tests here and in the
 /// workspace-level smoke suite.
-pub const EXPECTED_NAMES: [&str; 16] = [
+pub const EXPECTED_NAMES: [&str; 17] = [
     "table2",
     "fig4a",
     "fig6a",
@@ -134,6 +140,7 @@ pub const EXPECTED_NAMES: [&str; 16] = [
     "dispatch",
     "disruptions",
     "matching",
+    "service",
 ];
 
 #[cfg(test)]

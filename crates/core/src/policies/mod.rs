@@ -44,6 +44,49 @@ pub trait DispatchPolicy: Send {
     ) -> AssignmentOutcome;
 }
 
+/// A mutable borrow of a policy is itself a policy, so a driver that owns a
+/// `&mut dyn DispatchPolicy` (like `Simulation::run`) can hand the borrow to
+/// a policy-owning service without boxing or cloning.
+impl<P: DispatchPolicy + ?Sized> DispatchPolicy for &mut P {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn uses_reshuffling(&self, config: &DispatchConfig) -> bool {
+        (**self).uses_reshuffling(config)
+    }
+
+    fn assign(
+        &mut self,
+        window: &WindowSnapshot,
+        engine: &ShortestPathEngine,
+        config: &DispatchConfig,
+    ) -> AssignmentOutcome {
+        (**self).assign(window, engine, config)
+    }
+}
+
+/// Boxed policies forward transparently, so long-lived services can own a
+/// `Box<dyn DispatchPolicy>` chosen at run time.
+impl<P: DispatchPolicy + ?Sized> DispatchPolicy for Box<P> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn uses_reshuffling(&self, config: &DispatchConfig) -> bool {
+        (**self).uses_reshuffling(config)
+    }
+
+    fn assign(
+        &mut self,
+        window: &WindowSnapshot,
+        engine: &ShortestPathEngine,
+        config: &DispatchConfig,
+    ) -> AssignmentOutcome {
+        (**self).assign(window, engine, config)
+    }
+}
+
 /// The policies benchmarked in the paper, as a convenient factory enum.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum PolicyKind {

@@ -67,6 +67,18 @@ impl EventSchedule {
         }
     }
 
+    /// Streams one more event into the schedule, preserving the replay
+    /// order: the event is inserted after every not-yet-fired event with an
+    /// earlier-or-equal timestamp, so pushing events one by one yields
+    /// exactly the order [`EventSchedule::new`] produces for the same
+    /// stream. An event timestamped before the last
+    /// [`advance_to`](Self::advance_to) cannot fire in the past; it is
+    /// queued at the replay cursor and fires on the next advance.
+    pub fn push(&mut self, event: DisruptionEvent) {
+        let offset = self.events[self.cursor..].partition_point(|e| e.at <= event.at);
+        self.events.insert(self.cursor + offset, event);
+    }
+
     /// Total number of events in the stream (fired or not).
     pub fn len(&self) -> usize {
         self.events.len()
@@ -243,6 +255,44 @@ mod tests {
 
     fn t(h: u32, m: u32) -> TimePoint {
         TimePoint::from_hms(h, m, 0)
+    }
+
+    #[test]
+    fn pushing_one_by_one_matches_batch_construction() {
+        let stream = vec![
+            DisruptionEvent::new(t(12, 10), EventKind::OrderCancelled { order: OrderId(2) }),
+            DisruptionEvent::new(t(12, 5), EventKind::OrderCancelled { order: OrderId(1) }),
+            DisruptionEvent::new(t(12, 10), EventKind::OrderCancelled { order: OrderId(3) }),
+            DisruptionEvent::new(t(12, 7), EventKind::OrderCancelled { order: OrderId(4) }),
+        ];
+        let batch = EventSchedule::new(stream.clone());
+        let mut streamed = EventSchedule::new(Vec::new());
+        for event in stream {
+            streamed.push(event);
+        }
+        assert_eq!(batch.events(), streamed.events());
+    }
+
+    #[test]
+    fn pushing_into_the_past_queues_at_the_replay_cursor() {
+        let mut schedule = EventSchedule::new(vec![DisruptionEvent::new(
+            t(12, 20),
+            EventKind::OrderCancelled { order: OrderId(1) },
+        )]);
+        assert!(schedule.advance_to(t(12, 10)).fired.is_empty());
+        // A late ingest timestamped before the cursor fires next advance,
+        // ahead of the later-stamped order-1 event.
+        schedule
+            .push(DisruptionEvent::new(t(12, 0), EventKind::OrderCancelled { order: OrderId(9) }));
+        let fired = schedule.advance_to(t(12, 30)).fired;
+        let ids: Vec<u64> = fired
+            .iter()
+            .map(|e| match e.kind {
+                EventKind::OrderCancelled { order } => order.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ids, vec![9, 1]);
     }
 
     #[test]

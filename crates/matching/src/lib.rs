@@ -65,5 +65,5 @@ pub use decompose::{decompose, Component, Decomposed};
 pub use hungarian::solve as solve_hungarian;
 pub use matrix::{Assignment, CostMatrix, SparseCostMatrix};
 pub use parallel::parallel_map;
-pub use solver::{AssignmentSolver, DenseKm, SolverKind};
+pub use solver::{AssignmentSolver, AutoKm, DenseKm, SolverKind, AUTO_DENSITY_CROSSOVER};
 pub use sparse_km::SparseKm;

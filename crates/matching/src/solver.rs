@@ -13,6 +13,7 @@
 //! | [`SparseKm`](crate::SparseKm) | `O(t·(E + V) log V)` over explicit entries | always¹ | sparse instances — never touches the Ω cells |
 //! | [`Auction`](crate::Auction) | ε-scaling forward auction | on integer costs¹ | very sparse instances; within `t·ε` of optimal on real costs |
 //! | [`Decomposed<S>`](crate::Decomposed) | per connected component, in parallel | as `S`¹ | windows whose bipartite graph splits — the dispatch default |
+//! | [`AutoKm`] | dense or sparse KM per instance, by density | always¹ | inside `Decomposed` ([`SolverKind::Auto`]): mixed or unknown density regimes |
 //!
 //! ¹ requires the FoodGraph invariant that explicit entries never exceed the
 //! default cost Ω (Algorithm 2 clamps every edge weight with `min(·, Ω)`).
@@ -109,6 +110,60 @@ pub(crate) fn pad_assignment(
     assignment
 }
 
+/// Explicit-entry density at which dense and sparse Kuhn–Munkres trade
+/// places: the `BENCH_matching.json` tiers put the crossover near 10%
+/// (the near-dense city windows are where [`DenseKm`] honestly wins, the
+/// decomposing metro windows are where [`SparseKm`](crate::SparseKm) pulls
+/// ahead). [`AutoKm`] switches on this value.
+pub const AUTO_DENSITY_CROSSOVER: f64 = 0.10;
+
+/// Below this many cells the dense solver's constant factor always wins —
+/// there is nothing to amortise a heap-based search over.
+const AUTO_SMALL_CELLS: usize = 256;
+
+/// The per-instance crossover pick: routes each matrix to [`DenseKm`] when
+/// it is small (≤ `256` cells) or dense (useful-entry density ≥
+/// [`AUTO_DENSITY_CROSSOVER`]), and to [`SparseKm`](crate::SparseKm)
+/// otherwise.
+///
+/// The point of the pick is per-*component* adaptivity: wrapped in
+/// [`Decomposed`](crate::Decomposed) (which is what [`SolverKind::Auto`]
+/// builds), a window that splits into one near-dense downtown shard and
+/// many sparse suburban shards sends each shard to the solver that wins on
+/// its regime, dominating either fixed choice.
+///
+/// Shares [`SparseKm`](crate::SparseKm)'s precondition (explicit entries
+/// never exceed the default cost) because it may route to it; use
+/// [`DenseKm`] directly for matrices that violate the invariant.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AutoKm;
+
+impl AutoKm {
+    /// True when `costs` should go to the dense solver.
+    pub fn prefers_dense(costs: &SparseCostMatrix) -> bool {
+        let cells = costs.rows() * costs.cols();
+        if cells <= AUTO_SMALL_CELLS {
+            return true;
+        }
+        let useful = costs.entries().iter().filter(|&&(_, _, v)| v < costs.default_cost()).count();
+        useful as f64 >= AUTO_DENSITY_CROSSOVER * cells as f64
+    }
+}
+
+impl AssignmentSolver for AutoKm {
+    fn name(&self) -> &'static str {
+        "auto-km"
+    }
+
+    fn solve(&self, costs: &SparseCostMatrix) -> Assignment {
+        if AutoKm::prefers_dense(costs) {
+            DenseKm.solve(costs)
+        } else {
+            crate::SparseKm.solve(costs)
+        }
+    }
+}
+
 /// In debug builds, checks the sparse-solver precondition that no explicit
 /// entry exceeds the default cost (the FoodGraph invariant; see the module
 /// docs). [`DenseKm`] is the escape hatch for matrices that violate it.
@@ -139,17 +194,23 @@ pub enum SolverKind {
     DecomposedSparseKm,
     /// Component-sharded auction.
     DecomposedAuction,
+    /// Component-sharded per-instance crossover pick ([`AutoKm`]): each
+    /// shard goes to dense KM when small or ≥ ~10% dense, sparse KM
+    /// otherwise — the recommended choice when the workload's density
+    /// regime is unknown or mixed.
+    Auto,
 }
 
 impl SolverKind {
     /// Every selectable solver, in documentation order.
-    pub const ALL: [SolverKind; 6] = [
+    pub const ALL: [SolverKind; 7] = [
         SolverKind::DenseKm,
         SolverKind::SparseKm,
         SolverKind::Auction,
         SolverKind::DecomposedDenseKm,
         SolverKind::DecomposedSparseKm,
         SolverKind::DecomposedAuction,
+        SolverKind::Auto,
     ];
 
     /// The canonical command-line name of the solver.
@@ -161,6 +222,7 @@ impl SolverKind {
             SolverKind::DecomposedDenseKm => "decomposed-dense-km",
             SolverKind::DecomposedSparseKm => "decomposed-sparse-km",
             SolverKind::DecomposedAuction => "decomposed-auction",
+            SolverKind::Auto => "auto",
         }
     }
 
@@ -191,6 +253,7 @@ impl SolverKind {
             SolverKind::DecomposedAuction => {
                 Box::new(crate::Decomposed::new(crate::Auction).with_threads(threads))
             }
+            SolverKind::Auto => Box::new(crate::Decomposed::new(AutoKm).with_threads(threads)),
         }
     }
 
@@ -240,6 +303,35 @@ mod tests {
         assert_eq!(padded.matched_pairs(), 2);
         assert_eq!(padded.row_to_col, vec![Some(0), Some(1)]);
         assert!((padded.total_cost - 18.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn auto_picks_the_solver_by_density_and_size() {
+        // Tiny: dense regardless of density.
+        let tiny = SparseCostMatrix::new(4, 4, 100.0);
+        assert!(AutoKm::prefers_dense(&tiny));
+        // Large and sparse: sparse KM.
+        let mut sparse = SparseCostMatrix::new(40, 40, 100.0);
+        for i in 0..40 {
+            sparse.set(i, i, 1.0);
+        }
+        assert!(!AutoKm::prefers_dense(&sparse));
+        // Large and ≥10% dense: dense KM.
+        let mut dense = SparseCostMatrix::new(40, 40, 100.0);
+        for r in 0..40 {
+            for c in 0..5 {
+                dense.set(r, (r + c) % 40, 1.0 + ((r + c) % 7) as f64);
+            }
+        }
+        assert!(AutoKm::prefers_dense(&dense));
+        // At-Ω entries are not useful edges and do not count as density.
+        let mut padded = SparseCostMatrix::new(40, 40, 100.0);
+        for r in 0..40 {
+            for c in 0..8 {
+                padded.set(r, (r + c) % 40, 100.0);
+            }
+        }
+        assert!(!AutoKm::prefers_dense(&padded));
     }
 
     #[test]

@@ -1,46 +1,23 @@
-//! The window-stepped delivery simulation.
+//! The batch entry point: replaying a complete scenario through the online
+//! [`DispatchService`].
 //!
-//! The simulation advances in accumulation windows of length Δ, exactly the
-//! loop of Fig. 5 in the paper:
-//!
-//! 1. advance every vehicle along its itinerary to the window-close time,
-//!    recording pickups, deliveries, driven distance and restaurant waits;
-//! 2. pull newly placed orders into the unassigned pool and reject orders
-//!    that have waited longer than the deadline;
-//! 3. build a [`WindowSnapshot`] — with reshuffling, orders that are assigned
-//!    but not yet picked up re-enter the pool and their vehicles' snapshots
-//!    drop them from the committed set;
-//! 4. call the dispatch policy (its wall-clock time is measured for the
-//!    overflow metric);
-//! 5. apply the assignment: reshuffled orders move between vehicles, every
-//!    vehicle whose order set changed gets a fresh quickest route plan.
-//!
-//! After the workload horizon ends, a drain phase keeps the clock running
-//! (still assigning leftover orders) until every order is delivered or
-//! rejected, so the metrics always account for the full order set.
-//!
-//! ## Dynamic events
-//!
-//! A scenario may carry a stream of [`DisruptionEvent`]s (see
-//! [`foodmatch_events`]): live traffic perturbations, order cancellations,
-//! restaurant prep delays, and vehicles going on/off shift. The stream is
-//! drained once per accumulation window, *before* vehicles drive through it,
-//! so an event timestamped inside a window takes effect at that window's
-//! open. Traffic perturbations are rendered as a
-//! [`TrafficOverlay`](foodmatch_roadnet::TrafficOverlay) and installed on the
-//! shared engine (bounded overlay search, no index rebuild); cancellations
-//! and prep delays repair the affected vehicle's route in place; off-shift
-//! vehicles release their unpicked orders back into the pool and finish only
-//! what is already on board.
+//! [`Simulation`] bundles an immutable scenario — network, order stream,
+//! fleet, configuration, horizon, disruption events — and
+//! [`Simulation::run`] replays it: every order and event is submitted to a
+//! fresh [`DispatchService`] up front and the service is advanced through
+//! the whole horizon plus a drain phase (still assigning leftovers until
+//! every order is delivered or rejected). The window-by-window mechanics —
+//! Fig. 5's loop of vehicle advancement, order arrival, snapshotting, the
+//! policy call, assignment application, and disruption replay — live in
+//! [`crate::service`]; a golden test (`tests/service_equivalence.rs`) pins
+//! the batch replay bit-identical to externally-driven incremental
+//! stepping.
 
-use crate::fleet::{CarriedOrder, FleetEvent, VehicleState};
-use crate::metrics::{MetricsCollector, SimulationReport, WindowStats};
-use foodmatch_core::route::{plan_optimal_route, PlannedOrder};
-use foodmatch_core::{DispatchConfig, DispatchPolicy, Order, OrderId, VehicleId, WindowSnapshot};
-use foodmatch_events::{DisruptionEvent, EventKind, EventSchedule};
+use crate::metrics::SimulationReport;
+use crate::service::DispatchService;
+use foodmatch_core::{DispatchConfig, DispatchPolicy, Order, VehicleId};
+use foodmatch_events::DisruptionEvent;
 use foodmatch_roadnet::{Duration, NodeId, ShortestPathEngine, TimePoint};
-use std::collections::{HashMap, HashSet};
-use std::time::Instant;
 
 /// A complete simulation scenario: the network, the order stream, and the
 /// fleet's starting positions.
@@ -97,430 +74,83 @@ impl Simulation {
 
     /// Runs the scenario under `policy` and returns the metrics report.
     ///
-    /// The scenario itself is immutable, so the same `Simulation` can be run
-    /// repeatedly with different policies or configurations for side-by-side
-    /// comparisons.
+    /// ## Re-runnability contract
+    ///
+    /// `run` takes `&self` and keeps the scenario immutable: every call
+    /// builds a fresh [`DispatchService`] (which owns all mutable run state
+    /// explicitly), so the same `Simulation` can be run repeatedly — with
+    /// different policies or configurations — for side-by-side comparisons.
+    /// The shared [`ShortestPathEngine`] is the one deliberate exception:
+    /// its caches persist across runs (pure speed-up, never answers), and
+    /// any traffic overlay is cleared on service construction and again on
+    /// completion, so each run starts from, and hands back, the unperturbed
+    /// network.
     pub fn run(&self, policy: &mut dyn DispatchPolicy) -> SimulationReport {
         self.run_with_config(policy, &self.config)
     }
 
     /// Runs the scenario under `policy` with an explicit dispatcher
-    /// configuration (used by the parameter-sweep experiments).
+    /// configuration (used by the parameter-sweep experiments). Same
+    /// re-runnability contract as [`Self::run`].
+    ///
+    /// This is a thin batch driver over the online [`DispatchService`]: it
+    /// submits the scenario's in-horizon orders and its full event stream up
+    /// front, then drains the service through the drain phase. The service
+    /// owns all mutable run state (`&mut self` stepping), which is what
+    /// keeps `&self` here honest.
     pub fn run_with_config(
         &self,
         policy: &mut dyn DispatchPolicy,
         config: &DispatchConfig,
     ) -> SimulationReport {
-        config.validate().expect("invalid dispatch configuration");
-        let reshuffle = policy.uses_reshuffling(config);
-        let delta = config.accumulation_window;
-
-        let mut orders: Vec<Order> = self
-            .orders
-            .iter()
-            .copied()
-            .filter(|o| o.placed_at >= self.start && o.placed_at < self.end)
-            .collect();
-        orders.sort_by(|a, b| a.placed_at.cmp(&b.placed_at).then(a.id.cmp(&b.id)));
-        let total_orders = orders.len();
-
-        let mut vehicles: Vec<VehicleState> =
-            self.vehicle_starts.iter().map(|&(id, node)| VehicleState::new(id, node)).collect();
-        let mut vehicle_index: HashMap<VehicleId, usize> =
-            vehicles.iter().enumerate().map(|(i, v)| (v.id, i)).collect();
-
-        // The event stream is replayed from scratch on every run; a leftover
-        // overlay from a previous (aborted) run must not leak into the SDT
-        // baselines computed below.
-        let mut schedule = EventSchedule::new(self.events.clone());
-        if self.engine.has_overlay() {
-            self.engine.clear_overlay();
-        }
-        let order_ids: HashSet<OrderId> = orders.iter().map(|o| o.id).collect();
-        // Cancellations for orders that have not reached the pending pool yet.
-        let mut cancel_requested: HashSet<OrderId> = HashSet::new();
-        // Prep delays for orders that have not reached the pending pool yet.
-        let mut prep_delay_pending: HashMap<OrderId, Duration> = HashMap::new();
-        let mut cancelled_ids: HashSet<OrderId> = HashSet::new();
-
-        let mut collector =
-            MetricsCollector::new(policy.name(), total_orders, self.end - self.start);
-        // SDT of every order, evaluated at placement time (Definition 6).
-        let sdt: HashMap<OrderId, Duration> = orders
-            .iter()
-            .map(|o| {
-                let sdt = self
-                    .engine
-                    .travel_time(o.restaurant, o.customer, o.placed_at)
-                    .map(|sp| o.prep_time + sp)
-                    .unwrap_or(Duration::ZERO);
-                (o.id, sdt)
-            })
-            .collect();
-
-        let mut next_order = 0usize;
-        let mut pending: Vec<Order> = Vec::new();
-        let mut assigned_or_done: HashSet<OrderId> = HashSet::new();
-        let mut delivered: HashSet<OrderId> = HashSet::new();
-
-        let drain_end = self.end + self.drain_limit;
-        let mut window_close = self.start;
-        loop {
-            window_close += delta;
-            if window_close > drain_end {
-                break;
-            }
-            let in_horizon = window_close <= self.end + delta;
-
-            // 0. Drain disruption events that fall inside this window; they
-            //    take effect at the window's open, before vehicles drive
-            //    through it. Route repairs replan from the vehicles' current
-            //    positions (they are synced to the previous window close).
-            if !schedule.is_empty() {
-                let window_open = window_close - delta;
-                let fired = schedule.advance_to(window_close);
-                if fired.traffic_changed {
-                    // Diff-based render: only changed disruption footprints
-                    // are reapplied (debug-asserted against a full rebuild).
-                    let overlay = schedule.render_overlay(self.engine.network());
-                    if schedule.traffic_active() {
-                        self.engine.set_overlay(overlay);
-                    } else {
-                        self.engine.clear_overlay();
-                    }
-                    collector.set_disruption_active(schedule.traffic_active());
-                    // In-flight itineraries were expanded at the old speeds;
-                    // re-time (and, where the planner prefers, re-route)
-                    // every en-route vehicle so fleet physics track the
-                    // perturbed oracle.
-                    for vehicle in vehicles.iter_mut().filter(|v| v.is_en_route()) {
-                        replan_vehicle(vehicle, window_open, &self.engine);
-                    }
-                }
-                for event in fired.fired {
-                    match event.kind {
-                        EventKind::OrderCancelled { order } => {
-                            let picked_up = vehicles.iter().any(|v| {
-                                v.carried.iter().any(|c| c.picked_up && c.order.id == order)
-                            });
-                            if picked_up
-                                || delivered.contains(&order)
-                                || cancelled_ids.contains(&order)
-                            {
-                                // Too late (food already on board or done) or
-                                // a duplicate event: the platform delivers.
-                                continue;
-                            }
-                            if let Some(pos) = pending.iter().position(|o| o.id == order) {
-                                pending.remove(pos);
-                            } else if let Some(vi) = vehicles.iter().position(|v| {
-                                v.carried.iter().any(|c| !c.picked_up && c.order.id == order)
-                            }) {
-                                // Route repair: drop the stop pair and replan
-                                // the rest of the vehicle's load.
-                                vehicles[vi].remove_unpicked(order);
-                                replan_vehicle(&mut vehicles[vi], window_open, &self.engine);
-                            } else if !order_ids.contains(&order)
-                                || assigned_or_done.contains(&order)
-                            {
-                                // Unknown order, or already rejected.
-                                continue;
-                            } else {
-                                // Placed later in the stream: remember to
-                                // swallow it on arrival.
-                                cancel_requested.insert(order);
-                            }
-                            cancelled_ids.insert(order);
-                            assigned_or_done.insert(order);
-                            collector.record_cancellation(order);
-                        }
-                        EventKind::PrepDelay { order, extra } => {
-                            if let Some(o) = pending.iter_mut().find(|o| o.id == order) {
-                                o.prep_time += extra;
-                            } else if let Some(vi) = vehicles.iter().position(|v| {
-                                v.carried.iter().any(|c| !c.picked_up && c.order.id == order)
-                            }) {
-                                let vehicle = &mut vehicles[vi];
-                                for carried in
-                                    vehicle.carried.iter_mut().filter(|c| c.order.id == order)
-                                {
-                                    carried.order.prep_time += extra;
-                                }
-                                // The planned wait at the restaurant is stale.
-                                replan_vehicle(vehicle, window_open, &self.engine);
-                            } else if order_ids.contains(&order)
-                                && !assigned_or_done.contains(&order)
-                                && !cancel_requested.contains(&order)
-                            {
-                                *prep_delay_pending.entry(order).or_insert(Duration::ZERO) += extra;
-                            }
-                            // Picked-up or finished orders are unaffected.
-                        }
-                        EventKind::VehicleOffShift { vehicle } => {
-                            if let Some(&vi) = vehicle_index.get(&vehicle) {
-                                let state = &mut vehicles[vi];
-                                if state.on_shift {
-                                    state.on_shift = false;
-                                    // Unpicked orders re-enter the pool; the
-                                    // vehicle finishes what is on board.
-                                    let released = state.take_unpicked();
-                                    if !released.is_empty() {
-                                        pending.extend(released);
-                                        replan_vehicle(state, window_open, &self.engine);
-                                    }
-                                }
-                            }
-                        }
-                        EventKind::VehicleOnShift { vehicle, location } => {
-                            match vehicle_index.get(&vehicle) {
-                                Some(&vi) => vehicles[vi].on_shift = true,
-                                None => {
-                                    vehicle_index.insert(vehicle, vehicles.len());
-                                    vehicles.push(VehicleState::new(vehicle, location));
-                                }
-                            }
-                        }
-                        EventKind::Traffic(_) => {
-                            unreachable!("traffic events are absorbed by the schedule")
-                        }
-                    }
-                }
-            }
-
-            // 1. Advance vehicles and harvest their events.
-            for vehicle in &mut vehicles {
-                for event in vehicle.advance(window_close) {
-                    match event {
-                        FleetEvent::Drove { length_m, load } => {
-                            collector.record_drive(window_close, load, length_m);
-                        }
-                        FleetEvent::PickedUp { at, waited, .. } => {
-                            collector.record_wait(at, waited);
-                        }
-                        FleetEvent::Delivered { order, at } => {
-                            delivered.insert(order);
-                            let placed = self
-                                .orders
-                                .iter()
-                                .find(|o| o.id == order)
-                                .map(|o| o.placed_at)
-                                .unwrap_or(at);
-                            collector.record_delivery(
-                                order,
-                                placed,
-                                at,
-                                sdt.get(&order).copied().unwrap_or(Duration::ZERO),
-                            );
-                        }
-                    }
-                }
-            }
-
-            // 2. New arrivals and deadline rejections. Orders cancelled
-            //    before they arrived are swallowed (already accounted as
-            //    cancellations); pending prep delays are applied on arrival.
-            while next_order < orders.len() && orders[next_order].placed_at <= window_close {
-                let mut order = orders[next_order];
-                next_order += 1;
-                if cancel_requested.remove(&order.id) {
-                    continue;
-                }
-                if let Some(extra) = prep_delay_pending.remove(&order.id) {
-                    order.prep_time += extra;
-                }
-                pending.push(order);
-            }
-            pending.retain(|o| {
-                let expired =
-                    window_close.saturating_since(o.placed_at) > config.rejection_deadline;
-                if expired {
-                    collector.record_rejection(o.id);
-                    assigned_or_done.insert(o.id);
-                }
-                !expired
-            });
-
-            // Termination: past the horizon with nothing left to do.
-            let all_arrived = next_order >= orders.len();
-            let fleet_idle = vehicles.iter().all(VehicleState::is_idle);
-            if window_close > self.end && all_arrived && pending.is_empty() && fleet_idle {
-                break;
-            }
-
-            // 3–4. Snapshot and policy call.
-            if pending.is_empty() && !reshuffle {
-                // Nothing to assign; skip the policy call but keep advancing.
-                continue;
-            }
-            let mut snapshot_orders = pending.clone();
-            if reshuffle {
-                for vehicle in vehicles.iter().filter(|v| v.on_shift) {
-                    snapshot_orders.extend(vehicle.unpicked_orders());
-                }
-            }
-            if snapshot_orders.is_empty() {
-                continue;
-            }
-            // Off-shift vehicles are invisible to the dispatcher.
-            let snapshots =
-                vehicles.iter().filter(|v| v.on_shift).map(|v| v.snapshot(reshuffle)).collect();
-            let window = WindowSnapshot::new(window_close, snapshot_orders, snapshots);
-            let order_count = window.order_count();
-            let vehicle_count = window.vehicle_count();
-
-            let started = Instant::now();
-            let outcome = policy.assign(&window, &self.engine, config);
-            let compute_secs = started.elapsed().as_secs_f64();
-            debug_assert!(outcome.validate(&window).is_ok(), "policy produced invalid outcome");
-
-            if in_horizon {
-                collector.record_window(WindowStats {
-                    closed_at: window_close,
-                    slot: window_close.hour_slot(),
-                    orders: order_count,
-                    vehicles: vehicle_count,
-                    assigned: outcome.assigned_order_count(),
-                    compute_secs,
-                    overflown: compute_secs > delta.as_secs_f64(),
-                    disrupted: schedule.traffic_active(),
-                });
-            }
-
-            // 5. Apply the assignment.
-            let order_lookup: HashMap<OrderId, Order> =
-                window.orders.iter().map(|o| (o.id, *o)).collect();
-            let mut touched: HashSet<usize> = HashSet::new();
-            // Carried order-id sets before this window's changes; vehicles
-            // whose set is unchanged keep their current itinerary, so partial
-            // progress along an edge is never thrown away by a no-op replan.
-            let carried_before: Vec<Vec<OrderId>> = vehicles
-                .iter()
-                .map(|v| {
-                    let mut ids: Vec<OrderId> = v.carried.iter().map(|c| c.order.id).collect();
-                    ids.sort_unstable();
-                    ids
-                })
-                .collect();
-            let assigned_now: HashSet<OrderId> =
-                outcome.assignments.iter().flat_map(|a| a.orders.iter().copied()).collect();
-
-            // Detach every order that the matching moved somewhere (it may be
-            // re-attached to the same vehicle below). Orders the matching did
-            // NOT touch keep their incumbent vehicle — reshuffling re-examines
-            // assignments, it never strands an order that already had a ride.
-            for &order_id in &assigned_now {
-                pending.retain(|o| o.id != order_id);
-                for (vi, vehicle) in vehicles.iter_mut().enumerate() {
-                    if vehicle.remove_unpicked(order_id) {
-                        touched.insert(vi);
-                    }
-                }
-            }
-            // Attach the orders to their new vehicles. If a vehicle that
-            // receives a new batch still holds unpicked orders the matching
-            // left untouched and the combination would exceed its capacity,
-            // the untouched ones are released back into the pending pool
-            // (they will be re-offered next window).
-            for assignment in &outcome.assignments {
-                let Some(&vi) = vehicle_index.get(&assignment.vehicle) else { continue };
-                touched.insert(vi);
-                for &order_id in &assignment.orders {
-                    let Some(&order) = order_lookup.get(&order_id) else { continue };
-                    vehicles[vi].carried.push(CarriedOrder { order, picked_up: false });
-                    assigned_or_done.insert(order_id);
-                }
-                let vehicle = &mut vehicles[vi];
-                while vehicle.carried.len() > config.max_orders_per_vehicle
-                    || vehicle.carried.iter().map(|c| c.order.items).sum::<u32>()
-                        > config.max_items_per_vehicle
-                {
-                    // Release the oldest untouched, unpicked order that is not
-                    // part of this window's batch for the vehicle.
-                    let Some(pos) = vehicle
-                        .carried
-                        .iter()
-                        .position(|c| !c.picked_up && !assigned_now.contains(&c.order.id))
-                    else {
-                        break;
-                    };
-                    let released = vehicle.carried.remove(pos);
-                    pending.push(released.order);
-                }
-            }
-            // Replan every vehicle whose carried set actually changed.
-            for vi in touched {
-                let vehicle = &mut vehicles[vi];
-                let mut ids_now: Vec<OrderId> =
-                    vehicle.carried.iter().map(|c| c.order.id).collect();
-                ids_now.sort_unstable();
-                if ids_now == carried_before[vi] {
-                    continue;
-                }
-                replan_vehicle(vehicle, window_close, &self.engine);
+        let mut service = self.service_with_config(policy, config.clone());
+        for order in &self.orders {
+            if order.placed_at >= self.start && order.placed_at < self.end {
+                service.submit_order(*order);
             }
         }
-
-        // The events of this run must not leak into the next one (the same
-        // engine may back several runs for side-by-side comparisons).
-        if self.engine.has_overlay() {
-            self.engine.clear_overlay();
+        for &event in &self.events {
+            service.ingest_event(event);
         }
-
-        // Anything still pending or on a vehicle when the drain limit hits.
-        for order in &pending {
-            collector.record_rejection(order.id);
-        }
-        for vehicle in &vehicles {
-            for carried in &vehicle.carried {
-                if !delivered.contains(&carried.order.id) {
-                    collector.record_undelivered(carried.order.id);
-                }
-            }
-        }
-        for order in &orders {
-            if !delivered.contains(&order.id)
-                && !assigned_or_done.contains(&order.id)
-                && !pending.iter().any(|p| p.id == order.id)
-            {
-                // Orders that never even entered a window (horizon cut short).
-                collector.record_rejection(order.id);
-            }
-        }
-
-        collector.finish()
+        service.run_to_completion()
     }
-}
 
-/// Re-plans `vehicle`'s quickest route for its current carried set from its
-/// current location at `now`, replacing the edge-level itinerary. Used both
-/// by the assignment step and by event-driven route repair (cancellations,
-/// prep delays, shift ends).
-fn replan_vehicle(vehicle: &mut VehicleState, now: TimePoint, engine: &ShortestPathEngine) {
-    let planned: Vec<PlannedOrder> = vehicle
-        .carried
-        .iter()
-        .map(|c| PlannedOrder { order: c.order, picked_up: c.picked_up })
-        .collect();
-    let carried = vehicle.carried.clone();
-    let route = plan_optimal_route(vehicle.location, now, &planned, engine).unwrap_or_else(|| {
-        foodmatch_core::EvaluatedRoute {
-            plan: foodmatch_core::RoutePlan::empty(),
-            cost_secs: 0.0,
-            driving_time: Duration::ZERO,
-            waiting_time: Duration::ZERO,
-            deliveries: Vec::new(),
-            start_node: vehicle.location,
-            finish_at: now,
-        }
-    });
-    vehicle.install_plan(carried, &route, now, engine);
+    /// An idle [`DispatchService`] configured from this scenario — shared
+    /// engine handle, the scenario's fleet, horizon, drain limit and
+    /// configuration — with nothing submitted yet. This is the online entry
+    /// point for drivers that want the scenario's world but their own
+    /// demand: stream orders in via
+    /// [`submit_order`](DispatchService::submit_order) (from an
+    /// `OrderSource`, a replay, anywhere) and step with
+    /// [`advance_to`](DispatchService::advance_to).
+    pub fn service<P: DispatchPolicy>(&self, policy: P) -> DispatchService<P> {
+        self.service_with_config(policy, self.config.clone())
+    }
+
+    /// [`Self::service`] with an explicit dispatcher configuration.
+    pub fn service_with_config<P: DispatchPolicy>(
+        &self,
+        policy: P,
+        config: DispatchConfig,
+    ) -> DispatchService<P> {
+        DispatchService::new(
+            self.engine.clone(),
+            self.vehicle_starts.clone(),
+            policy,
+            config,
+            self.start,
+            self.end,
+            self.drain_limit,
+        )
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use foodmatch_core::policies::{FoodMatchPolicy, GreedyPolicy, KuhnMunkresPolicy};
-    use foodmatch_events::{DisruptionCause, TrafficDisruption};
+    use foodmatch_core::OrderId;
+    use foodmatch_events::{DisruptionCause, EventKind, TrafficDisruption};
     use foodmatch_roadnet::generators::GridCityBuilder;
     use foodmatch_roadnet::CongestionProfile;
 

@@ -14,6 +14,27 @@
 //! per km, waiting time, rejections, cancellations, overflown windows,
 //! running time).
 //!
+//! ## The two entry points
+//!
+//! The dispatch loop has one implementation and two drivers:
+//!
+//! * **Online** — [`DispatchService`] is the loop itself, exposed as a
+//!   streaming API: [`DispatchService::submit_order`] and
+//!   [`DispatchService::ingest_event`] feed demand and disruptions in as
+//!   they happen, [`DispatchService::advance_to`] steps the clock and
+//!   returns typed [`DispatchOutput`] events (assignments, pickups,
+//!   deliveries, rejections, cancellations, window statistics), and
+//!   [`DispatchService::snapshot`] / [`DispatchService::report`] expose the
+//!   operational state and metrics at any point mid-run. Use this when
+//!   demand is not known in advance: live sources, closed-loop experiments,
+//!   services.
+//! * **Batch** — [`Simulation`] wraps a pre-materialized scenario and
+//!   [`Simulation::run`] replays it through a fresh service, start to drain.
+//!   Use this for the paper's experiments and any offline comparison; the
+//!   two drivers are pinned bit-identical by `tests/service_equivalence.rs`.
+//!
+//! ### Batch: replay a scenario
+//!
 //! ```
 //! use foodmatch_core::FoodMatchPolicy;
 //! use foodmatch_roadnet::Duration;
@@ -31,6 +52,40 @@
 //!     report.total_orders,
 //! );
 //! ```
+//!
+//! ### Online: drive the service tick by tick
+//!
+//! ```
+//! use foodmatch_core::{DispatchConfig, FoodMatchPolicy};
+//! use foodmatch_roadnet::Duration;
+//! use foodmatch_sim::{DispatchOutput, DispatchService, Simulation};
+//! use foodmatch_workload::{CityId, Scenario, ScenarioOptions};
+//!
+//! let mut options = ScenarioOptions::lunch_peak(1);
+//! options.end = options.start + Duration::from_mins(15.0);
+//! let sim: Simulation = Scenario::generate(CityId::GrubHub, options).into_simulation();
+//!
+//! // `Simulation::service` wires the scenario's world (engine, fleet,
+//! // horizon, config) into an idle service; `DispatchService::new` does
+//! // the same from raw parts when there is no scenario.
+//! let mut service = sim.service(FoodMatchPolicy::new());
+//! // Stream the demand in and step one accumulation window at a time.
+//! let mut orders = sim.orders.iter().copied().peekable();
+//! let mut now = sim.start;
+//! while !service.is_finished() {
+//!     now += service.config().accumulation_window;
+//!     while orders.peek().is_some_and(|o| o.placed_at <= now) {
+//!         service.submit_order(orders.next().unwrap());
+//!     }
+//!     for output in service.advance_to(now) {
+//!         if let DispatchOutput::Delivered { order, .. } = output {
+//!             println!("delivered {order:?} — {} pending", service.snapshot().pending);
+//!         }
+//!     }
+//! }
+//! let report = service.report();
+//! assert_eq!(report.total_orders, sim.orders.len());
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -38,7 +93,9 @@
 pub mod engine;
 pub mod fleet;
 pub mod metrics;
+pub mod service;
 
 pub use engine::Simulation;
 pub use fleet::{CarriedOrder, FleetEvent, ItineraryStep, VehicleState};
 pub use metrics::{DeliveredOrder, MetricsCollector, SimulationReport, WindowStats};
+pub use service::{DispatchOutput, DispatchService, ServiceSnapshot};

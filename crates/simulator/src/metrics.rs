@@ -64,7 +64,11 @@ pub struct WindowStats {
 }
 
 /// The complete outcome of one simulation run.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` compares every recorded quantity bit for bit; the golden
+/// batch-vs-incremental equivalence test relies on it (wall-clock fields
+/// inside [`WindowStats`] are normalised there before comparing).
+#[derive(Clone, Debug, PartialEq)]
 pub struct SimulationReport {
     /// Name of the policy that produced this run.
     pub policy: String,
@@ -268,7 +272,11 @@ impl SimulationReport {
 }
 
 /// Incrementally accumulates metrics while a simulation runs.
-#[derive(Debug)]
+///
+/// The collector is `Clone` so a live [`DispatchService`](crate::service)
+/// can hand out a point-in-time [`SimulationReport`] mid-run without
+/// disturbing the accumulation.
+#[derive(Clone, Debug)]
 pub struct MetricsCollector {
     policy: String,
     total_orders: usize,
@@ -305,6 +313,18 @@ impl MetricsCollector {
         }
     }
 
+    /// Counts one more offered order. Batch runs pass the workload size to
+    /// [`MetricsCollector::new`] up front; the streaming service starts at
+    /// zero and counts orders as they are submitted.
+    pub fn record_offered(&mut self) {
+        self.total_orders += 1;
+    }
+
+    /// Number of rejections recorded so far (cheap mid-run probe).
+    pub fn rejected_count(&self) -> usize {
+        self.rejected.len()
+    }
+
     /// Updates the disruption flag stamped onto subsequent deliveries and
     /// rejections. The simulation toggles this at window boundaries as
     /// traffic perturbations start and clear.
@@ -312,26 +332,30 @@ impl MetricsCollector {
         self.disruption_active = active;
     }
 
-    /// Records a delivered order. `sdt` is its shortest delivery time
-    /// (Definition 6); the XDT is clamped at zero to absorb the tiny
-    /// negative values that time-varying edge weights can produce.
+    /// Records a delivered order and returns the record (so callers can
+    /// surface the computed XDT, e.g. as a typed output event). `sdt` is the
+    /// order's shortest delivery time (Definition 6); the XDT is clamped at
+    /// zero to absorb the tiny negative values that time-varying edge
+    /// weights can produce.
     pub fn record_delivery(
         &mut self,
         id: OrderId,
         placed_at: TimePoint,
         delivered_at: TimePoint,
         sdt: Duration,
-    ) {
+    ) -> DeliveredOrder {
         let edt = delivered_at.saturating_since(placed_at);
         let xdt = edt.saturating_sub(sdt);
-        self.delivered.push(DeliveredOrder {
+        let record = DeliveredOrder {
             id,
             placed_at,
             delivered_at,
             xdt,
             slot: placed_at.hour_slot(),
             during_disruption: self.disruption_active,
-        });
+        };
+        self.delivered.push(record);
+        record
     }
 
     /// Records a rejected order.

@@ -1,0 +1,939 @@
+//! The online dispatch service: streaming ingest, tick-driven stepping,
+//! typed output events.
+//!
+//! [`DispatchService`] is the incremental form of the accumulation-window
+//! loop (Fig. 5 of the paper). Where [`Simulation::run`](crate::Simulation)
+//! replays a pre-materialized scenario start to finish, the service is
+//! driven from outside, one call at a time:
+//!
+//! * [`submit_order`](DispatchService::submit_order) — an order arrives
+//!   (from a live demand stream, a replay, anything);
+//! * [`ingest_event`](DispatchService::ingest_event) — a disruption arrives
+//!   (traffic, cancellation, prep delay, shift churn);
+//! * [`advance_to`](DispatchService::advance_to) — the clock moves forward;
+//!   every accumulation window that closes in the meantime is processed
+//!   (vehicles drive, orders arrive/expire, the policy assigns) and the
+//!   observable outcomes come back as typed [`DispatchOutput`] events;
+//! * [`snapshot`](DispatchService::snapshot) /
+//!   [`report`](DispatchService::report) — point-in-time operational state
+//!   and metrics, available mid-run without disturbing the service.
+//!
+//! Stepping is explicit (`&mut self`): the service owns the engine handle,
+//! the fleet, the order pools and the metrics — there is no interior
+//! mutability to reason about. The batch driver `Simulation::run` is a thin
+//! wrapper that submits the scenario's streams up front and drains the
+//! service to completion; a golden test
+//! (`tests/service_equivalence.rs`) pins the two entry points bit-identical.
+//!
+//! ## Semantics worth knowing
+//!
+//! * The service replicates the batch loop exactly, window by window. An
+//!   order must be submitted before the window containing its `placed_at`
+//!   closes to behave as in a batch run; orders submitted later are pulled
+//!   into the next window (where the rejection deadline still counts from
+//!   `placed_at`).
+//! * An order's SDT baseline (Definition 6) is evaluated when the order is
+//!   *submitted*, under the network conditions active at that moment —
+//!   submit orders before installing traffic overlays to reproduce batch
+//!   SDTs bit for bit.
+//! * Cancellations for orders the service has never seen are ignored, same
+//!   as the batch loop ignores cancellations for ids outside the scenario.
+//! * The service keeps every submitted order for final accounting, so a
+//!   perpetual deployment should be restarted (or sharded) per service day,
+//!   exactly like the paper's per-day evaluation.
+
+use crate::fleet::{CarriedOrder, FleetEvent, VehicleState};
+use crate::metrics::{MetricsCollector, SimulationReport, WindowStats};
+use foodmatch_core::route::{plan_optimal_route, PlannedOrder};
+use foodmatch_core::{DispatchConfig, DispatchPolicy, Order, OrderId, VehicleId, WindowSnapshot};
+use foodmatch_events::{DisruptionEvent, EventKind, EventSchedule};
+use foodmatch_roadnet::{Duration, NodeId, ShortestPathEngine, TimePoint};
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// One observable outcome of advancing the service.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DispatchOutput {
+    /// The policy assigned an order to a vehicle at a window close.
+    Assigned {
+        /// The order.
+        order: OrderId,
+        /// The vehicle it now rides with.
+        vehicle: VehicleId,
+        /// The window-close time of the assignment.
+        at: TimePoint,
+    },
+    /// A vehicle collected an order from its restaurant.
+    PickedUp {
+        /// The order.
+        order: OrderId,
+        /// The vehicle that collected it.
+        vehicle: VehicleId,
+        /// Pickup time.
+        at: TimePoint,
+        /// Time the vehicle waited at the restaurant for the food.
+        waited: Duration,
+    },
+    /// An order reached its customer.
+    Delivered {
+        /// The order.
+        order: OrderId,
+        /// The vehicle that delivered it.
+        vehicle: VehicleId,
+        /// Delivery time.
+        at: TimePoint,
+        /// The order's extra delivery time (Definition 7, clamped at zero).
+        xdt: Duration,
+    },
+    /// An order stayed unassigned past the rejection deadline — or, at the
+    /// drain cutoff, never got a ride at all (still pending, or never even
+    /// entered a window). Orders that are *on a vehicle* when the drain
+    /// limit hits get no terminal event: they surface only as
+    /// `report().undelivered` (normally empty; non-empty means the drain
+    /// limit is too short for the workload).
+    Rejected {
+        /// The order.
+        order: OrderId,
+        /// When the rejection was decided (a window close).
+        at: TimePoint,
+    },
+    /// A customer cancelled an order before pickup.
+    Cancelled {
+        /// The order.
+        order: OrderId,
+        /// The cancellation event's timestamp.
+        at: TimePoint,
+    },
+    /// An accumulation window inside the workload horizon closed after a
+    /// policy call; carries the same statistics the report records.
+    WindowClosed {
+        /// The window's statistics.
+        stats: WindowStats,
+    },
+}
+
+/// A point-in-time view of the service's operational state (cheap to take;
+/// does not disturb the run).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServiceSnapshot {
+    /// The close time of the last processed window (the service clock).
+    pub now: TimePoint,
+    /// Orders submitted so far.
+    pub submitted: usize,
+    /// Submitted orders whose `placed_at` has not been reached yet.
+    pub queued: usize,
+    /// Orders waiting in the unassigned pool.
+    pub pending: usize,
+    /// Orders currently riding on a vehicle (assigned or picked up).
+    pub in_flight: usize,
+    /// Orders delivered so far.
+    pub delivered: usize,
+    /// Orders rejected so far.
+    pub rejected: usize,
+    /// Orders cancelled so far.
+    pub cancelled: usize,
+    /// Vehicles currently on shift.
+    pub vehicles_on_shift: usize,
+    /// Whether a traffic disruption is currently active.
+    pub traffic_active: bool,
+    /// Whether the service has terminated (drained or past the drain limit).
+    pub finished: bool,
+}
+
+/// The online dispatcher: owns the fleet, the order pools, the event
+/// schedule and the metrics, and advances in accumulation windows when told
+/// to. See the [module docs](self) for the full contract.
+#[derive(Debug)]
+pub struct DispatchService<P: DispatchPolicy> {
+    engine: ShortestPathEngine,
+    policy: P,
+    config: DispatchConfig,
+    reshuffle: bool,
+    start: TimePoint,
+    end: TimePoint,
+    drain_end: TimePoint,
+    /// Close time of the last processed window; `start` before any stepping.
+    window_close: TimePoint,
+    /// Every submitted order, sorted by `(placed_at, id)`; `next_order` is
+    /// the arrival cursor.
+    orders: Vec<Order>,
+    next_order: usize,
+    /// `placed_at` lookup (and duplicate-submission guard) for all ids.
+    known: HashMap<OrderId, TimePoint>,
+    schedule: EventSchedule,
+    vehicles: Vec<VehicleState>,
+    vehicle_index: HashMap<VehicleId, usize>,
+    pending: Vec<Order>,
+    assigned_or_done: HashSet<OrderId>,
+    delivered: HashSet<OrderId>,
+    cancel_requested: HashSet<OrderId>,
+    prep_delay_pending: HashMap<OrderId, Duration>,
+    cancelled_ids: HashSet<OrderId>,
+    /// SDT of every order, evaluated at submission time (Definition 6).
+    sdt: HashMap<OrderId, Duration>,
+    collector: MetricsCollector,
+    finished: bool,
+}
+
+impl<P: DispatchPolicy> DispatchService<P> {
+    /// Creates an idle service at `start`. The engine handle is shared
+    /// (`ShortestPathEngine` clones share caches and the traffic overlay);
+    /// any overlay left over from a previous run is cleared so SDT baselines
+    /// start from the unperturbed network.
+    ///
+    /// # Panics
+    /// Panics when the configuration is invalid or `end` precedes `start`.
+    /// A zero-length horizon is allowed (a drain-only service): nothing is
+    /// in horizon, but submitted orders are still dispatched through the
+    /// drain phase, as the batch loop always did.
+    pub fn new(
+        engine: ShortestPathEngine,
+        vehicle_starts: Vec<(VehicleId, NodeId)>,
+        policy: P,
+        config: DispatchConfig,
+        start: TimePoint,
+        end: TimePoint,
+        drain_limit: Duration,
+    ) -> Self {
+        config.validate().expect("invalid dispatch configuration");
+        assert!(end >= start, "service horizon must not end before it starts");
+        if engine.has_overlay() {
+            engine.clear_overlay();
+        }
+        let reshuffle = policy.uses_reshuffling(&config);
+        let vehicles: Vec<VehicleState> =
+            vehicle_starts.iter().map(|&(id, node)| VehicleState::new(id, node)).collect();
+        let vehicle_index = vehicles.iter().enumerate().map(|(i, v)| (v.id, i)).collect();
+        let collector = MetricsCollector::new(policy.name(), 0, end - start);
+        DispatchService {
+            engine,
+            policy,
+            config,
+            reshuffle,
+            start,
+            end,
+            drain_end: end + drain_limit,
+            window_close: start,
+            orders: Vec::new(),
+            next_order: 0,
+            known: HashMap::new(),
+            schedule: EventSchedule::new(Vec::new()),
+            vehicles,
+            vehicle_index,
+            pending: Vec::new(),
+            assigned_or_done: HashSet::new(),
+            delivered: HashSet::new(),
+            cancel_requested: HashSet::new(),
+            prep_delay_pending: HashMap::new(),
+            cancelled_ids: HashSet::new(),
+            sdt: HashMap::new(),
+            collector,
+            finished: false,
+        }
+    }
+
+    /// Submits one order to the service. Returns `false` (and ignores the
+    /// order) when the id was already submitted or the service has finished.
+    ///
+    /// The order's SDT baseline is computed here, under the network
+    /// conditions active right now; it enters a window once the clock
+    /// reaches its `placed_at` (immediately next window if that is already
+    /// in the past).
+    pub fn submit_order(&mut self, order: Order) -> bool {
+        if self.finished || self.known.contains_key(&order.id) {
+            return false;
+        }
+        self.known.insert(order.id, order.placed_at);
+        let sdt = self
+            .engine
+            .travel_time(order.restaurant, order.customer, order.placed_at)
+            .map(|sp| order.prep_time + sp)
+            .unwrap_or(Duration::ZERO);
+        self.sdt.insert(order.id, sdt);
+        self.collector.record_offered();
+        // Keep the unconsumed tail sorted by (placed_at, id) — the exact
+        // arrival order of the batch loop.
+        let tail = &self.orders[self.next_order..];
+        let offset = tail.partition_point(|o| (o.placed_at, o.id) <= (order.placed_at, order.id));
+        self.orders.insert(self.next_order + offset, order);
+        true
+    }
+
+    /// Streams one disruption event into the service. Events timestamped in
+    /// the past take effect at the next window open (the batch loop has the
+    /// same one-window granularity). Returns `false` once the service has
+    /// finished.
+    pub fn ingest_event(&mut self, event: DisruptionEvent) -> bool {
+        if self.finished {
+            return false;
+        }
+        self.schedule.push(event);
+        true
+    }
+
+    /// Advances the service clock to `until`, processing every accumulation
+    /// window that closes on the way and returning the typed outcomes in
+    /// order. Windows are only processed whole: a partial window stays
+    /// unprocessed until a later call crosses its close.
+    ///
+    /// Advancing to [`drain_deadline`](Self::drain_deadline) (or beyond)
+    /// drains the service: leftover orders are rejected, the engine overlay
+    /// is cleared, and the service refuses further input.
+    pub fn advance_to(&mut self, until: TimePoint) -> Vec<DispatchOutput> {
+        let delta = self.config.accumulation_window;
+        let mut out = Vec::new();
+        while !self.finished {
+            let next_close = self.window_close + delta;
+            if next_close > self.drain_end {
+                self.finalize(&mut out);
+                break;
+            }
+            if next_close > until {
+                break;
+            }
+            self.step_window(next_close, &mut out);
+        }
+        out
+    }
+
+    /// Drives the service to completion (through the drain phase) and
+    /// returns the final report. Equivalent to
+    /// `advance_to(self.drain_deadline())` + [`report`](Self::report).
+    pub fn run_to_completion(&mut self) -> SimulationReport {
+        self.advance_to(self.drain_end);
+        self.report()
+    }
+
+    /// The instant past which [`advance_to`] gives up on undelivered orders
+    /// and finalizes the run.
+    pub fn drain_deadline(&self) -> TimePoint {
+        self.drain_end
+    }
+
+    /// True once the service has terminated (everything drained, or the
+    /// drain limit was hit) and the report is final.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// The close time of the last processed window (the service clock).
+    pub fn now(&self) -> TimePoint {
+        self.window_close
+    }
+
+    /// When the service's day starts (the clock before any stepping).
+    pub fn start(&self) -> TimePoint {
+        self.start
+    }
+
+    /// When the workload horizon ends; the drain phase runs after this until
+    /// [`drain_deadline`](Self::drain_deadline).
+    pub fn horizon_end(&self) -> TimePoint {
+        self.end
+    }
+
+    /// The dispatcher configuration the service runs under.
+    pub fn config(&self) -> &DispatchConfig {
+        &self.config
+    }
+
+    /// A point-in-time view of the operational state.
+    pub fn snapshot(&self) -> ServiceSnapshot {
+        ServiceSnapshot {
+            now: self.window_close,
+            submitted: self.orders.len(),
+            queued: self.orders.len() - self.next_order,
+            pending: self.pending.len(),
+            in_flight: self.vehicles.iter().map(|v| v.carried.len()).sum(),
+            delivered: self.delivered.len(),
+            rejected: self.collector.rejected_count(),
+            cancelled: self.cancelled_ids.len(),
+            vehicles_on_shift: self.vehicles.iter().filter(|v| v.on_shift).count(),
+            traffic_active: self.schedule.traffic_active(),
+            finished: self.finished,
+        }
+    }
+
+    /// The metrics accumulated so far, as a [`SimulationReport`]. Mid-run
+    /// the report is a partial view (orders still in flight appear in no
+    /// bucket); once [`is_finished`](Self::is_finished) it is the final,
+    /// fully accounted report of the run.
+    pub fn report(&self) -> SimulationReport {
+        self.collector.clone().finish()
+    }
+
+    /// Processes exactly one accumulation window closing at `close`.
+    /// This is the body of the batch loop, verbatim.
+    fn step_window(&mut self, window_close: TimePoint, out: &mut Vec<DispatchOutput>) {
+        let delta = self.config.accumulation_window;
+        self.window_close = window_close;
+        let in_horizon = window_close <= self.end + delta;
+
+        // 0. Drain disruption events that fall inside this window; they take
+        //    effect at the window's open, before vehicles drive through it.
+        if !self.schedule.is_empty() {
+            self.apply_events(window_close, out);
+        }
+
+        // 1. Advance vehicles and harvest their events.
+        for vehicle in &mut self.vehicles {
+            let id = vehicle.id;
+            for event in vehicle.advance(window_close) {
+                match event {
+                    FleetEvent::Drove { length_m, load } => {
+                        self.collector.record_drive(window_close, load, length_m);
+                    }
+                    FleetEvent::PickedUp { order, at, waited } => {
+                        self.collector.record_wait(at, waited);
+                        out.push(DispatchOutput::PickedUp { order, vehicle: id, at, waited });
+                    }
+                    FleetEvent::Delivered { order, at } => {
+                        self.delivered.insert(order);
+                        let placed = self.known.get(&order).copied().unwrap_or(at);
+                        let record = self.collector.record_delivery(
+                            order,
+                            placed,
+                            at,
+                            self.sdt.get(&order).copied().unwrap_or(Duration::ZERO),
+                        );
+                        out.push(DispatchOutput::Delivered {
+                            order,
+                            vehicle: id,
+                            at,
+                            xdt: record.xdt,
+                        });
+                    }
+                }
+            }
+        }
+
+        // 2. New arrivals and deadline rejections. Orders cancelled before
+        //    they arrived are swallowed (already accounted as cancellations);
+        //    pending prep delays are applied on arrival.
+        while self.next_order < self.orders.len()
+            && self.orders[self.next_order].placed_at <= window_close
+        {
+            let mut order = self.orders[self.next_order];
+            self.next_order += 1;
+            if self.cancel_requested.remove(&order.id) {
+                continue;
+            }
+            if let Some(extra) = self.prep_delay_pending.remove(&order.id) {
+                order.prep_time += extra;
+            }
+            self.pending.push(order);
+        }
+        let (collector, assigned_or_done) = (&mut self.collector, &mut self.assigned_or_done);
+        let deadline = self.config.rejection_deadline;
+        self.pending.retain(|o| {
+            let expired = window_close.saturating_since(o.placed_at) > deadline;
+            if expired {
+                collector.record_rejection(o.id);
+                assigned_or_done.insert(o.id);
+                out.push(DispatchOutput::Rejected { order: o.id, at: window_close });
+            }
+            !expired
+        });
+
+        // Termination: past the horizon with nothing left to do.
+        let all_arrived = self.next_order >= self.orders.len();
+        let fleet_idle = self.vehicles.iter().all(VehicleState::is_idle);
+        if window_close > self.end && all_arrived && self.pending.is_empty() && fleet_idle {
+            self.finalize(out);
+            return;
+        }
+
+        // 3–4. Snapshot and policy call.
+        if self.pending.is_empty() && !self.reshuffle {
+            // Nothing to assign; skip the policy call but keep advancing.
+            return;
+        }
+        let mut snapshot_orders = self.pending.clone();
+        if self.reshuffle {
+            for vehicle in self.vehicles.iter().filter(|v| v.on_shift) {
+                snapshot_orders.extend(vehicle.unpicked_orders());
+            }
+        }
+        if snapshot_orders.is_empty() {
+            return;
+        }
+        // Off-shift vehicles are invisible to the dispatcher.
+        let snapshots = self
+            .vehicles
+            .iter()
+            .filter(|v| v.on_shift)
+            .map(|v| v.snapshot(self.reshuffle))
+            .collect();
+        let window = WindowSnapshot::new(window_close, snapshot_orders, snapshots);
+        let order_count = window.order_count();
+        let vehicle_count = window.vehicle_count();
+
+        let started = Instant::now();
+        let outcome = self.policy.assign(&window, &self.engine, &self.config);
+        let compute_secs = started.elapsed().as_secs_f64();
+        debug_assert!(outcome.validate(&window).is_ok(), "policy produced invalid outcome");
+
+        if in_horizon {
+            let stats = WindowStats {
+                closed_at: window_close,
+                slot: window_close.hour_slot(),
+                orders: order_count,
+                vehicles: vehicle_count,
+                assigned: outcome.assigned_order_count(),
+                compute_secs,
+                overflown: compute_secs > delta.as_secs_f64(),
+                disrupted: self.schedule.traffic_active(),
+            };
+            self.collector.record_window(stats);
+            out.push(DispatchOutput::WindowClosed { stats });
+        }
+
+        // 5. Apply the assignment.
+        let order_lookup: HashMap<OrderId, Order> =
+            window.orders.iter().map(|o| (o.id, *o)).collect();
+        let mut touched: HashSet<usize> = HashSet::new();
+        // Carried order-id sets before this window's changes; vehicles whose
+        // set is unchanged keep their current itinerary, so partial progress
+        // along an edge is never thrown away by a no-op replan.
+        let carried_before: Vec<Vec<OrderId>> = self
+            .vehicles
+            .iter()
+            .map(|v| {
+                let mut ids: Vec<OrderId> = v.carried.iter().map(|c| c.order.id).collect();
+                ids.sort_unstable();
+                ids
+            })
+            .collect();
+        let assigned_now: HashSet<OrderId> =
+            outcome.assignments.iter().flat_map(|a| a.orders.iter().copied()).collect();
+
+        // Detach every order that the matching moved somewhere (it may be
+        // re-attached to the same vehicle below). Orders the matching did
+        // NOT touch keep their incumbent vehicle — reshuffling re-examines
+        // assignments, it never strands an order that already had a ride.
+        for &order_id in &assigned_now {
+            self.pending.retain(|o| o.id != order_id);
+            for (vi, vehicle) in self.vehicles.iter_mut().enumerate() {
+                if vehicle.remove_unpicked(order_id) {
+                    touched.insert(vi);
+                }
+            }
+        }
+        // Attach the orders to their new vehicles. If a vehicle that
+        // receives a new batch still holds unpicked orders the matching left
+        // untouched and the combination would exceed its capacity, the
+        // untouched ones are released back into the pending pool (they will
+        // be re-offered next window).
+        for assignment in &outcome.assignments {
+            let Some(&vi) = self.vehicle_index.get(&assignment.vehicle) else { continue };
+            touched.insert(vi);
+            for &order_id in &assignment.orders {
+                let Some(&order) = order_lookup.get(&order_id) else { continue };
+                self.vehicles[vi].carried.push(CarriedOrder { order, picked_up: false });
+                self.assigned_or_done.insert(order_id);
+                out.push(DispatchOutput::Assigned {
+                    order: order_id,
+                    vehicle: assignment.vehicle,
+                    at: window_close,
+                });
+            }
+            let vehicle = &mut self.vehicles[vi];
+            while vehicle.carried.len() > self.config.max_orders_per_vehicle
+                || vehicle.carried.iter().map(|c| c.order.items).sum::<u32>()
+                    > self.config.max_items_per_vehicle
+            {
+                // Release the oldest untouched, unpicked order that is not
+                // part of this window's batch for the vehicle.
+                let Some(pos) = vehicle
+                    .carried
+                    .iter()
+                    .position(|c| !c.picked_up && !assigned_now.contains(&c.order.id))
+                else {
+                    break;
+                };
+                let released = vehicle.carried.remove(pos);
+                self.pending.push(released.order);
+            }
+        }
+        // Replan every vehicle whose carried set actually changed.
+        for vi in touched {
+            let vehicle = &mut self.vehicles[vi];
+            let mut ids_now: Vec<OrderId> = vehicle.carried.iter().map(|c| c.order.id).collect();
+            ids_now.sort_unstable();
+            if ids_now == carried_before[vi] {
+                continue;
+            }
+            replan_vehicle(vehicle, window_close, &self.engine);
+        }
+    }
+
+    /// Drains the event schedule up to `window_close` and applies what
+    /// fired: overlay swaps plus in-flight re-timing for traffic changes,
+    /// route repair for cancellations / prep delays / shift churn.
+    fn apply_events(&mut self, window_close: TimePoint, out: &mut Vec<DispatchOutput>) {
+        let window_open = window_close - self.config.accumulation_window;
+        let fired = self.schedule.advance_to(window_close);
+        if fired.traffic_changed {
+            // Diff-based render: only changed disruption footprints are
+            // reapplied (debug-asserted against a full rebuild).
+            let overlay = self.schedule.render_overlay(self.engine.network());
+            if self.schedule.traffic_active() {
+                self.engine.set_overlay(overlay);
+            } else {
+                self.engine.clear_overlay();
+            }
+            self.collector.set_disruption_active(self.schedule.traffic_active());
+            // In-flight itineraries were expanded at the old speeds; re-time
+            // (and, where the planner prefers, re-route) every en-route
+            // vehicle so fleet physics track the perturbed oracle.
+            for vehicle in self.vehicles.iter_mut().filter(|v| v.is_en_route()) {
+                replan_vehicle(vehicle, window_open, &self.engine);
+            }
+        }
+        for event in fired.fired {
+            match event.kind {
+                EventKind::OrderCancelled { order } => {
+                    let picked_up = self
+                        .vehicles
+                        .iter()
+                        .any(|v| v.carried.iter().any(|c| c.picked_up && c.order.id == order));
+                    if picked_up
+                        || self.delivered.contains(&order)
+                        || self.cancelled_ids.contains(&order)
+                    {
+                        // Too late (food already on board or done) or a
+                        // duplicate event: the platform delivers.
+                        continue;
+                    }
+                    if let Some(pos) = self.pending.iter().position(|o| o.id == order) {
+                        self.pending.remove(pos);
+                    } else if let Some(vi) = self
+                        .vehicles
+                        .iter()
+                        .position(|v| v.carried.iter().any(|c| !c.picked_up && c.order.id == order))
+                    {
+                        // Route repair: drop the stop pair and replan the
+                        // rest of the vehicle's load.
+                        self.vehicles[vi].remove_unpicked(order);
+                        replan_vehicle(&mut self.vehicles[vi], window_open, &self.engine);
+                    } else if !self.known.contains_key(&order)
+                        || self.assigned_or_done.contains(&order)
+                    {
+                        // Unknown order, or already rejected.
+                        continue;
+                    } else {
+                        // Placed later in the stream: remember to swallow it
+                        // on arrival.
+                        self.cancel_requested.insert(order);
+                    }
+                    self.cancelled_ids.insert(order);
+                    self.assigned_or_done.insert(order);
+                    self.collector.record_cancellation(order);
+                    out.push(DispatchOutput::Cancelled { order, at: event.at });
+                }
+                EventKind::PrepDelay { order, extra } => {
+                    if let Some(o) = self.pending.iter_mut().find(|o| o.id == order) {
+                        o.prep_time += extra;
+                    } else if let Some(vi) = self
+                        .vehicles
+                        .iter()
+                        .position(|v| v.carried.iter().any(|c| !c.picked_up && c.order.id == order))
+                    {
+                        let vehicle = &mut self.vehicles[vi];
+                        for carried in vehicle.carried.iter_mut().filter(|c| c.order.id == order) {
+                            carried.order.prep_time += extra;
+                        }
+                        // The planned wait at the restaurant is stale.
+                        replan_vehicle(vehicle, window_open, &self.engine);
+                    } else if self.known.contains_key(&order)
+                        && !self.assigned_or_done.contains(&order)
+                        && !self.cancel_requested.contains(&order)
+                    {
+                        *self.prep_delay_pending.entry(order).or_insert(Duration::ZERO) += extra;
+                    }
+                    // Picked-up or finished orders are unaffected.
+                }
+                EventKind::VehicleOffShift { vehicle } => {
+                    if let Some(&vi) = self.vehicle_index.get(&vehicle) {
+                        let state = &mut self.vehicles[vi];
+                        if state.on_shift {
+                            state.on_shift = false;
+                            // Unpicked orders re-enter the pool; the vehicle
+                            // finishes what is on board.
+                            let released = state.take_unpicked();
+                            if !released.is_empty() {
+                                self.pending.extend(released);
+                                replan_vehicle(state, window_open, &self.engine);
+                            }
+                        }
+                    }
+                }
+                EventKind::VehicleOnShift { vehicle, location } => {
+                    match self.vehicle_index.get(&vehicle) {
+                        Some(&vi) => self.vehicles[vi].on_shift = true,
+                        None => {
+                            self.vehicle_index.insert(vehicle, self.vehicles.len());
+                            self.vehicles.push(VehicleState::new(vehicle, location));
+                        }
+                    }
+                }
+                EventKind::Traffic(_) => {
+                    unreachable!("traffic events are absorbed by the schedule")
+                }
+            }
+        }
+    }
+
+    /// Final accounting when the run ends: pending and never-arrived orders
+    /// are rejected (with `Rejected` outputs); orders still on a vehicle
+    /// are recorded as undelivered in the report only (see
+    /// [`DispatchOutput::Rejected`]); the shared engine is handed back
+    /// overlay-free for the next run.
+    fn finalize(&mut self, out: &mut Vec<DispatchOutput>) {
+        self.finished = true;
+        if self.engine.has_overlay() {
+            self.engine.clear_overlay();
+        }
+        for order in &self.pending {
+            self.collector.record_rejection(order.id);
+            out.push(DispatchOutput::Rejected { order: order.id, at: self.window_close });
+        }
+        for vehicle in &self.vehicles {
+            for carried in &vehicle.carried {
+                if !self.delivered.contains(&carried.order.id) {
+                    self.collector.record_undelivered(carried.order.id);
+                }
+            }
+        }
+        for order in &self.orders {
+            if !self.delivered.contains(&order.id)
+                && !self.assigned_or_done.contains(&order.id)
+                && !self.pending.iter().any(|p| p.id == order.id)
+            {
+                // Orders that never even entered a window (horizon cut short).
+                self.collector.record_rejection(order.id);
+                out.push(DispatchOutput::Rejected { order: order.id, at: self.window_close });
+            }
+        }
+    }
+}
+
+/// Re-plans `vehicle`'s quickest route for its current carried set from its
+/// current location at `now`, replacing the edge-level itinerary. Used both
+/// by the assignment step and by event-driven route repair (cancellations,
+/// prep delays, shift ends).
+fn replan_vehicle(vehicle: &mut VehicleState, now: TimePoint, engine: &ShortestPathEngine) {
+    let planned: Vec<PlannedOrder> = vehicle
+        .carried
+        .iter()
+        .map(|c| PlannedOrder { order: c.order, picked_up: c.picked_up })
+        .collect();
+    let carried = vehicle.carried.clone();
+    let route = plan_optimal_route(vehicle.location, now, &planned, engine).unwrap_or_else(|| {
+        foodmatch_core::EvaluatedRoute {
+            plan: foodmatch_core::RoutePlan::empty(),
+            cost_secs: 0.0,
+            driving_time: Duration::ZERO,
+            waiting_time: Duration::ZERO,
+            deliveries: Vec::new(),
+            start_node: vehicle.location,
+            finish_at: now,
+        }
+    });
+    vehicle.install_plan(carried, &route, now, engine);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foodmatch_core::policies::{FoodMatchPolicy, GreedyPolicy};
+    use foodmatch_events::{DisruptionCause, TrafficDisruption};
+    use foodmatch_roadnet::generators::GridCityBuilder;
+    use foodmatch_roadnet::CongestionProfile;
+
+    fn grid() -> (ShortestPathEngine, GridCityBuilder) {
+        let b =
+            GridCityBuilder::new(8, 8).congestion(CongestionProfile::free_flow()).major_every(0);
+        (ShortestPathEngine::cached(b.build()), b)
+    }
+
+    fn order(id: u64, r: NodeId, c: NodeId, placed: TimePoint) -> Order {
+        Order::new(OrderId(id), r, c, placed, 1, Duration::from_mins(8.0))
+    }
+
+    fn service(
+        engine: &ShortestPathEngine,
+        b: &GridCityBuilder,
+        policy: impl DispatchPolicy,
+    ) -> DispatchService<impl DispatchPolicy> {
+        let start = TimePoint::from_hms(12, 0, 0);
+        DispatchService::new(
+            engine.clone(),
+            vec![(VehicleId(0), b.node_at(0, 0)), (VehicleId(1), b.node_at(7, 7))],
+            policy,
+            DispatchConfig::default(),
+            start,
+            start + Duration::from_hours(1.0),
+            Duration::from_hours(3.0),
+        )
+    }
+
+    #[test]
+    fn streaming_submission_delivers_and_emits_typed_events() {
+        let (engine, b) = grid();
+        let mut svc = service(&engine, &b, FoodMatchPolicy::new());
+        let start = svc.now();
+        assert!(svc.submit_order(order(1, b.node_at(1, 1), b.node_at(5, 1), start)));
+        assert!(!svc.submit_order(order(1, b.node_at(1, 1), b.node_at(5, 1), start)), "dup id");
+
+        // Step a few windows, submitting the second order mid-run.
+        let mut outputs = svc.advance_to(start + Duration::from_mins(6.0));
+        assert!(svc.submit_order(order(
+            2,
+            b.node_at(6, 6),
+            b.node_at(2, 6),
+            start + Duration::from_mins(7.0)
+        )));
+        outputs.extend(svc.advance_to(svc.drain_deadline()));
+        let report = svc.report();
+        assert!(svc.is_finished());
+        assert_eq!(report.total_orders, 2);
+        assert_eq!(report.delivered.len(), 2);
+        for id in [1u64, 2] {
+            assert!(outputs
+                .iter()
+                .any(|o| matches!(o, DispatchOutput::Delivered { order, .. } if order.0 == id)));
+            assert!(outputs
+                .iter()
+                .any(|o| matches!(o, DispatchOutput::PickedUp { order, .. } if order.0 == id)));
+        }
+    }
+
+    #[test]
+    fn outputs_are_consistent_with_the_report() {
+        let (engine, b) = grid();
+        let mut svc = service(&engine, &b, FoodMatchPolicy::new());
+        let start = svc.now();
+        for i in 0..4 {
+            svc.submit_order(order(
+                i,
+                b.node_at(1 + (i % 3) as usize, 1),
+                b.node_at(5, 1 + (i % 4) as usize),
+                start + Duration::from_mins(1.0 + i as f64),
+            ));
+        }
+        let mut delivered = 0;
+        let mut assigned = 0;
+        let mut windows = 0;
+        let mut clock = start;
+        while !svc.is_finished() {
+            clock += svc.config().accumulation_window;
+            for output in svc.advance_to(clock) {
+                match output {
+                    DispatchOutput::Delivered { .. } => delivered += 1,
+                    DispatchOutput::Assigned { .. } => assigned += 1,
+                    DispatchOutput::WindowClosed { .. } => windows += 1,
+                    _ => {}
+                }
+            }
+        }
+        let report = svc.report();
+        assert_eq!(delivered, report.delivered.len());
+        assert!(assigned >= report.delivered.len(), "every delivery was assigned first");
+        assert_eq!(windows, report.windows.len());
+    }
+
+    #[test]
+    fn snapshot_tracks_the_run_and_never_disturbs_it() {
+        let (engine, b) = grid();
+        let mut svc = service(&engine, &b, GreedyPolicy::new());
+        let start = svc.now();
+        svc.submit_order(order(1, b.node_at(1, 1), b.node_at(5, 1), start));
+        let before = svc.snapshot();
+        assert_eq!(before.submitted, 1);
+        assert_eq!(before.queued, 1);
+        assert!(!before.finished);
+        svc.run_to_completion();
+        let after = svc.snapshot();
+        assert!(after.finished);
+        assert_eq!(after.delivered, 1);
+        assert_eq!(after.queued, 0);
+        assert_eq!(svc.report().delivered.len(), 1);
+    }
+
+    #[test]
+    fn live_traffic_ingest_slows_deliveries() {
+        let (engine, b) = grid();
+        let start = TimePoint::from_hms(12, 0, 0);
+        let o = order(1, b.node_at(1, 1), b.node_at(6, 1), start + Duration::from_mins(1.0));
+
+        let mut calm = service(&engine, &b, GreedyPolicy::new());
+        calm.submit_order(o);
+        let calm_report = calm.run_to_completion();
+
+        let mut slow = service(&engine, &b, GreedyPolicy::new());
+        slow.submit_order(o);
+        // The surge is ingested live, mid-run, after the first window.
+        slow.advance_to(start + Duration::from_mins(3.0));
+        slow.ingest_event(DisruptionEvent::new(
+            start + Duration::from_mins(4.0),
+            EventKind::Traffic(TrafficDisruption::city_wide(
+                DisruptionCause::Rain,
+                6.0,
+                start + Duration::from_hours(4.0),
+            )),
+        ));
+        let slow_report = slow.run_to_completion();
+        assert_eq!(slow_report.delivered.len(), 1);
+        assert!(
+            slow_report.delivered[0].delivered_at > calm_report.delivered[0].delivered_at,
+            "a live-ingested 6x surge must delay the delivery"
+        );
+        assert!(!engine.has_overlay(), "the engine is handed back clean");
+    }
+
+    #[test]
+    fn finished_service_refuses_input() {
+        let (engine, b) = grid();
+        let mut svc = service(&engine, &b, GreedyPolicy::new());
+        svc.run_to_completion();
+        assert!(svc.is_finished());
+        assert!(!svc.submit_order(order(9, b.node_at(1, 1), b.node_at(5, 1), svc.now())));
+        assert!(!svc.ingest_event(DisruptionEvent::new(
+            svc.now(),
+            EventKind::OrderCancelled { order: OrderId(9) },
+        )));
+        assert!(svc.advance_to(svc.drain_deadline()).is_empty());
+    }
+
+    #[test]
+    fn zero_length_horizon_is_a_drain_only_service() {
+        let (engine, b) = grid();
+        let start = TimePoint::from_hms(12, 0, 0);
+        let mut svc = DispatchService::new(
+            engine.clone(),
+            vec![(VehicleId(0), b.node_at(0, 0))],
+            GreedyPolicy::new(),
+            DispatchConfig::default(),
+            start,
+            start,
+            Duration::from_hours(1.0),
+        );
+        svc.submit_order(order(1, b.node_at(1, 1), b.node_at(5, 1), start));
+        let report = svc.run_to_completion();
+        assert_eq!(report.delivered.len(), 1, "the drain phase still dispatches");
+    }
+
+    #[test]
+    fn late_submission_is_pulled_into_the_next_window() {
+        let (engine, b) = grid();
+        let mut svc = service(&engine, &b, GreedyPolicy::new());
+        let start = svc.now();
+        svc.advance_to(start + Duration::from_mins(9.0));
+        // Placed in the (already processed) past: enters the next window.
+        svc.submit_order(order(1, b.node_at(1, 1), b.node_at(5, 1), start));
+        let report = svc.run_to_completion();
+        assert_eq!(report.total_orders, 1);
+        assert_eq!(report.delivered.len(), 1);
+    }
+}

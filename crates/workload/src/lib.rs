@@ -4,10 +4,13 @@
 //! presets shaped after Table II of the paper, a diurnal demand model with
 //! the lunch/dinner peaks of Fig. 6(a), spatially clustered restaurants with
 //! per-restaurant Gaussian preparation times, a scenario builder that turns
-//! all of it into a runnable [`foodmatch_sim::Simulation`], and disruption
+//! all of it into a runnable [`foodmatch_sim::Simulation`], disruption
 //! profiles ([`EventScheduleBuilder`], presets `calm` / `rainy_evening` /
 //! `incident_heavy`) that script the dynamic-events subsystem against a
-//! generated scenario.
+//! generated scenario, and [`OrderSource`] streams ([`ReplayOrderSource`],
+//! the closed-loop [`PoissonOrderSource`]) that drive the online
+//! [`foodmatch_sim::DispatchService`] with demand that is not materialised
+//! in advance.
 //!
 //! ```no_run
 //! use foodmatch_workload::{CityId, Scenario, ScenarioOptions};
@@ -25,7 +28,9 @@ pub mod city;
 pub mod demand;
 pub mod disruptions;
 pub mod scenario;
+pub mod source;
 
 pub use city::{CityId, CityPreset};
 pub use disruptions::{DisruptionPreset, EventScheduleBuilder};
 pub use scenario::{CityStats, GeneratedCity, Restaurant, Scenario, ScenarioOptions};
+pub use source::{OrderSource, PoissonOrderSource, ReplayOrderSource};

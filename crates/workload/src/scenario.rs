@@ -290,26 +290,47 @@ fn generate_orders(
         for _ in 0..count {
             let placed_at =
                 lo + Duration::from_secs_f64(rng.random_range(0.0..(hi - lo).as_secs_f64()));
-            let restaurant = pick_restaurant(restaurants, total_popularity, rng);
-            let customer = pick_customer(network, &nodes, restaurant.node, rng);
-            // Peak-hour kitchens run a little slower.
-            let peak_factor = if HourSlot::new(hour as u8).is_peak() { 1.15 } else { 1.0 };
-            let prep_mins =
-                clamped_normal(rng, restaurant.mean_prep_mins * peak_factor, 3.0, 2.0, 35.0);
-            let items = 1 + (rng.random_range(0.0_f64..1.0).powi(2) * 4.0).floor() as u32;
-            orders.push(Order::new(
+            orders.push(draw_order(
+                network,
+                &nodes,
+                restaurants,
+                total_popularity,
                 OrderId(next_id),
-                restaurant.node,
-                customer,
                 placed_at,
-                items,
-                Duration::from_mins(prep_mins),
+                hour,
+                rng,
             ));
             next_id += 1;
         }
     }
     orders.sort_by(|a, b| a.placed_at.cmp(&b.placed_at).then(a.id.cmp(&b.id)));
     orders
+}
+
+/// Draws one order: restaurant by popularity, customer within the delivery
+/// radius, peak-adjusted preparation time, item count. This is THE demand
+/// model — shared by the batch generator above and the live
+/// [`PoissonOrderSource`](crate::source::PoissonOrderSource) so the two
+/// cannot drift apart statistically. The RNG consumption order (restaurant,
+/// customer, prep, items) is part of the determinism contract.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn draw_order(
+    network: &RoadNetwork,
+    nodes: &[NodeId],
+    restaurants: &[Restaurant],
+    total_popularity: f64,
+    id: OrderId,
+    placed_at: TimePoint,
+    hour: u32,
+    rng: &mut StdRng,
+) -> Order {
+    let restaurant = pick_restaurant(restaurants, total_popularity, rng);
+    let customer = pick_customer(network, nodes, restaurant.node, rng);
+    // Peak-hour kitchens run a little slower.
+    let peak_factor = if HourSlot::new(hour as u8).is_peak() { 1.15 } else { 1.0 };
+    let prep_mins = clamped_normal(rng, restaurant.mean_prep_mins * peak_factor, 3.0, 2.0, 35.0);
+    let items = 1 + (rng.random_range(0.0_f64..1.0).powi(2) * 4.0).floor() as u32;
+    Order::new(id, restaurant.node, customer, placed_at, items, Duration::from_mins(prep_mins))
 }
 
 fn pick_restaurant<'a>(

@@ -1,0 +1,103 @@
+//! Live dispatch: drive the online `DispatchService` from a closed-loop
+//! Poisson demand source — no pre-materialized order list anywhere.
+//!
+//! The loop below is the shape of a production deployment: each tick, poll
+//! the demand stream, submit what arrived, maybe ingest a disruption, then
+//! advance the service one accumulation window and react to the typed
+//! output events. Metrics are available at any point via `snapshot()` /
+//! `report()`.
+//!
+//! ```text
+//! cargo run --release -p integration-tests --example live_dispatch
+//! ```
+
+use foodmatch_core::FoodMatchPolicy;
+use foodmatch_events::{DisruptionCause, DisruptionEvent, EventKind, TrafficDisruption};
+use foodmatch_roadnet::Duration;
+use foodmatch_sim::DispatchOutput;
+use foodmatch_workload::{CityId, OrderSource, PoissonOrderSource, Scenario, ScenarioOptions};
+
+fn main() {
+    // A generated city provides the network, the restaurant directory and
+    // the fleet — but NOT the demand: orders will be drawn live.
+    let options = ScenarioOptions {
+        seed: 1,
+        start: foodmatch_roadnet::TimePoint::from_hms(12, 0, 0),
+        end: foodmatch_roadnet::TimePoint::from_hms(13, 0, 0),
+        vehicle_fraction: 1.0,
+    };
+    let scenario = Scenario::generate(CityId::GrubHub, options);
+    let mut demand = PoissonOrderSource::new(&scenario, 2024);
+    let sim = scenario.into_simulation();
+    println!(
+        "city: {} nodes, {} vehicles, live Poisson demand 12:00-13:00",
+        sim.engine.network().node_count(),
+        sim.vehicle_starts.len()
+    );
+
+    let mut service = sim.service(FoodMatchPolicy::new());
+
+    // Half an hour in, it starts raining: ingest the disruption live, the
+    // same way orders arrive.
+    let rain_at = sim.start + Duration::from_mins(30.0);
+    let mut rain_ingested = false;
+
+    while !service.is_finished() {
+        let tick = service.now() + service.config().accumulation_window;
+
+        for order in demand.poll(tick) {
+            service.submit_order(order);
+        }
+        if !rain_ingested && tick >= rain_at {
+            service.ingest_event(DisruptionEvent::new(
+                rain_at,
+                EventKind::Traffic(TrafficDisruption::city_wide(
+                    DisruptionCause::Rain,
+                    1.5,
+                    sim.end + Duration::from_hours(1.0),
+                )),
+            ));
+            rain_ingested = true;
+            println!("{tick:?}  rain surge ingested (all roads 1.5x slower)");
+        }
+
+        for output in service.advance_to(tick) {
+            match output {
+                DispatchOutput::Assigned { order, vehicle, .. } => {
+                    println!("{tick:?}  assigned  {order:?} -> {vehicle:?}");
+                }
+                DispatchOutput::Delivered { order, xdt, .. } => {
+                    println!("{tick:?}  delivered {order:?} (XDT {:.1} min)", xdt.as_mins_f64());
+                }
+                DispatchOutput::Rejected { order, .. } => {
+                    println!("{tick:?}  rejected  {order:?}");
+                }
+                DispatchOutput::WindowClosed { stats } => {
+                    let snap = service.snapshot();
+                    println!(
+                        "{tick:?}  window: {} orders x {} vehicles, {} assigned | \
+                         pending {}, in flight {}{}",
+                        stats.orders,
+                        stats.vehicles,
+                        stats.assigned,
+                        snap.pending,
+                        snap.in_flight,
+                        if stats.disrupted { " [disrupted]" } else { "" }
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let report = service.report();
+    println!();
+    println!(
+        "day done: {} offered, {} delivered, {} rejected | XDT {:.2} h, {:.2} orders/km",
+        report.total_orders,
+        report.delivered.len(),
+        report.rejected.len(),
+        report.total_xdt_hours(),
+        report.orders_per_km()
+    );
+}

@@ -14,6 +14,9 @@ kind is auto-detected from its keys:
 * ``BENCH_disruptions.json`` (``runs``): fails when any (policy, profile)
   run's ``xdt_hours_per_day`` grew by more than the threshold (policy
   quality, not wall-clock, so it is hardware-independent).
+* ``BENCH_service.json`` (``service``): fails when any policy's sustained
+  ingest ``orders_per_sec`` dropped, or its per-``advance_to`` ``mean_ms``
+  or ``p90_ms`` latency grew, by more than the threshold.
 
 Timing-based comparisons (dispatch, matching) are skipped — informational
 only, exit 0 — when the two runs are not comparable: different
@@ -127,6 +130,43 @@ def check_matching(new, baseline, threshold):
     return failures
 
 
+def check_service(new, baseline, threshold):
+    """Ingest-throughput and advance-latency guard for BENCH_service.json."""
+    baseline_runs = {r["policy"]: r for r in baseline.get("service", [])}
+    failures = []
+    for run in new.get("service", []):
+        policy = run["policy"]
+        old = baseline_runs.get(policy)
+        if old is None:
+            print(f"note: policy {policy} has no committed baseline, skipping")
+            continue
+        old_qps = float(old["ingest"]["orders_per_sec"])
+        new_qps = float(run["ingest"]["orders_per_sec"])
+        if old_qps > 0:
+            drop = (old_qps - new_qps) / old_qps
+            status = "REGRESSION" if drop > threshold else "ok"
+            print(
+                f"{policy:<10} {'ingest orders/sec':<18} baseline {old_qps:>12.0f}  "
+                f"now {new_qps:>12.0f}  ({-drop:+.1%}) {status}"
+            )
+            if drop > threshold:
+                failures.append(f"{policy} ingest throughput")
+        for field in ("mean_ms", "p90_ms"):
+            old_ms = float(old["advance"][field])
+            new_ms = float(run["advance"][field])
+            if old_ms <= 0:
+                continue
+            growth = (new_ms - old_ms) / old_ms
+            status = "REGRESSION" if growth > threshold else "ok"
+            print(
+                f"{policy:<10} {'advance ' + field:<18} baseline {old_ms:>11.2f}ms  "
+                f"now {new_ms:>11.2f}ms  ({growth:+.1%}) {status}"
+            )
+            if growth > threshold:
+                failures.append(f"{policy} advance {field}")
+    return failures
+
+
 def check_disruptions(new, baseline, threshold):
     """Policy-quality guard for BENCH_disruptions.json (XDT per run)."""
     def key(run):
@@ -174,6 +214,9 @@ def main():
     elif "pressures" in new:
         comparable = check_comparable(new, baseline, ["available_parallelism", "quick"])
         failures = check_matching(new, baseline, args.threshold)
+    elif "service" in new:
+        comparable = check_comparable(new, baseline, ["available_parallelism", "quick"])
+        failures = check_service(new, baseline, args.threshold)
     elif "runs" in new:
         comparable = check_comparable(new, baseline, ["quick", "seed"])
         failures = check_disruptions(new, baseline, args.threshold)
