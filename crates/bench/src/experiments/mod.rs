@@ -10,6 +10,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod matching;
+pub mod router;
 pub mod service;
 pub mod table2;
 
@@ -113,6 +114,11 @@ pub const ALL: &[Experiment] = &[
         description: "Online dispatch service: ingest throughput and advance_to latency",
         run: service::run,
     },
+    Experiment {
+        name: "router",
+        description: "Sharded dispatch router: ingest and lockstep advance_to vs shard count",
+        run: router::run,
+    },
 ];
 
 /// Looks an experiment up by name.
@@ -123,7 +129,7 @@ pub fn find(name: &str) -> Option<&'static Experiment> {
 /// The names every registered experiment must carry, in paper order — the
 /// single source of truth for the registry-coverage tests here and in the
 /// workspace-level smoke suite.
-pub const EXPECTED_NAMES: [&str; 17] = [
+pub const EXPECTED_NAMES: [&str; 18] = [
     "table2",
     "fig4a",
     "fig6a",
@@ -141,6 +147,7 @@ pub const EXPECTED_NAMES: [&str; 17] = [
     "disruptions",
     "matching",
     "service",
+    "router",
 ];
 
 #[cfg(test)]

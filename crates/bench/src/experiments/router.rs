@@ -1,0 +1,247 @@
+//! Sharded dispatch-router benchmark: how ingest throughput and lockstep
+//! `advance_to` latency scale with the shard count.
+//!
+//! Not a figure of the paper — this experiment measures the metro-scale
+//! façade over the streaming service. One fixed metro workload (the
+//! [`MetroScenario`] geometry: restaurant hotspots farther apart than the
+//! first-mile bound) is routed through a [`DispatchRouter`] sharded 1, 2
+//! and 4 ways over the *same* city, so the series isolates what sharding
+//! buys (and costs):
+//!
+//! * **Ingest** — `submit_order` on the full metro stream: zone lookup,
+//!   global duplicate guard, then the owning shard's admission (one SDT
+//!   oracle query). Per-shard engines mean smaller per-engine caches, so
+//!   this is the realistic multi-tenant admission cost.
+//! * **Stepping** — `advance_to`, one lockstep window per call, through the
+//!   horizon plus the drain. Shards advance concurrently; the latency
+//!   distribution per call is the router's tick budget, and it should
+//!   *fall* as shards shrink while their fan-out runs in parallel.
+//!
+//! With `--bench-out FILE` the results are written as JSON
+//! (`BENCH_router.json` in CI); `scripts/check_bench_regression.py` guards
+//! the per-shard-count throughput and latency against the committed
+//! baseline.
+
+use crate::harness::{header, percentile, ExperimentContext};
+use foodmatch_core::PolicyKind;
+use foodmatch_workload::{MetroOptions, MetroScenario};
+use std::time::Instant;
+
+/// One shard count's measured router run.
+struct RouterResult {
+    zones: usize,
+    orders: usize,
+    submissions: usize,
+    ingest_secs: f64,
+    orders_per_sec: f64,
+    windows: usize,
+    advance_total_secs: f64,
+    mean_ms: f64,
+    p50_ms: f64,
+    p90_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+    delivered: usize,
+    rejected: usize,
+    xdt_hours: f64,
+}
+
+/// Runs the benchmark, prints the tables, and writes `ctx.bench_out` when
+/// set.
+pub fn run(ctx: &ExperimentContext) {
+    header("Sharded dispatch router — ingest and lockstep advance_to vs shard count");
+
+    let mut options = MetroOptions::lunch_peak(ctx.seed);
+    if !ctx.quick {
+        options.grid = 70;
+        options.orders = 600;
+        options.vehicles = 480;
+    }
+    let metro = MetroScenario::generate(options);
+    println!(
+        "metro: {}x{} grid at {:.0} m spacing, {} hotspots, {} orders, {} vehicles, delta {:.0}s",
+        options.grid,
+        options.grid,
+        options.spacing_m,
+        options.zones,
+        options.orders,
+        options.vehicles,
+        metro.config().accumulation_window.as_secs_f64()
+    );
+
+    let mut results = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let result = bench_shard_count(ctx, &metro, shards);
+        print_result(&result);
+        results.push(result);
+    }
+
+    if let Some(path) = &ctx.bench_out {
+        let json = to_json(ctx, &results);
+        match std::fs::write(path, json) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(err) => eprintln!("failed to write {}: {err}", path.display()),
+        }
+    }
+}
+
+fn bench_shard_count(
+    ctx: &ExperimentContext,
+    metro: &MetroScenario,
+    shards: usize,
+) -> RouterResult {
+    let orders = metro.orders.len();
+    let fresh_router =
+        || metro.router(metro.grouped_zone_map(shards), |_| PolicyKind::FoodMatch.build());
+
+    // Warm-up round: fills the per-shard oracle caches and doubles as the
+    // router the stepping phase drives afterwards.
+    let mut router = fresh_router();
+    for order in &metro.orders {
+        let _ = router.submit_order(*order);
+    }
+
+    // Sustained ingest burst: a fresh router per repetition (per-shard
+    // engines start cold, as a redeploy would), the whole stream admitted
+    // each time. Zone lookup + duplicate guard + the shard's SDT probe.
+    let reps = if ctx.quick { 4 } else { 8 };
+    let started = Instant::now();
+    for _ in 0..reps {
+        let mut throwaway = fresh_router();
+        for order in &metro.orders {
+            let _ = throwaway.submit_order(*order);
+        }
+    }
+    let ingest_secs = started.elapsed().as_secs_f64();
+    let submissions = orders * reps;
+
+    // Lockstep stepping: one window per advance_to, through the drain.
+    let mut latencies_ms: Vec<f64> = Vec::new();
+    while !router.is_finished() {
+        let tick = router.now() + router.config().accumulation_window;
+        let started = Instant::now();
+        let _ = router.advance_to(tick);
+        latencies_ms.push(started.elapsed().as_secs_f64() * 1e3);
+    }
+    let report = router.report();
+
+    let mut sorted = latencies_ms.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are never NaN"));
+    RouterResult {
+        zones: shards,
+        orders,
+        submissions,
+        ingest_secs,
+        orders_per_sec: if ingest_secs > 0.0 { submissions as f64 / ingest_secs } else { f64::NAN },
+        windows: latencies_ms.len(),
+        advance_total_secs: latencies_ms.iter().sum::<f64>() / 1e3,
+        mean_ms: latencies_ms.iter().sum::<f64>() / latencies_ms.len().max(1) as f64,
+        p50_ms: percentile(&sorted, 50.0),
+        p90_ms: percentile(&sorted, 90.0),
+        p99_ms: percentile(&sorted, 99.0),
+        max_ms: sorted.last().copied().unwrap_or(0.0),
+        delivered: report.aggregate.delivered.len(),
+        rejected: report.aggregate.rejected.len(),
+        xdt_hours: report.aggregate.total_xdt_hours(),
+    }
+}
+
+fn print_result(result: &RouterResult) {
+    println!();
+    println!(
+        "{} shard(s): sustained ingest {} submissions ({}-order stream) in {:.3}s \
+         ({:.0} orders/s)",
+        result.zones, result.submissions, result.orders, result.ingest_secs, result.orders_per_sec
+    );
+    println!(
+        "  advance_to: {} lockstep calls, {:.2}s total | mean {:.2} ms, p50 {:.2}, p90 {:.2}, \
+         p99 {:.2}, max {:.2}",
+        result.windows,
+        result.advance_total_secs,
+        result.mean_ms,
+        result.p50_ms,
+        result.p90_ms,
+        result.p99_ms,
+        result.max_ms
+    );
+    println!(
+        "  outcome: {} delivered, {} rejected, XDT {:.2} h",
+        result.delivered, result.rejected, result.xdt_hours
+    );
+}
+
+/// Serialises the results by hand (the vendored serde is an offline stub);
+/// flat, stable keys — CI diffs them.
+fn to_json(ctx: &ExperimentContext, results: &[RouterResult]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"scenario\": \"metro lunch peak through DispatchRouter\",\n");
+    out.push_str(&format!("  \"seed\": {},\n", ctx.seed));
+    out.push_str(&format!("  \"quick\": {},\n", ctx.quick));
+    out.push_str(&format!(
+        "  \"available_parallelism\": {},\n",
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    ));
+    out.push_str("  \"router\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"zones\": {}, \
+             \"ingest\": {{\"orders\": {}, \"submissions\": {}, \"secs\": {:.6}, \
+             \"orders_per_sec\": {:.1}}}, \
+             \"advance\": {{\"windows\": {}, \"total_secs\": {:.3}, \"mean_ms\": {:.3}, \
+             \"p50_ms\": {:.3}, \"p90_ms\": {:.3}, \"p99_ms\": {:.3}, \"max_ms\": {:.3}}}, \
+             \"outcome\": {{\"delivered\": {}, \"rejected\": {}, \"xdt_hours\": {:.4}}}}}{}\n",
+            r.zones,
+            r.orders,
+            r.submissions,
+            r.ingest_secs,
+            r.orders_per_sec,
+            r.windows,
+            r.advance_total_secs,
+            r.mean_ms,
+            r.p50_ms,
+            r.p90_ms,
+            r.p99_ms,
+            r.max_ms,
+            r.delivered,
+            r.rejected,
+            r.xdt_hours,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_layout_is_wellformed() {
+        let ctx = ExperimentContext::default();
+        let results = vec![RouterResult {
+            zones: 2,
+            orders: 300,
+            submissions: 1_200,
+            ingest_secs: 0.4,
+            orders_per_sec: 3000.0,
+            windows: 60,
+            advance_total_secs: 2.1,
+            mean_ms: 35.0,
+            p50_ms: 30.0,
+            p90_ms: 60.0,
+            p99_ms: 85.0,
+            max_ms: 90.0,
+            delivered: 290,
+            rejected: 10,
+            xdt_hours: 4.5,
+        }];
+        let json = to_json(&ctx, &results);
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        for key in ["\"router\"", "zones", "orders_per_sec", "p90_ms", "available_parallelism"] {
+            assert!(json.contains(key), "missing {key}");
+        }
+    }
+}

@@ -101,7 +101,7 @@ fn bench_policy(sim: &foodmatch_sim::Simulation, kind: PolicyKind) -> ServiceRes
     // service the stepping phase drives afterwards.
     let mut service = fresh_service();
     for order in &sim.orders {
-        service.submit_order(*order);
+        let _ = service.submit_order(*order);
     }
 
     // Sustained ingest burst: spin up a service and admit the whole stream,
@@ -113,7 +113,7 @@ fn bench_policy(sim: &foodmatch_sim::Simulation, kind: PolicyKind) -> ServiceRes
     for _ in 0..reps {
         let mut throwaway = fresh_service();
         for order in &sim.orders {
-            throwaway.submit_order(*order);
+            let _ = throwaway.submit_order(*order);
         }
     }
     let ingest_secs = started.elapsed().as_secs_f64();

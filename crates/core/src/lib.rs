@@ -67,7 +67,7 @@ pub mod vehicle;
 pub mod window;
 
 pub use batching::{batch_orders, singleton_batches, Batch, BatchingOutcome};
-pub use config::DispatchConfig;
+pub use config::{ConfigError, DispatchConfig, DispatchConfigBuilder};
 pub use cost::{marginal_cost, shortest_delivery_time, MarginalCost};
 pub use foodgraph::{build_food_graph, FoodGraph};
 pub use foodmatch_matching::{AssignmentSolver, SolverKind};

@@ -129,10 +129,16 @@ impl PolicyKind {
 
 /// Assembles an [`AssignmentOutcome`] from per-vehicle batches, filling the
 /// `unassigned` list with every window order that no batch covers.
+///
+/// Batches are ordered by vehicle id: several policies accumulate them in
+/// hash maps, and leaving hash order in the outcome would make the typed
+/// output stream of a dispatch service differ between otherwise identical
+/// runs (the golden equivalence tests compare streams bit for bit).
 pub(crate) fn outcome_from_assignments(
     window: &WindowSnapshot,
-    assignments: Vec<VehicleAssignment>,
+    mut assignments: Vec<VehicleAssignment>,
 ) -> AssignmentOutcome {
+    assignments.sort_by_key(|a| a.vehicle);
     let assigned: HashSet<_> = assignments.iter().flat_map(|a| a.orders.iter().copied()).collect();
     let unassigned =
         window.orders.iter().map(|o| o.id).filter(|id| !assigned.contains(id)).collect();

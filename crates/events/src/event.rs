@@ -112,6 +112,40 @@ pub enum EventKind {
     },
 }
 
+/// Where an event lands when a city is partitioned into dispatch zones —
+/// the routing classification a sharded dispatcher (one service per zone)
+/// uses to decide which shards must see the event.
+///
+/// The scope is derived purely from the event payload; mapping it onto
+/// concrete zones (bounding regions, order/vehicle ownership) is the
+/// router's job.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EventScope {
+    /// Affects the whole city (e.g. a rain surge): broadcast to every zone.
+    CityWide,
+    /// Affects a bounded neighbourhood around `center`: deliver to every
+    /// zone whose region the circle of `radius_m` meters touches.
+    Localized {
+        /// Epicentre of the disruption.
+        center: NodeId,
+        /// Straight-line radius of the affected neighbourhood, in meters.
+        radius_m: f64,
+    },
+    /// Targets a single order (cancellation, prep delay): deliver to the
+    /// zone that owns the order.
+    Order(OrderId),
+    /// Targets a single vehicle (shift churn): deliver to the zone that owns
+    /// the vehicle. `location` is where the event introduces the vehicle
+    /// when it carries one (on-shift), letting a router place a brand-new
+    /// vehicle by position.
+    Vehicle {
+        /// The targeted vehicle.
+        vehicle: VehicleId,
+        /// Where an on-shift event (re)introduces the vehicle, if anywhere.
+        location: Option<NodeId>,
+    },
+}
+
 /// One time-stamped simulation event.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct DisruptionEvent {
@@ -131,6 +165,25 @@ impl DisruptionEvent {
     /// True for traffic perturbations (the events that touch the overlay).
     pub fn is_traffic(&self) -> bool {
         matches!(self.kind, EventKind::Traffic(_))
+    }
+
+    /// The zone-routing classification of this event (see [`EventScope`]).
+    pub fn scope(&self) -> EventScope {
+        match self.kind {
+            EventKind::Traffic(disruption) => match disruption.center {
+                None => EventScope::CityWide,
+                Some(center) => EventScope::Localized { center, radius_m: disruption.radius_m },
+            },
+            EventKind::OrderCancelled { order } | EventKind::PrepDelay { order, .. } => {
+                EventScope::Order(order)
+            }
+            EventKind::VehicleOffShift { vehicle } => {
+                EventScope::Vehicle { vehicle, location: None }
+            }
+            EventKind::VehicleOnShift { vehicle, location } => {
+                EventScope::Vehicle { vehicle, location: Some(location) }
+            }
+        }
     }
 }
 
@@ -154,6 +207,47 @@ mod tests {
     fn speedups_are_rejected() {
         let _ =
             TrafficDisruption::city_wide(DisruptionCause::Rain, 0.9, TimePoint::from_hms(13, 0, 0));
+    }
+
+    #[test]
+    fn scope_classifies_every_event_kind() {
+        let t = TimePoint::from_hms(12, 0, 0);
+        let rain = DisruptionEvent::new(
+            t,
+            EventKind::Traffic(TrafficDisruption::city_wide(DisruptionCause::Rain, 1.3, t)),
+        );
+        assert_eq!(rain.scope(), EventScope::CityWide);
+
+        let incident = DisruptionEvent::new(
+            t,
+            EventKind::Traffic(TrafficDisruption::localized(
+                DisruptionCause::Incident,
+                NodeId(7),
+                800.0,
+                2.0,
+                t,
+            )),
+        );
+        assert_eq!(incident.scope(), EventScope::Localized { center: NodeId(7), radius_m: 800.0 });
+
+        let cancel = DisruptionEvent::new(t, EventKind::OrderCancelled { order: OrderId(4) });
+        assert_eq!(cancel.scope(), EventScope::Order(OrderId(4)));
+        let delay = DisruptionEvent::new(
+            t,
+            EventKind::PrepDelay { order: OrderId(5), extra: Duration::from_mins(5.0) },
+        );
+        assert_eq!(delay.scope(), EventScope::Order(OrderId(5)));
+
+        let off = DisruptionEvent::new(t, EventKind::VehicleOffShift { vehicle: VehicleId(2) });
+        assert_eq!(off.scope(), EventScope::Vehicle { vehicle: VehicleId(2), location: None });
+        let on = DisruptionEvent::new(
+            t,
+            EventKind::VehicleOnShift { vehicle: VehicleId(3), location: NodeId(9) },
+        );
+        assert_eq!(
+            on.scope(),
+            EventScope::Vehicle { vehicle: VehicleId(3), location: Some(NodeId(9)) }
+        );
     }
 
     #[test]

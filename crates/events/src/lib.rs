@@ -30,5 +30,5 @@
 pub mod event;
 pub mod schedule;
 
-pub use event::{DisruptionCause, DisruptionEvent, EventKind, TrafficDisruption};
+pub use event::{DisruptionCause, DisruptionEvent, EventKind, EventScope, TrafficDisruption};
 pub use schedule::{EventSchedule, WindowEvents};

@@ -106,11 +106,14 @@ impl Simulation {
         let mut service = self.service_with_config(policy, config.clone());
         for order in &self.orders {
             if order.placed_at >= self.start && order.placed_at < self.end {
-                service.submit_order(*order);
+                // Scenario streams may legitimately repeat ids across runs;
+                // the batch driver keeps the old "first submission wins"
+                // semantics and drops refused duplicates silently.
+                let _ = service.submit_order(*order);
             }
         }
         for &event in &self.events {
-            service.ingest_event(event);
+            let _ = service.ingest_event(event);
         }
         service.run_to_completion()
     }

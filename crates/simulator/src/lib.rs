@@ -14,24 +14,37 @@
 //! per km, waiting time, rejections, cancellations, overflown windows,
 //! running time).
 //!
-//! ## The two entry points
+//! ## The three entry points
 //!
-//! The dispatch loop has one implementation and two drivers:
+//! The dispatch loop has one implementation and three drivers, from batch
+//! replay to a sharded metro deployment:
 //!
-//! * **Online** — [`DispatchService`] is the loop itself, exposed as a
+//! * **Batch** — [`Simulation`] wraps a pre-materialized scenario and
+//!   [`Simulation::run`] replays it through a fresh service, start to drain.
+//!   Use this for the paper's experiments and any offline comparison; the
+//!   batch and streaming drivers are pinned bit-identical by
+//!   `tests/service_equivalence.rs`.
+//! * **Streaming** — [`DispatchService`] is the loop itself, exposed as a
 //!   streaming API: [`DispatchService::submit_order`] and
 //!   [`DispatchService::ingest_event`] feed demand and disruptions in as
-//!   they happen, [`DispatchService::advance_to`] steps the clock and
+//!   they happen (returning typed [`SubmitOutcome`] / [`IngestOutcome`]
+//!   verdicts), [`DispatchService::advance_to`] steps the clock and
 //!   returns typed [`DispatchOutput`] events (assignments, pickups,
 //!   deliveries, rejections, cancellations, window statistics), and
 //!   [`DispatchService::snapshot`] / [`DispatchService::report`] expose the
 //!   operational state and metrics at any point mid-run. Use this when
 //!   demand is not known in advance: live sources, closed-loop experiments,
 //!   services.
-//! * **Batch** — [`Simulation`] wraps a pre-materialized scenario and
-//!   [`Simulation::run`] replays it through a fresh service, start to drain.
-//!   Use this for the paper's experiments and any offline comparison; the
-//!   two drivers are pinned bit-identical by `tests/service_equivalence.rs`.
+//! * **Sharded** — [`DispatchRouter`] scales the streaming surface to a
+//!   multi-zone metro: a [`ZoneMap`] partitions the road network into
+//!   dispatch zones, each zone runs its own independent [`DispatchService`]
+//!   shard, and the router routes orders by restaurant location, targets or
+//!   broadcasts disruption events by their
+//!   [`EventScope`](foodmatch_events::EventScope), and advances all shards
+//!   in lockstep (concurrently, with a deterministic merged output stream
+//!   of [`RoutedOutput`]s). A single-zone router is bit-identical to a bare
+//!   service; `tests/router_equivalence.rs` pins both that and
+//!   thread-count independence.
 //!
 //! ### Batch: replay a scenario
 //!
@@ -75,7 +88,8 @@
 //! while !service.is_finished() {
 //!     now += service.config().accumulation_window;
 //!     while orders.peek().is_some_and(|o| o.placed_at <= now) {
-//!         service.submit_order(orders.next().unwrap());
+//!         let outcome = service.submit_order(orders.next().unwrap());
+//!         assert!(outcome.is_accepted());
 //!     }
 //!     for output in service.advance_to(now) {
 //!         if let DispatchOutput::Delivered { order, .. } = output {
@@ -93,9 +107,13 @@
 pub mod engine;
 pub mod fleet;
 pub mod metrics;
+pub mod router;
 pub mod service;
 
 pub use engine::Simulation;
 pub use fleet::{CarriedOrder, FleetEvent, ItineraryStep, VehicleState};
 pub use metrics::{DeliveredOrder, MetricsCollector, SimulationReport, WindowStats};
-pub use service::{DispatchOutput, DispatchService, ServiceSnapshot};
+pub use router::{
+    DispatchRouter, RoutedOutput, RouterReport, RouterSnapshot, Zone, ZoneId, ZoneMap,
+};
+pub use service::{DispatchOutput, DispatchService, IngestOutcome, ServiceSnapshot, SubmitOutcome};

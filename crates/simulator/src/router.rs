@@ -1,0 +1,959 @@
+//! The sharded dispatch router: one metro, N per-zone [`DispatchService`]
+//! shards behind the façade of a single service.
+//!
+//! The paper evaluates one dispatcher loop per city day; a metro deployment
+//! is many City-B-sized shards fanned out behind one API. PR 5's
+//! [`DispatchService`] owns all of its mutable state per instance, which
+//! makes sharding a pure composition problem: [`DispatchRouter`] holds a
+//! [`ZoneMap`] (a partition of the road network's nodes into dispatch
+//! zones) plus one independent service per zone — each shard gets its *own*
+//! [`ShortestPathEngine`] over the shared network, because engine clones
+//! share the traffic overlay and zone-local incidents must not leak across
+//! shards.
+//!
+//! The router exposes the same surface as a single service, so callers swap
+//! one for the other without restructuring:
+//!
+//! * [`submit_order`](DispatchRouter::submit_order) — routed to the zone
+//!   that owns the order's **restaurant** node (first-mile locality); the
+//!   router keeps a global duplicate guard and an order→zone map so later
+//!   order-targeted events find their shard.
+//! * [`ingest_event`](DispatchRouter::ingest_event) — routed by
+//!   [`EventScope`]: city-wide events broadcast to every shard; localized
+//!   incidents go to the zones whose bounding region the incident circle
+//!   touches; order/vehicle events go to the owning shard.
+//! * [`advance_to`](DispatchRouter::advance_to) — all shards advance in
+//!   lockstep, one accumulation window at a time, concurrently via
+//!   [`parallel_map`]; per-shard outputs come back merged into one
+//!   deterministic stream of [`RoutedOutput`]s tagged with their [`ZoneId`]
+//!   (window by window, zones in index order — bit-identical for every
+//!   thread count).
+//! * [`snapshot`](DispatchRouter::snapshot) /
+//!   [`report`](DispatchRouter::report) — aggregated across shards, with
+//!   the per-zone breakdown retained.
+//!
+//! With a single zone covering the whole network the router *is* the bare
+//! service: `tests/router_equivalence.rs` pins a 1-zone router bit-identical
+//! to a [`DispatchService`] on a disruption-heavy day.
+
+use crate::metrics::{SimulationReport, WindowStats, MAX_TRACKED_LOAD};
+use crate::service::{
+    DispatchOutput, DispatchService, IngestOutcome, ServiceSnapshot, SubmitOutcome,
+};
+use foodmatch_core::{parallel_map, DispatchConfig, DispatchPolicy, Order, OrderId, VehicleId};
+use foodmatch_events::{DisruptionEvent, EventScope};
+use foodmatch_roadnet::{
+    haversine_meters, Duration, GeoPoint, NodeId, RoadNetwork, ShortestPathEngine, TimePoint,
+};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Identifier of a dispatch zone — the index of the zone in its
+/// [`ZoneMap`], stable for the lifetime of the map.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ZoneId(pub u32);
+
+impl ZoneId {
+    /// The zone's position in its map's `zones()` slice.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ZoneId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "zone-{}", self.0)
+    }
+}
+
+/// One dispatch zone: its id, seed center, and the geographic bounding box
+/// of the nodes assigned to it (used to decide which localized incidents
+/// touch the zone).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Zone {
+    /// The zone's identifier.
+    pub id: ZoneId,
+    /// The center the zone was seeded from (for Voronoi maps) or the
+    /// centroid of its nodes (for the single-zone map).
+    pub center: GeoPoint,
+    /// Number of network nodes assigned to the zone.
+    pub node_count: usize,
+    min_lat: f64,
+    max_lat: f64,
+    min_lon: f64,
+    max_lon: f64,
+}
+
+impl Zone {
+    fn seeded(id: ZoneId, center: GeoPoint) -> Self {
+        Zone {
+            id,
+            center,
+            node_count: 0,
+            min_lat: center.lat,
+            max_lat: center.lat,
+            min_lon: center.lon,
+            max_lon: center.lon,
+        }
+    }
+
+    fn absorb(&mut self, point: GeoPoint) {
+        self.node_count += 1;
+        self.min_lat = self.min_lat.min(point.lat);
+        self.max_lat = self.max_lat.max(point.lat);
+        self.min_lon = self.min_lon.min(point.lon);
+        self.max_lon = self.max_lon.max(point.lon);
+    }
+
+    /// True when a circle of `radius_m` meters around `center` touches the
+    /// zone's bounding box (conservative: the box over-approximates the
+    /// zone's true footprint, so incidents are never missed, at worst
+    /// delivered to one shard too many).
+    pub fn touches_circle(&self, center: GeoPoint, radius_m: f64) -> bool {
+        let nearest = GeoPoint::new(
+            center.lat.clamp(self.min_lat, self.max_lat),
+            center.lon.clamp(self.min_lon, self.max_lon),
+        );
+        haversine_meters(center, nearest) <= radius_m
+    }
+}
+
+/// A partition of a road network's nodes into dispatch zones.
+///
+/// Built once per deployment and shared read-only by the router: every node
+/// maps to at most one zone ([`ZoneMap::voronoi_within`] leaves far-flung
+/// nodes unassigned, which the router surfaces as
+/// [`SubmitOutcome::NoZoneForLocation`]).
+#[derive(Clone, Debug)]
+pub struct ZoneMap {
+    /// Per node index: the owning zone, if any.
+    assignment: Vec<Option<u32>>,
+    zones: Vec<Zone>,
+}
+
+impl ZoneMap {
+    /// The trivial map: one zone covering every node, centered on the
+    /// network's centroid. A router over this map is an (exactly
+    /// bit-identical) [`DispatchService`].
+    pub fn single(network: &RoadNetwork) -> Self {
+        let nodes = network.node_count().max(1) as f64;
+        let (mut lat, mut lon) = (0.0, 0.0);
+        for node in network.node_ids() {
+            let p = network.position(node);
+            lat += p.lat;
+            lon += p.lon;
+        }
+        ZoneMap::voronoi(network, &[GeoPoint::new(lat / nodes, lon / nodes)])
+    }
+
+    /// Assigns every node to its nearest center (straight-line; ties go to
+    /// the lowest center index). Every node gets a zone.
+    ///
+    /// # Panics
+    /// Panics when `centers` is empty.
+    pub fn voronoi(network: &RoadNetwork, centers: &[GeoPoint]) -> Self {
+        ZoneMap::voronoi_within(network, centers, f64::INFINITY)
+    }
+
+    /// [`ZoneMap::voronoi`], but nodes further than `max_radius_m` meters
+    /// from every center stay unassigned — orders and vehicles there are
+    /// outside the deployment's service area.
+    ///
+    /// # Panics
+    /// Panics when `centers` is empty.
+    pub fn voronoi_within(network: &RoadNetwork, centers: &[GeoPoint], max_radius_m: f64) -> Self {
+        assert!(!centers.is_empty(), "a zone map needs at least one center");
+        let mut zones: Vec<Zone> = centers
+            .iter()
+            .enumerate()
+            .map(|(i, &center)| Zone::seeded(ZoneId(i as u32), center))
+            .collect();
+        let mut assignment = vec![None; network.node_count()];
+        for node in network.node_ids() {
+            let position = network.position(node);
+            let mut best: Option<(usize, f64)> = None;
+            for (zi, &center) in centers.iter().enumerate() {
+                let d = haversine_meters(position, center);
+                if best.is_none_or(|(_, bd)| d < bd) {
+                    best = Some((zi, d));
+                }
+            }
+            let (zi, d) = best.expect("at least one center");
+            if d <= max_radius_m {
+                assignment[node.index()] = Some(zi as u32);
+                zones[zi].absorb(position);
+            }
+        }
+        ZoneMap { assignment, zones }
+    }
+
+    /// Number of zones in the map.
+    pub fn zone_count(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// The zones, indexed by [`ZoneId::index`].
+    pub fn zones(&self) -> &[Zone] {
+        &self.zones
+    }
+
+    /// The zone owning `node`, if any.
+    pub fn zone_of(&self, node: NodeId) -> Option<ZoneId> {
+        self.assignment.get(node.index()).copied().flatten().map(ZoneId)
+    }
+
+    /// Every zone whose bounding region a circle of `radius_m` meters around
+    /// `center` touches, in zone order.
+    pub fn zones_touching(&self, center: GeoPoint, radius_m: f64) -> Vec<ZoneId> {
+        self.zones
+            .iter()
+            .filter(|z| z.node_count > 0 && z.touches_circle(center, radius_m))
+            .map(|z| z.id)
+            .collect()
+    }
+
+    /// The non-empty zone whose center is closest to `point` (fallback
+    /// placement for vehicles starting on unassigned nodes).
+    pub fn nearest_zone(&self, point: GeoPoint) -> Option<ZoneId> {
+        self.zones
+            .iter()
+            .filter(|z| z.node_count > 0)
+            .min_by(|a, b| {
+                haversine_meters(point, a.center)
+                    .partial_cmp(&haversine_meters(point, b.center))
+                    .expect("distances are never NaN")
+            })
+            .map(|z| z.id)
+    }
+}
+
+/// One output event of a [`DispatchRouter`]: a [`DispatchOutput`] tagged
+/// with the zone whose shard produced it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RoutedOutput {
+    /// The zone the event happened in.
+    pub zone: ZoneId,
+    /// What happened.
+    pub output: DispatchOutput,
+}
+
+/// A point-in-time view of the whole router: the aggregate of every shard's
+/// [`ServiceSnapshot`] plus the per-zone breakdown.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RouterSnapshot {
+    /// The router clock (close time of the last lockstep window).
+    pub now: TimePoint,
+    /// Whether every shard has terminated.
+    pub finished: bool,
+    /// Orders submitted across all shards.
+    pub submitted: usize,
+    /// Orders not yet arrived, summed over shards.
+    pub queued: usize,
+    /// Orders waiting in the unassigned pools, summed over shards.
+    pub pending: usize,
+    /// Orders riding on vehicles, summed over shards.
+    pub in_flight: usize,
+    /// Orders delivered so far, summed over shards.
+    pub delivered: usize,
+    /// Orders rejected so far, summed over shards.
+    pub rejected: usize,
+    /// Orders cancelled so far, summed over shards.
+    pub cancelled: usize,
+    /// Vehicles on shift, summed over shards.
+    pub vehicles_on_shift: usize,
+    /// True when any shard has an active traffic disruption.
+    pub traffic_active: bool,
+    /// Every shard's own snapshot, in zone order.
+    pub zones: Vec<(ZoneId, ServiceSnapshot)>,
+}
+
+/// The final (or mid-run) metrics of a [`DispatchRouter`] run: one
+/// aggregated [`SimulationReport`] plus the per-zone reports it was merged
+/// from.
+///
+/// The aggregate sums every additive quantity (distance and waiting
+/// histograms, counts) and merges the window statistics chronologically
+/// (ties in zone order). Per-order lists (`delivered`, `rejected`, …)
+/// concatenate in zone order, each zone's chronological order preserved —
+/// with a single zone the aggregate is the shard's report verbatim.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RouterReport {
+    /// The metro-wide merged report.
+    pub aggregate: SimulationReport,
+    /// Each zone's own report, in zone order.
+    pub zones: Vec<(ZoneId, SimulationReport)>,
+}
+
+/// The sharded dispatch router — see the [module docs](self).
+#[derive(Debug)]
+pub struct DispatchRouter<P: DispatchPolicy> {
+    zones: ZoneMap,
+    /// The network the zone map was built over (kept for event targeting:
+    /// localized incidents are positioned by node).
+    network: RoadNetwork,
+    /// One independent service per zone. `Mutex` only so the lockstep
+    /// fan-out can hand `&self.shards` to [`parallel_map`] (which takes the
+    /// items immutably); there is no lock contention — each shard is locked
+    /// by exactly one worker at a time.
+    shards: Vec<Mutex<DispatchService<P>>>,
+    order_zone: HashMap<OrderId, u32>,
+    vehicle_zone: HashMap<VehicleId, u32>,
+    config: DispatchConfig,
+    threads: usize,
+    delta: Duration,
+    window_close: TimePoint,
+    drain_end: TimePoint,
+    finished: bool,
+}
+
+impl<P: DispatchPolicy> DispatchRouter<P> {
+    /// Creates an idle router at `start`.
+    ///
+    /// Each zone gets its own caching [`ShortestPathEngine`] over (a clone
+    /// of) `network` — engines must not be shared across shards because
+    /// clones share the traffic overlay, and zone-local incidents are the
+    /// point of sharding. The fleet is partitioned by each vehicle's start
+    /// node; vehicles starting on unassigned nodes join the zone with the
+    /// nearest center. `make_policy` is called once per zone, in zone
+    /// order, so every shard gets its own policy instance.
+    ///
+    /// # Panics
+    /// Panics when the zone map is empty, no zone has any node, the
+    /// configuration is invalid, or `end` precedes `start`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        network: &RoadNetwork,
+        zones: ZoneMap,
+        vehicle_starts: Vec<(VehicleId, NodeId)>,
+        mut make_policy: impl FnMut(ZoneId) -> P,
+        config: DispatchConfig,
+        start: TimePoint,
+        end: TimePoint,
+        drain_limit: Duration,
+    ) -> Self {
+        assert!(zones.zone_count() > 0, "a router needs at least one zone");
+        assert!(
+            zones.zones().iter().any(|z| z.node_count > 0),
+            "a router needs at least one non-empty zone"
+        );
+        let mut vehicle_zone = HashMap::new();
+        let mut fleets: Vec<Vec<(VehicleId, NodeId)>> = vec![Vec::new(); zones.zone_count()];
+        for (vehicle, node) in vehicle_starts {
+            let zone = zones
+                .zone_of(node)
+                .or_else(|| zones.nearest_zone(network.position(node)))
+                .expect("some zone is non-empty");
+            vehicle_zone.insert(vehicle, zone.0);
+            fleets[zone.index()].push((vehicle, node));
+        }
+        let shards: Vec<Mutex<DispatchService<P>>> = zones
+            .zones()
+            .iter()
+            .zip(fleets)
+            .map(|(zone, fleet)| {
+                let engine = ShortestPathEngine::cached(network.clone());
+                Mutex::new(DispatchService::new(
+                    engine,
+                    fleet,
+                    make_policy(zone.id),
+                    config.clone(),
+                    start,
+                    end,
+                    drain_limit,
+                ))
+            })
+            .collect();
+        let threads = config.effective_threads();
+        let delta = config.accumulation_window;
+        DispatchRouter {
+            zones,
+            network: network.clone(),
+            shards,
+            order_zone: HashMap::new(),
+            vehicle_zone: HashMap::new(),
+            config,
+            threads,
+            delta,
+            window_close: start,
+            drain_end: end + drain_limit,
+            finished: false,
+        }
+        .with_vehicle_zone(vehicle_zone)
+    }
+
+    fn with_vehicle_zone(mut self, vehicle_zone: HashMap<VehicleId, u32>) -> Self {
+        self.vehicle_zone = vehicle_zone;
+        self
+    }
+
+    /// Submits one order, routed to the zone owning its restaurant node.
+    /// Same contract as [`DispatchService::submit_order`], plus
+    /// [`SubmitOutcome::NoZoneForLocation`] when the restaurant lies outside
+    /// every zone. Duplicate detection is router-global: an id submitted to
+    /// one zone is a duplicate in every other zone too.
+    pub fn submit_order(&mut self, order: Order) -> SubmitOutcome {
+        if self.finished {
+            return SubmitOutcome::ServiceFinished;
+        }
+        let Some(zone) = self.zones.zone_of(order.restaurant) else {
+            return SubmitOutcome::NoZoneForLocation;
+        };
+        if self.order_zone.contains_key(&order.id) {
+            return SubmitOutcome::Duplicate;
+        }
+        let outcome = self.shard_mut(zone.index()).submit_order(order);
+        if outcome.is_accepted() {
+            self.order_zone.insert(order.id, zone.0);
+        }
+        outcome
+    }
+
+    /// Streams one disruption event into the router, delivered by its
+    /// [`EventScope`]:
+    ///
+    /// * city-wide events broadcast to every shard;
+    /// * localized incidents go to the zones whose bounding region the
+    ///   incident circle touches ([`IngestOutcome::NoZoneForLocation`] when
+    ///   it touches none);
+    /// * order events go to the owning zone; events for orders the router
+    ///   has never seen broadcast (every shard ignores unknown ids, exactly
+    ///   like the bare service);
+    /// * vehicle events go to the owning zone; an on-shift event for a
+    ///   brand-new vehicle joins the zone of its start location.
+    pub fn ingest_event(&mut self, event: DisruptionEvent) -> IngestOutcome {
+        if self.finished {
+            return IngestOutcome::ServiceFinished;
+        }
+        match event.scope() {
+            EventScope::CityWide => self.ingest_into_all(event),
+            EventScope::Localized { center, radius_m } => {
+                let position = self.network.position(center);
+                let touched = self.zones.zones_touching(position, radius_m);
+                if touched.is_empty() {
+                    return IngestOutcome::NoZoneForLocation;
+                }
+                let mut outcome = IngestOutcome::ServiceFinished;
+                for zone in touched {
+                    if self.shard_mut(zone.index()).ingest_event(event).is_accepted() {
+                        outcome = IngestOutcome::Accepted;
+                    }
+                }
+                outcome
+            }
+            EventScope::Order(order) => match self.order_zone.get(&order).copied() {
+                Some(zone) => self.shard_mut(zone as usize).ingest_event(event),
+                // Never submitted here: broadcast — every shard ignores
+                // cancellations/delays for ids it does not know, preserving
+                // the single-service semantics for out-of-order streams.
+                None => self.ingest_into_all(event),
+            },
+            EventScope::Vehicle { vehicle, location } => {
+                if let Some(zone) = self.vehicle_zone.get(&vehicle).copied() {
+                    return self.shard_mut(zone as usize).ingest_event(event);
+                }
+                match location {
+                    Some(node) => match self.zones.zone_of(node) {
+                        Some(zone) => {
+                            let outcome = self.shard_mut(zone.index()).ingest_event(event);
+                            if outcome.is_accepted() {
+                                self.vehicle_zone.insert(vehicle, zone.0);
+                            }
+                            outcome
+                        }
+                        None => IngestOutcome::NoZoneForLocation,
+                    },
+                    // Off-shift for a vehicle no shard knows: accepted and
+                    // inert, as in the bare service.
+                    None => self.ingest_into_all(event),
+                }
+            }
+        }
+    }
+
+    fn ingest_into_all(&mut self, event: DisruptionEvent) -> IngestOutcome {
+        let mut outcome = IngestOutcome::ServiceFinished;
+        for shard in &mut self.shards {
+            if shard.get_mut().expect("shard lock").ingest_event(event).is_accepted() {
+                outcome = IngestOutcome::Accepted;
+            }
+        }
+        outcome
+    }
+
+    /// Advances every shard in lockstep to `until`, one accumulation window
+    /// at a time, and returns the merged output stream. Windows are
+    /// processed whole, exactly as in [`DispatchService::advance_to`]; the
+    /// shards of each window run concurrently (`config.num_threads` wide)
+    /// and their outputs are appended in zone order, so the stream is
+    /// bit-identical for every thread count.
+    pub fn advance_to(&mut self, until: TimePoint) -> Vec<RoutedOutput> {
+        let mut out = Vec::new();
+        while !self.finished {
+            let next_close = self.window_close + self.delta;
+            if next_close > self.drain_end {
+                // Crossing the drain boundary finalizes every shard (the
+                // same advance a bare service performs internally).
+                self.fan_out(self.drain_end, &mut out);
+                self.finished = true;
+                break;
+            }
+            if next_close > until {
+                break;
+            }
+            self.fan_out(next_close, &mut out);
+            self.window_close = next_close;
+            if self.shards.iter_mut().all(|s| s.get_mut().expect("shard lock").is_finished()) {
+                self.finished = true;
+            }
+        }
+        out
+    }
+
+    /// Advances one lockstep step: every shard to `until`, concurrently when
+    /// the configuration allows, outputs tagged and appended in zone order.
+    fn fan_out(&mut self, until: TimePoint, out: &mut Vec<RoutedOutput>) {
+        let per_shard: Vec<Vec<DispatchOutput>> = if self.threads > 1 && self.shards.len() > 1 {
+            parallel_map(&self.shards, self.threads, |_, shard| {
+                shard.lock().expect("shard lock").advance_to(until)
+            })
+        } else {
+            self.shards
+                .iter_mut()
+                .map(|shard| shard.get_mut().expect("shard lock").advance_to(until))
+                .collect()
+        };
+        for (zi, outputs) in per_shard.into_iter().enumerate() {
+            let zone = ZoneId(zi as u32);
+            out.extend(outputs.into_iter().map(|output| RoutedOutput { zone, output }));
+        }
+    }
+
+    /// Drives the router to completion (through the drain phase) and
+    /// returns the final report.
+    pub fn run_to_completion(&mut self) -> RouterReport {
+        self.advance_to(self.drain_end);
+        self.report()
+    }
+
+    /// The instant past which [`Self::advance_to`] finalizes every shard.
+    pub fn drain_deadline(&self) -> TimePoint {
+        self.drain_end
+    }
+
+    /// True once every shard has terminated and the report is final.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// The router clock (close time of the last lockstep window).
+    pub fn now(&self) -> TimePoint {
+        self.window_close
+    }
+
+    /// The dispatcher configuration every shard runs under.
+    pub fn config(&self) -> &DispatchConfig {
+        &self.config
+    }
+
+    /// The zone partition the router routes by.
+    pub fn zone_map(&self) -> &ZoneMap {
+        &self.zones
+    }
+
+    /// A point-in-time view of the whole deployment: per-shard snapshots
+    /// plus their aggregate.
+    pub fn snapshot(&self) -> RouterSnapshot {
+        let zones: Vec<(ZoneId, ServiceSnapshot)> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(zi, shard)| (ZoneId(zi as u32), shard.lock().expect("shard lock").snapshot()))
+            .collect();
+        let sum = |f: fn(&ServiceSnapshot) -> usize| zones.iter().map(|(_, s)| f(s)).sum();
+        RouterSnapshot {
+            now: self.window_close,
+            finished: self.finished,
+            submitted: sum(|s| s.submitted),
+            queued: sum(|s| s.queued),
+            pending: sum(|s| s.pending),
+            in_flight: sum(|s| s.in_flight),
+            delivered: sum(|s| s.delivered),
+            rejected: sum(|s| s.rejected),
+            cancelled: sum(|s| s.cancelled),
+            vehicles_on_shift: sum(|s| s.vehicles_on_shift),
+            traffic_active: zones.iter().any(|(_, s)| s.traffic_active),
+            zones,
+        }
+    }
+
+    /// The metrics accumulated so far: every shard's [`SimulationReport`]
+    /// and their merge (see [`RouterReport`] for the merge semantics).
+    /// Mid-run the reports are partial views, exactly as for the service.
+    pub fn report(&self) -> RouterReport {
+        let zones: Vec<(ZoneId, SimulationReport)> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(zi, shard)| (ZoneId(zi as u32), shard.lock().expect("shard lock").report()))
+            .collect();
+        let aggregate = merge_reports(&zones);
+        RouterReport { aggregate, zones }
+    }
+
+    fn shard_mut(&mut self, index: usize) -> &mut DispatchService<P> {
+        self.shards[index].get_mut().expect("shard lock")
+    }
+}
+
+/// Merges per-zone reports into one metro-wide report: additive quantities
+/// sum, per-order lists concatenate in zone order, window statistics merge
+/// chronologically (ties in zone order). With one zone this is the identity.
+fn merge_reports(zones: &[(ZoneId, SimulationReport)]) -> SimulationReport {
+    let first = &zones.first().expect("at least one zone").1;
+    if zones.len() == 1 {
+        return first.clone();
+    }
+    let mut distance_by_load_m =
+        vec![[0.0f64; MAX_TRACKED_LOAD + 1]; first.distance_by_load_m.len()];
+    let mut waiting_by_slot = vec![Duration::ZERO; first.waiting_by_slot.len()];
+    let mut delivered = Vec::new();
+    let mut rejected = Vec::new();
+    let mut cancelled = Vec::new();
+    let mut undelivered = Vec::new();
+    let mut windows: Vec<(TimePoint, u32, WindowStats)> = Vec::new();
+    let mut total_orders = 0;
+    let mut rejected_during_disruption = 0;
+    for (zone, report) in zones {
+        total_orders += report.total_orders;
+        rejected_during_disruption += report.rejected_during_disruption;
+        delivered.extend(report.delivered.iter().copied());
+        rejected.extend(report.rejected.iter().copied());
+        cancelled.extend(report.cancelled.iter().copied());
+        undelivered.extend(report.undelivered.iter().copied());
+        windows.extend(report.windows.iter().map(|w| (w.closed_at, zone.0, *w)));
+        for (slot, per_slot) in report.distance_by_load_m.iter().enumerate() {
+            for (load, meters) in per_slot.iter().enumerate() {
+                distance_by_load_m[slot][load] += meters;
+            }
+        }
+        for (slot, waited) in report.waiting_by_slot.iter().enumerate() {
+            waiting_by_slot[slot] += *waited;
+        }
+    }
+    windows.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+    SimulationReport {
+        policy: first.policy.clone(),
+        total_orders,
+        delivered,
+        rejected,
+        rejected_during_disruption,
+        cancelled,
+        undelivered,
+        windows: windows.into_iter().map(|(_, _, w)| w).collect(),
+        distance_by_load_m,
+        waiting_by_slot,
+        horizon: first.horizon,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foodmatch_core::policies::{FoodMatchPolicy, GreedyPolicy};
+    use foodmatch_events::{DisruptionCause, EventKind, TrafficDisruption};
+    use foodmatch_roadnet::generators::GridCityBuilder;
+    use foodmatch_roadnet::CongestionProfile;
+
+    /// A 12×12 free-flow grid with two well-separated corners to zone.
+    fn grid() -> (RoadNetwork, GridCityBuilder) {
+        let b =
+            GridCityBuilder::new(12, 12).congestion(CongestionProfile::free_flow()).major_every(0);
+        (b.build(), b)
+    }
+
+    /// Two centers on the same row → a vertical Voronoi split between
+    /// columns 5 and 6, so the zones' bounding boxes are disjoint (a
+    /// diagonal split would make the boxes overlap — still correct, but
+    /// useless for asserting targeted delivery).
+    fn two_centers(network: &RoadNetwork, b: &GridCityBuilder) -> Vec<GeoPoint> {
+        vec![network.position(b.node_at(5, 2)), network.position(b.node_at(5, 9))]
+    }
+
+    fn order(id: u64, r: NodeId, c: NodeId, placed: TimePoint) -> Order {
+        Order::new(OrderId(id), r, c, placed, 1, Duration::from_mins(6.0))
+    }
+
+    fn router(
+        network: &RoadNetwork,
+        zones: ZoneMap,
+        fleet: Vec<(VehicleId, NodeId)>,
+    ) -> DispatchRouter<GreedyPolicy> {
+        let start = TimePoint::from_hms(12, 0, 0);
+        DispatchRouter::new(
+            network,
+            zones,
+            fleet,
+            |_| GreedyPolicy::new(),
+            DispatchConfig::default(),
+            start,
+            start + Duration::from_hours(1.0),
+            Duration::from_hours(2.0),
+        )
+    }
+
+    #[test]
+    fn voronoi_assigns_every_node_to_the_nearest_center() {
+        let (network, b) = grid();
+        let centers = two_centers(&network, &b);
+        let map = ZoneMap::voronoi(&network, &centers);
+        assert_eq!(map.zone_count(), 2);
+        assert_eq!(map.zone_of(b.node_at(0, 0)), Some(ZoneId(0)));
+        assert_eq!(map.zone_of(b.node_at(11, 11)), Some(ZoneId(1)));
+        let assigned: usize = map.zones().iter().map(|z| z.node_count).sum();
+        assert_eq!(assigned, network.node_count(), "voronoi assigns every node");
+    }
+
+    #[test]
+    fn voronoi_within_leaves_far_nodes_unassigned() {
+        let (network, b) = grid();
+        // Tight radius around one corner only.
+        let center = network.position(b.node_at(1, 1));
+        let map = ZoneMap::voronoi_within(&network, &[center], 900.0);
+        assert!(map.zone_of(b.node_at(1, 1)).is_some());
+        assert_eq!(map.zone_of(b.node_at(11, 11)), None, "the far corner is out of area");
+        assert!(map.zones()[0].node_count < network.node_count());
+    }
+
+    #[test]
+    fn single_zone_covers_the_network_and_touches_everything() {
+        let (network, b) = grid();
+        let map = ZoneMap::single(&network);
+        assert_eq!(map.zone_count(), 1);
+        for node in network.node_ids() {
+            assert_eq!(map.zone_of(node), Some(ZoneId(0)));
+        }
+        // Any localized incident touches the only zone.
+        let p = network.position(b.node_at(4, 7));
+        assert_eq!(map.zones_touching(p, 10.0), vec![ZoneId(0)]);
+    }
+
+    #[test]
+    fn zones_touching_respects_the_bounding_region() {
+        let (network, b) = grid();
+        let map = ZoneMap::voronoi(&network, &two_centers(&network, &b));
+        // An incident in the heart of zone 0, small radius: zone 0 only.
+        let p0 = network.position(b.node_at(1, 1));
+        assert_eq!(map.zones_touching(p0, 100.0), vec![ZoneId(0)]);
+        // A huge radius touches both zones.
+        assert_eq!(map.zones_touching(p0, 1e9), vec![ZoneId(0), ZoneId(1)]);
+    }
+
+    #[test]
+    fn orders_route_by_restaurant_and_duplicates_are_global() {
+        let (network, b) = grid();
+        let map = ZoneMap::voronoi(&network, &two_centers(&network, &b));
+        let fleet = vec![(VehicleId(0), b.node_at(1, 1)), (VehicleId(1), b.node_at(10, 10))];
+        let mut router = router(&network, map, fleet);
+        let start = router.now();
+        assert_eq!(
+            router.submit_order(order(1, b.node_at(1, 1), b.node_at(3, 1), start)),
+            SubmitOutcome::Accepted
+        );
+        // Same id, other zone's restaurant: still a duplicate.
+        assert_eq!(
+            router.submit_order(order(1, b.node_at(10, 10), b.node_at(8, 10), start)),
+            SubmitOutcome::Duplicate
+        );
+        assert_eq!(
+            router.submit_order(order(2, b.node_at(10, 10), b.node_at(8, 10), start)),
+            SubmitOutcome::Accepted
+        );
+        let report = router.run_to_completion();
+        assert_eq!(report.aggregate.total_orders, 2);
+        assert_eq!(report.aggregate.delivered.len(), 2);
+        // One delivery per zone.
+        assert_eq!(report.zones[0].1.delivered.len(), 1);
+        assert_eq!(report.zones[1].1.delivered.len(), 1);
+        assert!(router.is_finished());
+        assert_eq!(router.submit_order(order(3, b.node_at(1, 1), b.node_at(3, 1), start)), {
+            SubmitOutcome::ServiceFinished
+        });
+    }
+
+    #[test]
+    fn out_of_area_orders_are_refused() {
+        let (network, b) = grid();
+        let center = network.position(b.node_at(1, 1));
+        let map = ZoneMap::voronoi_within(&network, &[center], 900.0);
+        let mut router = router(&network, map, vec![(VehicleId(0), b.node_at(1, 1))]);
+        let start = router.now();
+        assert_eq!(
+            router.submit_order(order(1, b.node_at(11, 11), b.node_at(10, 11), start)),
+            SubmitOutcome::NoZoneForLocation
+        );
+        assert_eq!(router.snapshot().submitted, 0);
+    }
+
+    #[test]
+    fn localized_incidents_only_disrupt_touched_zones() {
+        let (network, b) = grid();
+        let map = ZoneMap::voronoi(&network, &two_centers(&network, &b));
+        let fleet = vec![(VehicleId(0), b.node_at(0, 0)), (VehicleId(1), b.node_at(11, 11))];
+        let mut router = router(&network, map, fleet);
+        let start = router.now();
+        let _ = router.submit_order(order(1, b.node_at(1, 1), b.node_at(4, 1), start));
+        let _ = router.submit_order(order(2, b.node_at(10, 10), b.node_at(7, 10), start));
+        // A tight incident around zone 0's heart.
+        let outcome = router.ingest_event(DisruptionEvent::new(
+            start,
+            EventKind::Traffic(TrafficDisruption::localized(
+                DisruptionCause::Incident,
+                b.node_at(1, 1),
+                300.0,
+                4.0,
+                start + Duration::from_hours(2.0),
+            )),
+        ));
+        assert_eq!(outcome, IngestOutcome::Accepted);
+        let report = router.run_to_completion();
+        assert!(
+            report.zones[0].1.windows.iter().any(|w| w.disrupted),
+            "zone 0 must see its incident"
+        );
+        assert!(report.zones[1].1.windows.iter().all(|w| !w.disrupted), "zone 1 must stay calm");
+    }
+
+    #[test]
+    fn city_wide_events_broadcast_to_every_zone() {
+        let (network, b) = grid();
+        let map = ZoneMap::voronoi(&network, &two_centers(&network, &b));
+        let fleet = vec![(VehicleId(0), b.node_at(0, 0)), (VehicleId(1), b.node_at(11, 11))];
+        let mut router = router(&network, map, fleet);
+        let start = router.now();
+        let _ = router.submit_order(order(1, b.node_at(1, 1), b.node_at(4, 1), start));
+        let _ = router.submit_order(order(2, b.node_at(10, 10), b.node_at(7, 10), start));
+        let outcome = router.ingest_event(DisruptionEvent::new(
+            start,
+            EventKind::Traffic(TrafficDisruption::city_wide(
+                DisruptionCause::Rain,
+                2.0,
+                start + Duration::from_hours(2.0),
+            )),
+        ));
+        assert_eq!(outcome, IngestOutcome::Accepted);
+        let report = router.run_to_completion();
+        for (zone, zone_report) in &report.zones {
+            assert!(
+                zone_report.windows.iter().any(|w| w.disrupted),
+                "{zone} must see the rain surge"
+            );
+        }
+    }
+
+    #[test]
+    fn order_and_vehicle_events_find_their_owning_zone() {
+        let (network, b) = grid();
+        let map = ZoneMap::voronoi(&network, &two_centers(&network, &b));
+        let fleet = vec![(VehicleId(0), b.node_at(0, 0)), (VehicleId(1), b.node_at(11, 11))];
+        let mut router = router(&network, map, fleet);
+        let start = router.now();
+        let _ = router.submit_order(order(1, b.node_at(1, 1), b.node_at(4, 1), start));
+        // Cancel the zone-0 order; take zone 1's only vehicle off shift.
+        let _ = router.ingest_event(DisruptionEvent::new(
+            start + Duration::from_mins(1.0),
+            EventKind::OrderCancelled { order: OrderId(1) },
+        ));
+        let _ = router.ingest_event(DisruptionEvent::new(
+            start + Duration::from_mins(1.0),
+            EventKind::VehicleOffShift { vehicle: VehicleId(1) },
+        ));
+        // A brand-new driver joins in zone 1 by location.
+        let on = router.ingest_event(DisruptionEvent::new(
+            start + Duration::from_mins(2.0),
+            EventKind::VehicleOnShift { vehicle: VehicleId(7), location: b.node_at(9, 9) },
+        ));
+        assert_eq!(on, IngestOutcome::Accepted);
+        let report = router.run_to_completion();
+        assert_eq!(report.zones[0].1.cancelled, vec![OrderId(1)]);
+        assert!(report.zones[1].1.cancelled.is_empty());
+        let snapshot = router.snapshot();
+        // Zone 1 lost vehicle 1 but gained vehicle 7; zone 0 kept vehicle 0.
+        assert_eq!(snapshot.zones[1].1.vehicles_on_shift, 1);
+        assert_eq!(snapshot.vehicles_on_shift, 2);
+    }
+
+    #[test]
+    fn snapshot_and_report_aggregate_across_zones() {
+        let (network, b) = grid();
+        let map = ZoneMap::voronoi(&network, &two_centers(&network, &b));
+        let fleet = vec![(VehicleId(0), b.node_at(0, 0)), (VehicleId(1), b.node_at(11, 11))];
+        let mut router = router(&network, map, fleet);
+        let start = router.now();
+        let _ = router.submit_order(order(1, b.node_at(1, 1), b.node_at(4, 1), start));
+        let _ = router.submit_order(order(2, b.node_at(10, 10), b.node_at(7, 10), start));
+        let outputs = router.run_to_completion();
+        let snapshot = router.snapshot();
+        assert_eq!(snapshot.submitted, 2);
+        assert_eq!(snapshot.delivered, 2);
+        assert!(snapshot.finished);
+        assert_eq!(outputs.aggregate.delivered.len(), 2);
+        assert_eq!(
+            outputs.aggregate.total_km(),
+            outputs.zones.iter().map(|(_, r)| r.total_km()).sum::<f64>()
+        );
+        // The merged window stream is chronological.
+        let closes: Vec<TimePoint> =
+            outputs.aggregate.windows.iter().map(|w| w.closed_at).collect();
+        let mut sorted = closes.clone();
+        sorted.sort();
+        assert_eq!(closes, sorted);
+    }
+
+    #[test]
+    fn output_stream_is_tagged_and_matches_the_reports() {
+        let (network, b) = grid();
+        let map = ZoneMap::voronoi(&network, &two_centers(&network, &b));
+        let fleet = vec![(VehicleId(0), b.node_at(0, 0)), (VehicleId(1), b.node_at(11, 11))];
+        let mut router = DispatchRouter::new(
+            &network,
+            map,
+            fleet,
+            |_| FoodMatchPolicy::new(),
+            DispatchConfig::default(),
+            TimePoint::from_hms(12, 0, 0),
+            TimePoint::from_hms(13, 0, 0),
+            Duration::from_hours(2.0),
+        );
+        let start = router.now();
+        let _ = router.submit_order(order(1, b.node_at(1, 1), b.node_at(4, 1), start));
+        let _ = router.submit_order(order(2, b.node_at(10, 10), b.node_at(7, 10), start));
+        let mut outputs = Vec::new();
+        while !router.is_finished() {
+            let tick = router.now() + router.config().accumulation_window;
+            outputs.extend(router.advance_to(tick));
+        }
+        let report = router.report();
+        for (zone, zone_report) in &report.zones {
+            let delivered_out = outputs
+                .iter()
+                .filter(|o| o.zone == *zone && matches!(o.output, DispatchOutput::Delivered { .. }))
+                .count();
+            assert_eq!(delivered_out, zone_report.delivered.len());
+        }
+    }
+
+    #[test]
+    fn vehicles_on_unassigned_nodes_fall_back_to_the_nearest_zone() {
+        let (network, b) = grid();
+        let center = network.position(b.node_at(1, 1));
+        let map = ZoneMap::voronoi_within(&network, &[center], 900.0);
+        // The vehicle starts far outside the service area but still joins
+        // the (only) zone.
+        let mut router = router(&network, map, vec![(VehicleId(0), b.node_at(11, 11))]);
+        assert_eq!(router.snapshot().vehicles_on_shift, 1);
+        let start = router.now();
+        let _ = router.submit_order(order(1, b.node_at(1, 1), b.node_at(2, 1), start));
+        let report = router.run_to_completion();
+        assert_eq!(report.aggregate.delivered.len(), 1);
+    }
+}

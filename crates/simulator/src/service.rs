@@ -51,6 +51,55 @@ use foodmatch_roadnet::{Duration, NodeId, ShortestPathEngine, TimePoint};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
+/// The typed outcome of submitting an order to a [`DispatchService`] or a
+/// [`DispatchRouter`](crate::router::DispatchRouter).
+///
+/// Replaces the old `bool` return: callers can now distinguish *why* an
+/// order was not admitted instead of guessing.
+#[must_use = "submission can be refused — check (or explicitly discard) the outcome"]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// The order was admitted and will enter a dispatch window.
+    Accepted,
+    /// An order with the same id was already submitted; this one is ignored.
+    Duplicate,
+    /// The service (or every router shard) has finished; input is refused.
+    ServiceFinished,
+    /// Router only: the order's restaurant node belongs to no zone of the
+    /// router's zone map. A bare service never returns this.
+    NoZoneForLocation,
+}
+
+impl SubmitOutcome {
+    /// True when the order was admitted.
+    pub fn is_accepted(self) -> bool {
+        self == SubmitOutcome::Accepted
+    }
+}
+
+/// The typed outcome of streaming a disruption event into a
+/// [`DispatchService`] or a [`DispatchRouter`](crate::router::DispatchRouter).
+#[must_use = "ingestion can be refused — check (or explicitly discard) the outcome"]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// The event was accepted and will fire at its window boundary.
+    Accepted,
+    /// The service (or every targeted router shard) has finished; the event
+    /// is dropped.
+    ServiceFinished,
+    /// Router only: a localized event touches no zone (or targets a vehicle
+    /// joining at a node outside every zone). A bare service never returns
+    /// this.
+    NoZoneForLocation,
+}
+
+impl IngestOutcome {
+    /// True when the event was accepted.
+    pub fn is_accepted(self) -> bool {
+        self == IngestOutcome::Accepted
+    }
+}
+
 /// One observable outcome of advancing the service.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum DispatchOutput {
@@ -232,16 +281,20 @@ impl<P: DispatchPolicy> DispatchService<P> {
         }
     }
 
-    /// Submits one order to the service. Returns `false` (and ignores the
-    /// order) when the id was already submitted or the service has finished.
+    /// Submits one order to the service. The order is ignored when the
+    /// returned [`SubmitOutcome`] is not `Accepted` (duplicate id, or the
+    /// service has finished).
     ///
     /// The order's SDT baseline is computed here, under the network
     /// conditions active right now; it enters a window once the clock
     /// reaches its `placed_at` (immediately next window if that is already
     /// in the past).
-    pub fn submit_order(&mut self, order: Order) -> bool {
-        if self.finished || self.known.contains_key(&order.id) {
-            return false;
+    pub fn submit_order(&mut self, order: Order) -> SubmitOutcome {
+        if self.finished {
+            return SubmitOutcome::ServiceFinished;
+        }
+        if self.known.contains_key(&order.id) {
+            return SubmitOutcome::Duplicate;
         }
         self.known.insert(order.id, order.placed_at);
         let sdt = self
@@ -256,19 +309,19 @@ impl<P: DispatchPolicy> DispatchService<P> {
         let tail = &self.orders[self.next_order..];
         let offset = tail.partition_point(|o| (o.placed_at, o.id) <= (order.placed_at, order.id));
         self.orders.insert(self.next_order + offset, order);
-        true
+        SubmitOutcome::Accepted
     }
 
     /// Streams one disruption event into the service. Events timestamped in
     /// the past take effect at the next window open (the batch loop has the
-    /// same one-window granularity). Returns `false` once the service has
-    /// finished.
-    pub fn ingest_event(&mut self, event: DisruptionEvent) -> bool {
+    /// same one-window granularity). Returns
+    /// [`IngestOutcome::ServiceFinished`] once the service has finished.
+    pub fn ingest_event(&mut self, event: DisruptionEvent) -> IngestOutcome {
         if self.finished {
-            return false;
+            return IngestOutcome::ServiceFinished;
         }
         self.schedule.push(event);
-        true
+        IngestOutcome::Accepted
     }
 
     /// Advances the service clock to `until`, processing every accumulation
@@ -783,17 +836,23 @@ mod tests {
         let (engine, b) = grid();
         let mut svc = service(&engine, &b, FoodMatchPolicy::new());
         let start = svc.now();
-        assert!(svc.submit_order(order(1, b.node_at(1, 1), b.node_at(5, 1), start)));
-        assert!(!svc.submit_order(order(1, b.node_at(1, 1), b.node_at(5, 1), start)), "dup id");
+        assert!(svc.submit_order(order(1, b.node_at(1, 1), b.node_at(5, 1), start)).is_accepted());
+        assert_eq!(
+            svc.submit_order(order(1, b.node_at(1, 1), b.node_at(5, 1), start)),
+            SubmitOutcome::Duplicate,
+            "dup id"
+        );
 
         // Step a few windows, submitting the second order mid-run.
         let mut outputs = svc.advance_to(start + Duration::from_mins(6.0));
-        assert!(svc.submit_order(order(
-            2,
-            b.node_at(6, 6),
-            b.node_at(2, 6),
-            start + Duration::from_mins(7.0)
-        )));
+        assert!(svc
+            .submit_order(order(
+                2,
+                b.node_at(6, 6),
+                b.node_at(2, 6),
+                start + Duration::from_mins(7.0)
+            ))
+            .is_accepted());
         outputs.extend(svc.advance_to(svc.drain_deadline()));
         let report = svc.report();
         assert!(svc.is_finished());
@@ -815,7 +874,7 @@ mod tests {
         let mut svc = service(&engine, &b, FoodMatchPolicy::new());
         let start = svc.now();
         for i in 0..4 {
-            svc.submit_order(order(
+            let _ = svc.submit_order(order(
                 i,
                 b.node_at(1 + (i % 3) as usize, 1),
                 b.node_at(5, 1 + (i % 4) as usize),
@@ -848,7 +907,7 @@ mod tests {
         let (engine, b) = grid();
         let mut svc = service(&engine, &b, GreedyPolicy::new());
         let start = svc.now();
-        svc.submit_order(order(1, b.node_at(1, 1), b.node_at(5, 1), start));
+        let _ = svc.submit_order(order(1, b.node_at(1, 1), b.node_at(5, 1), start));
         let before = svc.snapshot();
         assert_eq!(before.submitted, 1);
         assert_eq!(before.queued, 1);
@@ -868,14 +927,14 @@ mod tests {
         let o = order(1, b.node_at(1, 1), b.node_at(6, 1), start + Duration::from_mins(1.0));
 
         let mut calm = service(&engine, &b, GreedyPolicy::new());
-        calm.submit_order(o);
+        let _ = calm.submit_order(o);
         let calm_report = calm.run_to_completion();
 
         let mut slow = service(&engine, &b, GreedyPolicy::new());
-        slow.submit_order(o);
+        let _ = slow.submit_order(o);
         // The surge is ingested live, mid-run, after the first window.
         slow.advance_to(start + Duration::from_mins(3.0));
-        slow.ingest_event(DisruptionEvent::new(
+        let _ = slow.ingest_event(DisruptionEvent::new(
             start + Duration::from_mins(4.0),
             EventKind::Traffic(TrafficDisruption::city_wide(
                 DisruptionCause::Rain,
@@ -898,11 +957,17 @@ mod tests {
         let mut svc = service(&engine, &b, GreedyPolicy::new());
         svc.run_to_completion();
         assert!(svc.is_finished());
-        assert!(!svc.submit_order(order(9, b.node_at(1, 1), b.node_at(5, 1), svc.now())));
-        assert!(!svc.ingest_event(DisruptionEvent::new(
-            svc.now(),
-            EventKind::OrderCancelled { order: OrderId(9) },
-        )));
+        assert_eq!(
+            svc.submit_order(order(9, b.node_at(1, 1), b.node_at(5, 1), svc.now())),
+            SubmitOutcome::ServiceFinished
+        );
+        assert_eq!(
+            svc.ingest_event(DisruptionEvent::new(
+                svc.now(),
+                EventKind::OrderCancelled { order: OrderId(9) },
+            )),
+            IngestOutcome::ServiceFinished
+        );
         assert!(svc.advance_to(svc.drain_deadline()).is_empty());
     }
 
@@ -919,7 +984,7 @@ mod tests {
             start,
             Duration::from_hours(1.0),
         );
-        svc.submit_order(order(1, b.node_at(1, 1), b.node_at(5, 1), start));
+        let _ = svc.submit_order(order(1, b.node_at(1, 1), b.node_at(5, 1), start));
         let report = svc.run_to_completion();
         assert_eq!(report.delivered.len(), 1, "the drain phase still dispatches");
     }
@@ -931,7 +996,7 @@ mod tests {
         let start = svc.now();
         svc.advance_to(start + Duration::from_mins(9.0));
         // Placed in the (already processed) past: enters the next window.
-        svc.submit_order(order(1, b.node_at(1, 1), b.node_at(5, 1), start));
+        let _ = svc.submit_order(order(1, b.node_at(1, 1), b.node_at(5, 1), start));
         let report = svc.run_to_completion();
         assert_eq!(report.total_orders, 1);
         assert_eq!(report.delivered.len(), 1);

@@ -27,10 +27,12 @@
 pub mod city;
 pub mod demand;
 pub mod disruptions;
+pub mod metro;
 pub mod scenario;
 pub mod source;
 
 pub use city::{CityId, CityPreset};
 pub use disruptions::{DisruptionPreset, EventScheduleBuilder};
+pub use metro::{MetroOptions, MetroScenario};
 pub use scenario::{CityStats, GeneratedCity, Restaurant, Scenario, ScenarioOptions};
 pub use source::{OrderSource, PoissonOrderSource, ReplayOrderSource};

@@ -19,7 +19,7 @@
 //! while !service.is_finished() {
 //!     let tick = service.now() + service.config().accumulation_window;
 //!     for order in source.poll(tick) {
-//!         service.submit_order(order);
+//!         assert!(service.submit_order(order).is_accepted());
 //!     }
 //!     service.advance_to(tick);
 //! }

@@ -46,10 +46,10 @@ fn main() {
         let tick = service.now() + service.config().accumulation_window;
 
         for order in demand.poll(tick) {
-            service.submit_order(order);
+            let _ = service.submit_order(order);
         }
         if !rain_ingested && tick >= rain_at {
-            service.ingest_event(DisruptionEvent::new(
+            let _ = service.ingest_event(DisruptionEvent::new(
                 rain_at,
                 EventKind::Traffic(TrafficDisruption::city_wide(
                     DisruptionCause::Rain,

@@ -17,6 +17,10 @@ kind is auto-detected from its keys:
 * ``BENCH_service.json`` (``service``): fails when any policy's sustained
   ingest ``orders_per_sec`` dropped, or its per-``advance_to`` ``mean_ms``
   or ``p90_ms`` latency grew, by more than the threshold.
+* ``BENCH_router.json`` (``router``): fails when any shard count's sustained
+  ingest ``orders_per_sec`` dropped, or its lockstep ``advance_to``
+  ``mean_ms`` or ``p90_ms`` latency grew, by more than the threshold — the
+  shard-scaling curve must not flatten.
 
 Timing-based comparisons (dispatch, matching) are skipped — informational
 only, exit 0 — when the two runs are not comparable: different
@@ -167,6 +171,44 @@ def check_service(new, baseline, threshold):
     return failures
 
 
+def check_router(new, baseline, threshold):
+    """Shard-scaling guard for BENCH_router.json (per shard count)."""
+    baseline_runs = {r["zones"]: r for r in baseline.get("router", [])}
+    failures = []
+    for run in new.get("router", []):
+        zones = run["zones"]
+        old = baseline_runs.get(zones)
+        if old is None:
+            print(f"note: shard count {zones} has no committed baseline, skipping")
+            continue
+        label = f"{zones} shard(s)"
+        old_qps = float(old["ingest"]["orders_per_sec"])
+        new_qps = float(run["ingest"]["orders_per_sec"])
+        if old_qps > 0:
+            drop = (old_qps - new_qps) / old_qps
+            status = "REGRESSION" if drop > threshold else "ok"
+            print(
+                f"{label:<10} {'ingest orders/sec':<18} baseline {old_qps:>12.0f}  "
+                f"now {new_qps:>12.0f}  ({-drop:+.1%}) {status}"
+            )
+            if drop > threshold:
+                failures.append(f"{label} ingest throughput")
+        for field in ("mean_ms", "p90_ms"):
+            old_ms = float(old["advance"][field])
+            new_ms = float(run["advance"][field])
+            if old_ms <= 0:
+                continue
+            growth = (new_ms - old_ms) / old_ms
+            status = "REGRESSION" if growth > threshold else "ok"
+            print(
+                f"{label:<10} {'advance ' + field:<18} baseline {old_ms:>11.2f}ms  "
+                f"now {new_ms:>11.2f}ms  ({growth:+.1%}) {status}"
+            )
+            if growth > threshold:
+                failures.append(f"{label} advance {field}")
+    return failures
+
+
 def check_disruptions(new, baseline, threshold):
     """Policy-quality guard for BENCH_disruptions.json (XDT per run)."""
     def key(run):
@@ -217,6 +259,9 @@ def main():
     elif "service" in new:
         comparable = check_comparable(new, baseline, ["available_parallelism", "quick"])
         failures = check_service(new, baseline, args.threshold)
+    elif "router" in new:
+        comparable = check_comparable(new, baseline, ["available_parallelism", "quick"])
+        failures = check_router(new, baseline, args.threshold)
     elif "runs" in new:
         comparable = check_comparable(new, baseline, ["quick", "seed"])
         failures = check_disruptions(new, baseline, args.threshold)

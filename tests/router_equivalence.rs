@@ -1,0 +1,231 @@
+//! Golden equivalence for the sharded router.
+//!
+//! Two pins:
+//!
+//! * A [`DispatchRouter`] over a **single zone** covering the whole network
+//!   is the bare [`DispatchService`], bit for bit, on a disruption-heavy
+//!   lunch peak — same typed output stream, same report. Sharding is pure
+//!   composition; one shard must add nothing.
+//! * A **multi-zone** router over the metro workload produces bit-identical
+//!   output streams and reports whether the lockstep fan-out runs on one
+//!   thread or four. Concurrency is an implementation detail, never an
+//!   outcome.
+//!
+//! As in `tests/service_equivalence.rs`, only wall-clock window fields
+//! (`compute_secs` and the derived `overflown` flag) are normalised before
+//! comparing — they measure the host machine, not the dispatch outcome.
+
+use foodmatch_core::{DispatchConfig, PolicyKind};
+use foodmatch_events::{DisruptionCause, DisruptionEvent, EventKind, TrafficDisruption};
+use foodmatch_roadnet::Duration;
+use foodmatch_sim::{
+    DispatchOutput, DispatchRouter, RoutedOutput, SimulationReport, ZoneId, ZoneMap,
+};
+use foodmatch_workload::{DisruptionPreset, MetroOptions, MetroScenario};
+use integration_tests::tiny_scenario;
+
+/// Zeroes the wall-clock-dependent window fields of a report.
+fn normalized(mut report: SimulationReport) -> SimulationReport {
+    for window in &mut report.windows {
+        window.compute_secs = 0.0;
+        window.overflown = false;
+    }
+    report
+}
+
+/// Zeroes the wall-clock-dependent fields inside an output stream.
+fn normalized_outputs(outputs: Vec<DispatchOutput>) -> Vec<DispatchOutput> {
+    outputs
+        .into_iter()
+        .map(|output| match output {
+            DispatchOutput::WindowClosed { mut stats } => {
+                stats.compute_secs = 0.0;
+                stats.overflown = false;
+                DispatchOutput::WindowClosed { stats }
+            }
+            other => other,
+        })
+        .collect()
+}
+
+/// Drives a router one accumulation window at a time to completion.
+fn drain_router(
+    router: &mut DispatchRouter<Box<dyn foodmatch_core::DispatchPolicy>>,
+) -> Vec<RoutedOutput> {
+    let mut outputs = Vec::new();
+    while !router.is_finished() {
+        let tick = router.now() + router.config().accumulation_window;
+        outputs.extend(router.advance_to(tick));
+    }
+    outputs
+}
+
+#[test]
+fn single_zone_router_is_bit_identical_to_the_bare_service() {
+    let scenario = tiny_scenario(5);
+    let network = scenario.city.network.clone();
+    let events = DisruptionPreset::IncidentHeavy.builder(5).build(&scenario);
+    assert!(!events.is_empty(), "the disruption profile must actually disrupt");
+    let sim = scenario.into_simulation().with_events(events);
+
+    for kind in PolicyKind::ALL {
+        // The bare service, driven window by window.
+        let mut policy = kind.build();
+        let mut service = sim.service(policy.as_mut());
+        for order in &sim.orders {
+            if order.placed_at >= sim.start && order.placed_at < sim.end {
+                assert!(service.submit_order(*order).is_accepted());
+            }
+        }
+        for &event in &sim.events {
+            assert!(service.ingest_event(event).is_accepted());
+        }
+        let mut service_outputs = Vec::new();
+        while !service.is_finished() {
+            let tick = service.now() + service.config().accumulation_window;
+            service_outputs.extend(service.advance_to(tick));
+        }
+        let service_report = service.report();
+
+        // The same day through a one-zone router.
+        let mut router = DispatchRouter::new(
+            &network,
+            ZoneMap::single(&network),
+            sim.vehicle_starts.clone(),
+            |_| kind.build(),
+            sim.config.clone(),
+            sim.start,
+            sim.end,
+            sim.drain_limit,
+        );
+        for order in &sim.orders {
+            if order.placed_at >= sim.start && order.placed_at < sim.end {
+                assert!(router.submit_order(*order).is_accepted());
+            }
+        }
+        for &event in &sim.events {
+            assert!(router.ingest_event(event).is_accepted());
+        }
+        let routed = drain_router(&mut router);
+        let report = router.report();
+
+        // Every output carries the only zone's tag; stripped, the stream is
+        // the service's stream.
+        assert!(routed.iter().all(|o| o.zone == ZoneId(0)));
+        let stripped: Vec<DispatchOutput> = routed.into_iter().map(|o| o.output).collect();
+        assert_eq!(
+            normalized_outputs(stripped),
+            normalized_outputs(service_outputs),
+            "{kind:?}: one-zone router output stream must equal the bare service's"
+        );
+        assert_eq!(
+            normalized(report.aggregate.clone()),
+            normalized(service_report),
+            "{kind:?}: one-zone router report must equal the bare service's"
+        );
+        // And the aggregate of one zone is that zone's report verbatim.
+        assert_eq!(report.aggregate, report.zones[0].1);
+    }
+}
+
+#[test]
+fn multi_zone_router_is_thread_count_independent() {
+    let mut options = MetroOptions::lunch_peak(9);
+    options.orders = 140;
+    options.vehicles = 112;
+    let metro = MetroScenario::generate(options);
+
+    // A mixed event day: city-wide rain, a zone-local incident, order churn
+    // and fleet churn — every routing path of ingest_event.
+    let noon = options.start;
+    let events = vec![
+        DisruptionEvent::new(
+            noon + Duration::from_mins(10.0),
+            EventKind::Traffic(TrafficDisruption::city_wide(
+                DisruptionCause::Rain,
+                1.4,
+                noon + Duration::from_mins(40.0),
+            )),
+        ),
+        DisruptionEvent::new(
+            noon + Duration::from_mins(15.0),
+            EventKind::Traffic(TrafficDisruption::localized(
+                DisruptionCause::Incident,
+                metro.orders[0].restaurant,
+                2_000.0,
+                3.0,
+                noon + Duration::from_mins(50.0),
+            )),
+        ),
+        DisruptionEvent::new(
+            noon + Duration::from_mins(20.0),
+            EventKind::OrderCancelled { order: metro.orders[3].id },
+        ),
+        DisruptionEvent::new(
+            noon + Duration::from_mins(25.0),
+            EventKind::VehicleOffShift { vehicle: metro.vehicle_starts[0].0 },
+        ),
+    ];
+
+    let run = |threads: usize| -> (Vec<RoutedOutput>, Vec<(ZoneId, SimulationReport)>) {
+        let config = DispatchConfig { num_threads: threads, ..metro.config() };
+        let mut router = DispatchRouter::new(
+            &metro.network,
+            metro.zone_map(),
+            metro.vehicle_starts.clone(),
+            |_| PolicyKind::FoodMatch.build(),
+            config,
+            options.start,
+            options.end,
+            Duration::from_hours(2.0),
+        );
+        for order in &metro.orders {
+            assert!(router.submit_order(*order).is_accepted());
+        }
+        for &event in &events {
+            assert!(router.ingest_event(event).is_accepted());
+        }
+        let outputs = drain_router(&mut router);
+        (outputs, router.report().zones)
+    };
+
+    let (serial_out, serial_zones) = run(1);
+    let (parallel_out, parallel_zones) = run(4);
+
+    assert!(
+        serial_out.iter().any(|o| matches!(o.output, DispatchOutput::Delivered { .. })),
+        "the metro day must deliver something"
+    );
+    let zones_seen: std::collections::HashSet<ZoneId> = serial_out.iter().map(|o| o.zone).collect();
+    assert!(zones_seen.len() > 1, "a metro day must touch more than one zone");
+
+    // The tagged output streams must agree element by element…
+    let strip = |outs: Vec<RoutedOutput>| -> Vec<(ZoneId, DispatchOutput)> {
+        outs.into_iter()
+            .map(|o| match o.output {
+                DispatchOutput::WindowClosed { mut stats } => {
+                    stats.compute_secs = 0.0;
+                    stats.overflown = false;
+                    (o.zone, DispatchOutput::WindowClosed { stats })
+                }
+                other => (o.zone, other),
+            })
+            .collect()
+    };
+    assert_eq!(
+        strip(serial_out),
+        strip(parallel_out),
+        "the merged output stream must not depend on the thread count"
+    );
+
+    // …and so must every zone's report.
+    assert_eq!(serial_zones.len(), parallel_zones.len());
+    for ((zone_a, report_a), (zone_b, report_b)) in serial_zones.into_iter().zip(parallel_zones) {
+        assert_eq!(zone_a, zone_b);
+        assert_eq!(
+            normalized(report_a),
+            normalized(report_b),
+            "{zone_a}: per-zone reports must not depend on the thread count"
+        );
+    }
+}

@@ -44,11 +44,11 @@ fn run_incrementally(sim: &Simulation, policy: PolicyKind) -> SimulationReport {
     let mut service = sim.service(policy.as_mut());
     for order in &sim.orders {
         if order.placed_at >= sim.start && order.placed_at < sim.end {
-            assert!(service.submit_order(*order));
+            assert!(service.submit_order(*order).is_accepted());
         }
     }
     for &event in &sim.events {
-        assert!(service.ingest_event(event));
+        assert!(service.ingest_event(event).is_accepted());
     }
 
     let mut probe_counter = 0usize;
@@ -118,10 +118,10 @@ fn coarse_and_fine_advance_grains_agree() {
     let mut policy = kind.build();
     let mut service = sim.service(policy.as_mut());
     for order in &sim.orders {
-        service.submit_order(*order);
+        let _ = service.submit_order(*order);
     }
     for &event in &sim.events {
-        service.ingest_event(event);
+        let _ = service.ingest_event(event);
     }
     let coarse = service.run_to_completion();
     assert_eq!(normalized(coarse), normalized(fine));
@@ -145,7 +145,7 @@ fn streaming_submission_matches_batch_on_a_calm_day() {
         while !service.is_finished() {
             let tick = service.now() + service.config().accumulation_window;
             for order in source.poll(tick) {
-                service.submit_order(order);
+                let _ = service.submit_order(order);
             }
             service.advance_to(tick);
         }
