@@ -10,6 +10,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod matching;
+pub mod recovery;
 pub mod router;
 pub mod service;
 pub mod table2;
@@ -119,6 +120,11 @@ pub const ALL: &[Experiment] = &[
         description: "Sharded dispatch router: ingest and lockstep advance_to vs shard count",
         run: router::run,
     },
+    Experiment {
+        name: "recovery",
+        description: "Crash-safe dispatch: WAL overhead, checkpoint latency, replay catch-up",
+        run: recovery::run,
+    },
 ];
 
 /// Looks an experiment up by name.
@@ -129,7 +135,7 @@ pub fn find(name: &str) -> Option<&'static Experiment> {
 /// The names every registered experiment must carry, in paper order — the
 /// single source of truth for the registry-coverage tests here and in the
 /// workspace-level smoke suite.
-pub const EXPECTED_NAMES: [&str; 18] = [
+pub const EXPECTED_NAMES: [&str; 19] = [
     "table2",
     "fig4a",
     "fig6a",
@@ -148,6 +154,7 @@ pub const EXPECTED_NAMES: [&str; 18] = [
     "matching",
     "service",
     "router",
+    "recovery",
 ];
 
 #[cfg(test)]

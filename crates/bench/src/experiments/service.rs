@@ -124,7 +124,7 @@ fn bench_policy(sim: &foodmatch_sim::Simulation, kind: PolicyKind) -> ServiceRes
     while !service.is_finished() {
         let tick = service.now() + service.config().accumulation_window;
         let started = Instant::now();
-        service.advance_to(tick);
+        let _ = service.advance_to(tick);
         latencies_ms.push(started.elapsed().as_secs_f64() * 1e3);
     }
     let report = service.report();

@@ -16,6 +16,7 @@
 //! | [`foodgraph`] | §IV-A/C/D, Alg. 2, Eq. 8 | the (sparsified) bipartite FoodGraph with angular distance |
 //! | [`policies`] | §III, §IV, §V | Greedy, vanilla KM, FOODMATCH, and the Reyes-style baseline |
 //! | [`config`] | §V-B | operational constraints and algorithm parameters |
+//! | [`codec`] | — | deterministic binary encoding for checkpoints and the WAL |
 //!
 //! ## Quick example
 //!
@@ -56,6 +57,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod batching;
+pub mod codec;
 pub mod config;
 pub mod cost;
 pub mod foodgraph;
@@ -67,6 +69,7 @@ pub mod vehicle;
 pub mod window;
 
 pub use batching::{batch_orders, singleton_batches, Batch, BatchingOutcome};
+pub use codec::{crc32, ByteReader, Codec, DecodeError};
 pub use config::{ConfigError, DispatchConfig, DispatchConfigBuilder};
 pub use cost::{marginal_cost, shortest_delivery_time, MarginalCost};
 pub use foodgraph::{build_food_graph, FoodGraph};

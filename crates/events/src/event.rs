@@ -1,5 +1,6 @@
 //! The event algebra: everything that can disturb a running simulation.
 
+use foodmatch_core::codec::{ByteReader, Codec, DecodeError};
 use foodmatch_core::{OrderId, VehicleId};
 use foodmatch_roadnet::{Duration, NodeId, TimePoint};
 use serde::{Deserialize, Serialize};
@@ -187,6 +188,115 @@ impl DisruptionEvent {
     }
 }
 
+impl Codec for DisruptionCause {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            DisruptionCause::Incident => 0,
+            DisruptionCause::Rain => 1,
+            DisruptionCause::Slowdown => 2,
+        });
+    }
+    fn decode(reader: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        match reader.take(1)?[0] {
+            0 => Ok(DisruptionCause::Incident),
+            1 => Ok(DisruptionCause::Rain),
+            2 => Ok(DisruptionCause::Slowdown),
+            tag => Err(DecodeError::Invalid(format!("unknown DisruptionCause tag {tag}"))),
+        }
+    }
+}
+
+impl Codec for TrafficDisruption {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.cause.encode(out);
+        self.center.encode(out);
+        self.radius_m.encode(out);
+        self.factor.encode(out);
+        self.until.encode(out);
+    }
+    fn decode(reader: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let cause = DisruptionCause::decode(reader)?;
+        let center = Option::<NodeId>::decode(reader)?;
+        let radius_m = f64::decode(reader)?;
+        let factor = f64::decode(reader)?;
+        let until = TimePoint::decode(reader)?;
+        // The same invariants `localized`/`city_wide` assert, as typed errors:
+        // factor ≥ 1 always; a localized disruption needs a real radius (a
+        // city-wide one carries +∞, which is fine — it is never compared).
+        if !factor.is_finite() || factor < 1.0 {
+            return Err(DecodeError::Invalid(format!(
+                "TrafficDisruption factor must be finite and ≥ 1, got {factor}"
+            )));
+        }
+        if center.is_some() && !(radius_m.is_finite() && radius_m > 0.0) {
+            return Err(DecodeError::Invalid(format!(
+                "localized TrafficDisruption radius must be positive and finite, got {radius_m}"
+            )));
+        }
+        if center.is_none() && radius_m.is_nan() {
+            return Err(DecodeError::Invalid(
+                "city-wide TrafficDisruption radius must not be NaN".to_string(),
+            ));
+        }
+        Ok(TrafficDisruption { cause, center, radius_m, factor, until })
+    }
+}
+
+impl Codec for EventKind {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            EventKind::Traffic(disruption) => {
+                out.push(0);
+                disruption.encode(out);
+            }
+            EventKind::OrderCancelled { order } => {
+                out.push(1);
+                order.encode(out);
+            }
+            EventKind::PrepDelay { order, extra } => {
+                out.push(2);
+                order.encode(out);
+                extra.encode(out);
+            }
+            EventKind::VehicleOffShift { vehicle } => {
+                out.push(3);
+                vehicle.encode(out);
+            }
+            EventKind::VehicleOnShift { vehicle, location } => {
+                out.push(4);
+                vehicle.encode(out);
+                location.encode(out);
+            }
+        }
+    }
+    fn decode(reader: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        match reader.take(1)?[0] {
+            0 => Ok(EventKind::Traffic(TrafficDisruption::decode(reader)?)),
+            1 => Ok(EventKind::OrderCancelled { order: OrderId::decode(reader)? }),
+            2 => Ok(EventKind::PrepDelay {
+                order: OrderId::decode(reader)?,
+                extra: Duration::decode(reader)?,
+            }),
+            3 => Ok(EventKind::VehicleOffShift { vehicle: VehicleId::decode(reader)? }),
+            4 => Ok(EventKind::VehicleOnShift {
+                vehicle: VehicleId::decode(reader)?,
+                location: NodeId::decode(reader)?,
+            }),
+            tag => Err(DecodeError::Invalid(format!("unknown EventKind tag {tag}"))),
+        }
+    }
+}
+
+impl Codec for DisruptionEvent {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.at.encode(out);
+        self.kind.encode(out);
+    }
+    fn decode(reader: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(DisruptionEvent { at: TimePoint::decode(reader)?, kind: EventKind::decode(reader)? })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,6 +358,57 @@ mod tests {
             on.scope(),
             EventScope::Vehicle { vehicle: VehicleId(3), location: Some(NodeId(9)) }
         );
+    }
+
+    #[test]
+    fn every_event_kind_roundtrips_through_the_codec() {
+        let t = TimePoint::from_hms(12, 0, 0);
+        let events = [
+            DisruptionEvent::new(
+                t,
+                EventKind::Traffic(TrafficDisruption::city_wide(DisruptionCause::Rain, 1.3, t)),
+            ),
+            DisruptionEvent::new(
+                t,
+                EventKind::Traffic(TrafficDisruption::localized(
+                    DisruptionCause::Incident,
+                    NodeId(7),
+                    800.0,
+                    2.0,
+                    t,
+                )),
+            ),
+            DisruptionEvent::new(t, EventKind::OrderCancelled { order: OrderId(4) }),
+            DisruptionEvent::new(
+                t,
+                EventKind::PrepDelay { order: OrderId(5), extra: Duration::from_mins(5.0) },
+            ),
+            DisruptionEvent::new(t, EventKind::VehicleOffShift { vehicle: VehicleId(2) }),
+            DisruptionEvent::new(
+                t,
+                EventKind::VehicleOnShift { vehicle: VehicleId(3), location: NodeId(9) },
+            ),
+        ];
+        for event in events {
+            let bytes = event.to_bytes();
+            assert_eq!(DisruptionEvent::from_bytes(&bytes).unwrap(), event);
+        }
+    }
+
+    #[test]
+    fn codec_rejects_invalid_disruptions_with_typed_errors() {
+        let t = TimePoint::from_hms(12, 0, 0);
+        // A factor below 1 on the wire (constructed bytes, not a value the
+        // constructors would admit).
+        let mut bytes = Vec::new();
+        DisruptionCause::Rain.encode(&mut bytes);
+        Option::<NodeId>::None.encode(&mut bytes);
+        f64::INFINITY.encode(&mut bytes);
+        0.5f64.encode(&mut bytes);
+        t.encode(&mut bytes);
+        assert!(matches!(TrafficDisruption::from_bytes(&bytes), Err(DecodeError::Invalid(_))));
+        // An unknown event tag.
+        assert!(matches!(EventKind::from_bytes(&[9]), Err(DecodeError::Invalid(_))));
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! involved.
 
 use crate::event::{DisruptionEvent, EventKind, TrafficDisruption};
+use foodmatch_core::codec::{ByteReader, Codec, DecodeError};
 use foodmatch_roadnet::{EdgeId, RoadNetwork, TimePoint, TrafficOverlay};
 use std::collections::{HashMap, HashSet};
 
@@ -219,6 +220,43 @@ impl EventSchedule {
             "diffed overlay must agree with the full rebuild"
         );
         overlay
+    }
+}
+
+/// The schedule's durable state is `(events, cursor, active)`. The
+/// incremental render cache (`rendered`, `edge_mult`) is deliberately *not*
+/// serialised: a decoded schedule starts with an empty cache, so the next
+/// [`EventSchedule::render_overlay`] folds every active footprint in as new
+/// — which produces exactly the same overlay as the cache would have
+/// (debug-asserted against the full rebuild on every render).
+impl Codec for EventSchedule {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.events.encode(out);
+        self.cursor.encode(out);
+        self.active.encode(out);
+    }
+    fn decode(reader: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let events = Vec::<DisruptionEvent>::decode(reader)?;
+        let cursor = usize::decode(reader)?;
+        let active = Vec::<TrafficDisruption>::decode(reader)?;
+        if cursor > events.len() {
+            return Err(DecodeError::Invalid(format!(
+                "schedule cursor {cursor} beyond the {} events in the stream",
+                events.len()
+            )));
+        }
+        if events.windows(2).any(|pair| pair[0].at > pair[1].at) {
+            return Err(DecodeError::Invalid(
+                "schedule events are not sorted by timestamp".to_string(),
+            ));
+        }
+        Ok(EventSchedule {
+            events,
+            cursor,
+            active,
+            rendered: Vec::new(),
+            edge_mult: HashMap::new(),
+        })
     }
 }
 
@@ -438,6 +476,51 @@ mod tests {
         assert_eq!(overlay, schedule.overlay(&net));
         for eid in net.edge_ids() {
             assert_eq!(overlay.multiplier(eid), 2.5);
+        }
+    }
+
+    #[test]
+    fn decoded_schedule_resumes_mid_stream_with_equal_overlays() {
+        let net = GridCityBuilder::new(4, 4).build();
+        let rain = TrafficDisruption::city_wide(DisruptionCause::Rain, 1.4, t(13, 30));
+        let mut schedule = EventSchedule::new(vec![
+            DisruptionEvent::new(t(12, 0), EventKind::Traffic(rain)),
+            DisruptionEvent::new(t(12, 20), EventKind::OrderCancelled { order: OrderId(1) }),
+            DisruptionEvent::new(t(12, 40), EventKind::OrderCancelled { order: OrderId(2) }),
+        ]);
+        // Advance mid-stream (rain active, one cancellation fired) and
+        // render once so the incremental cache is warm — the cache must not
+        // leak into the encoding.
+        schedule.advance_to(t(12, 25));
+        let _ = schedule.render_overlay(&net);
+
+        let mut restored = EventSchedule::from_bytes(&schedule.to_bytes()).unwrap();
+        assert_eq!(restored.events(), schedule.events());
+        assert_eq!(restored.active_traffic(), schedule.active_traffic());
+        assert_eq!(restored.render_overlay(&net), schedule.render_overlay(&net));
+        // Both fire the same remaining suffix.
+        let a = schedule.advance_to(t(13, 0)).fired;
+        let b = restored.advance_to(t(13, 0)).fired;
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn corrupt_schedule_bytes_yield_typed_errors() {
+        let schedule = EventSchedule::new(vec![DisruptionEvent::new(
+            t(12, 0),
+            EventKind::OrderCancelled { order: OrderId(1) },
+        )]);
+        let bytes = schedule.to_bytes();
+        // A cursor beyond the stream.
+        let mut wrong = Vec::new();
+        schedule.events().to_vec().encode(&mut wrong);
+        5usize.encode(&mut wrong);
+        Vec::<TrafficDisruption>::new().encode(&mut wrong);
+        assert!(matches!(EventSchedule::from_bytes(&wrong), Err(DecodeError::Invalid(_))));
+        // Truncation anywhere is an EOF, never a panic.
+        for cut in 0..bytes.len() {
+            assert!(EventSchedule::from_bytes(&bytes[..cut]).is_err());
         }
     }
 

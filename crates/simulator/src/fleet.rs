@@ -8,6 +8,7 @@
 //! snapped to the last reached node, mirroring the paper's "approximate its
 //! location to the closest node" rule.
 
+use foodmatch_core::codec::{ByteReader, Codec, DecodeError};
 use foodmatch_core::route::{EvaluatedRoute, StopAction};
 use foodmatch_core::{CommittedOrder, Order, OrderId, VehicleId, VehicleSnapshot};
 use foodmatch_roadnet::{Duration, NodeId, ShortestPathEngine, TimePoint};
@@ -319,6 +320,109 @@ impl VehicleState {
     /// when idle).
     pub fn busy_until(&self) -> Option<TimePoint> {
         self.itinerary.back().map(ItineraryStep::completes_at)
+    }
+}
+
+impl Codec for CarriedOrder {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.order.encode(out);
+        self.picked_up.encode(out);
+    }
+    fn decode(reader: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(CarriedOrder { order: Order::decode(reader)?, picked_up: bool::decode(reader)? })
+    }
+}
+
+impl Codec for ItineraryStep {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match *self {
+            ItineraryStep::Travel { from, to, depart, arrive, length_m } => {
+                out.push(0);
+                from.encode(out);
+                to.encode(out);
+                depart.encode(out);
+                arrive.encode(out);
+                length_m.encode(out);
+            }
+            ItineraryStep::Wait { node, from, until } => {
+                out.push(1);
+                node.encode(out);
+                from.encode(out);
+                until.encode(out);
+            }
+            ItineraryStep::Pickup { order, at } => {
+                out.push(2);
+                order.encode(out);
+                at.encode(out);
+            }
+            ItineraryStep::Dropoff { order, at } => {
+                out.push(3);
+                order.encode(out);
+                at.encode(out);
+            }
+        }
+    }
+    fn decode(reader: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        match reader.take(1)?[0] {
+            0 => {
+                let from = NodeId::decode(reader)?;
+                let to = NodeId::decode(reader)?;
+                let depart = TimePoint::decode(reader)?;
+                let arrive = TimePoint::decode(reader)?;
+                let length_m = f64::decode(reader)?;
+                if !(length_m.is_finite() && length_m >= 0.0) {
+                    return Err(DecodeError::Invalid(format!(
+                        "travel length must be finite and non-negative, got {length_m}"
+                    )));
+                }
+                Ok(ItineraryStep::Travel { from, to, depart, arrive, length_m })
+            }
+            1 => Ok(ItineraryStep::Wait {
+                node: NodeId::decode(reader)?,
+                from: TimePoint::decode(reader)?,
+                until: TimePoint::decode(reader)?,
+            }),
+            2 => Ok(ItineraryStep::Pickup {
+                order: OrderId::decode(reader)?,
+                at: TimePoint::decode(reader)?,
+            }),
+            3 => Ok(ItineraryStep::Dropoff {
+                order: OrderId::decode(reader)?,
+                at: TimePoint::decode(reader)?,
+            }),
+            tag => Err(DecodeError::Invalid(format!("unknown ItineraryStep tag {tag}"))),
+        }
+    }
+}
+
+/// The full runtime state round-trips, including the private edge-level
+/// itinerary and the pending restaurant wait — a restored vehicle resumes
+/// mid-edge exactly where the checkpointed one stopped.
+impl Codec for VehicleState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.id.encode(out);
+        self.location.encode(out);
+        self.carried.encode(out);
+        self.on_shift.encode(out);
+        self.itinerary.len().encode(out);
+        for step in &self.itinerary {
+            step.encode(out);
+        }
+        self.pending_wait.encode(out);
+    }
+    fn decode(reader: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let id = VehicleId::decode(reader)?;
+        let location = NodeId::decode(reader)?;
+        let carried = Vec::<CarriedOrder>::decode(reader)?;
+        let on_shift = bool::decode(reader)?;
+        let declared = u64::decode(reader)?;
+        let steps = reader.check_len(declared)?;
+        let mut itinerary = VecDeque::with_capacity(steps);
+        for _ in 0..steps {
+            itinerary.push_back(ItineraryStep::decode(reader)?);
+        }
+        let pending_wait = Duration::decode(reader)?;
+        Ok(VehicleState { id, location, carried, on_shift, itinerary, pending_wait })
     }
 }
 

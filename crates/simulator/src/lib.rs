@@ -14,10 +14,10 @@
 //! per km, waiting time, rejections, cancellations, overflown windows,
 //! running time).
 //!
-//! ## The three entry points
+//! ## The four entry points
 //!
-//! The dispatch loop has one implementation and three drivers, from batch
-//! replay to a sharded metro deployment:
+//! The dispatch loop has one implementation and four drivers, from batch
+//! replay to a crash-safe deployment:
 //!
 //! * **Batch** — [`Simulation`] wraps a pre-materialized scenario and
 //!   [`Simulation::run`] replays it through a fresh service, start to drain.
@@ -45,6 +45,18 @@
 //!   of [`RoutedOutput`]s). A single-zone router is bit-identical to a bare
 //!   service; `tests/router_equivalence.rs` pins both that and
 //!   thread-count independence.
+//! * **Durable** — [`DurableDispatch`] wraps a service or router and makes
+//!   it crash-safe: every mutating call is appended to a checksummed
+//!   [`WriteAheadLog`] *before* it is applied, the full dispatcher state
+//!   (order pools, fleet physics, event schedule, metrics) checkpoints via
+//!   [`DispatchService::checkpoint`] / [`DispatchRouter::checkpoint`] into
+//!   atomically-written files, and recovery — restore the latest
+//!   checkpoint, [`replay_wal`] the log suffix — lands on the exact state
+//!   and output stream of the uninterrupted run. Torn log tails from a
+//!   crash mid-append are truncated and tolerated; any other corruption is
+//!   a typed [`WalError`] / [`CheckpointError`], never a panic.
+//!   `tests/recovery_equivalence.rs` pins recovery bit-identical across
+//!   policies, crash points and both dispatcher shapes.
 //!
 //! ### Batch: replay a scenario
 //!
@@ -104,16 +116,30 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod checkpoint;
+pub mod durable;
 pub mod engine;
 pub mod fleet;
 pub mod metrics;
 pub mod router;
 pub mod service;
+pub mod wal;
 
+pub use checkpoint::{
+    load_checkpoint, load_router_checkpoint, save_checkpoint, save_router_checkpoint,
+    CheckpointError, RestoreError, RouterCheckpoint, ServiceCheckpoint,
+};
+pub use durable::{replay_wal, DurableDispatch, FailMode, FailPoint, ReplayError, WalTarget};
 pub use engine::Simulation;
 pub use fleet::{CarriedOrder, FleetEvent, ItineraryStep, VehicleState};
 pub use metrics::{DeliveredOrder, MetricsCollector, SimulationReport, WindowStats};
 pub use router::{
     DispatchRouter, RoutedOutput, RouterReport, RouterSnapshot, Zone, ZoneId, ZoneMap,
 };
-pub use service::{DispatchOutput, DispatchService, IngestOutcome, ServiceSnapshot, SubmitOutcome};
+pub use service::{
+    AdvanceOutcome, AdvanceStatus, DispatchOutput, DispatchService, IngestOutcome, ServiceSnapshot,
+    SubmitOutcome,
+};
+pub use wal::{
+    read_wal_bytes, read_wal_file, TornTail, WalError, WalReadOutcome, WalRecord, WriteAheadLog,
+};

@@ -18,6 +18,7 @@
 //! during-disruption flag, windows record whether traffic was perturbed, and
 //! customer **cancellations** are accounted separately from rejections.
 
+use foodmatch_core::codec::{ByteReader, Codec, DecodeError};
 use foodmatch_core::OrderId;
 use foodmatch_roadnet::{Duration, HourSlot, TimePoint};
 
@@ -408,6 +409,129 @@ impl MetricsCollector {
             waiting_by_slot: self.waiting_by_slot,
             horizon: self.horizon,
         }
+    }
+}
+
+impl Codec for DeliveredOrder {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.id.encode(out);
+        self.placed_at.encode(out);
+        self.delivered_at.encode(out);
+        self.xdt.encode(out);
+        self.slot.encode(out);
+        self.during_disruption.encode(out);
+    }
+    fn decode(reader: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(DeliveredOrder {
+            id: OrderId::decode(reader)?,
+            placed_at: TimePoint::decode(reader)?,
+            delivered_at: TimePoint::decode(reader)?,
+            xdt: Duration::decode(reader)?,
+            slot: HourSlot::decode(reader)?,
+            during_disruption: bool::decode(reader)?,
+        })
+    }
+}
+
+impl Codec for WindowStats {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.closed_at.encode(out);
+        self.slot.encode(out);
+        self.orders.encode(out);
+        self.vehicles.encode(out);
+        self.assigned.encode(out);
+        self.compute_secs.encode(out);
+        self.overflown.encode(out);
+        self.disrupted.encode(out);
+    }
+    fn decode(reader: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let closed_at = TimePoint::decode(reader)?;
+        let slot = HourSlot::decode(reader)?;
+        let orders = usize::decode(reader)?;
+        let vehicles = usize::decode(reader)?;
+        let assigned = usize::decode(reader)?;
+        let compute_secs = f64::decode(reader)?;
+        if !(compute_secs.is_finite() && compute_secs >= 0.0) {
+            return Err(DecodeError::Invalid(format!(
+                "window compute time must be finite and non-negative, got {compute_secs}"
+            )));
+        }
+        let overflown = bool::decode(reader)?;
+        let disrupted = bool::decode(reader)?;
+        Ok(WindowStats {
+            closed_at,
+            slot,
+            orders,
+            vehicles,
+            assigned,
+            compute_secs,
+            overflown,
+            disrupted,
+        })
+    }
+}
+
+/// Every private accumulator round-trips, so a restored collector finishes
+/// into the same [`SimulationReport`] the uninterrupted run would produce.
+impl Codec for MetricsCollector {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.policy.encode(out);
+        self.total_orders.encode(out);
+        self.horizon.encode(out);
+        self.delivered.encode(out);
+        self.rejected.encode(out);
+        self.rejected_during_disruption.encode(out);
+        self.cancelled.encode(out);
+        self.undelivered.encode(out);
+        self.windows.encode(out);
+        self.distance_by_load_m.encode(out);
+        self.waiting_by_slot.encode(out);
+        self.disruption_active.encode(out);
+    }
+    fn decode(reader: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let policy = String::decode(reader)?;
+        let total_orders = usize::decode(reader)?;
+        let horizon = Duration::decode(reader)?;
+        let delivered = Vec::<DeliveredOrder>::decode(reader)?;
+        let rejected = Vec::<OrderId>::decode(reader)?;
+        let rejected_during_disruption = usize::decode(reader)?;
+        let cancelled = Vec::<OrderId>::decode(reader)?;
+        let undelivered = Vec::<OrderId>::decode(reader)?;
+        let windows = Vec::<WindowStats>::decode(reader)?;
+        let distance_by_load_m = Vec::<[f64; MAX_TRACKED_LOAD + 1]>::decode(reader)?;
+        for per_slot in &distance_by_load_m {
+            for &metres in per_slot {
+                if !(metres.is_finite() && metres >= 0.0) {
+                    return Err(DecodeError::Invalid(format!(
+                        "distance histogram entries must be finite and non-negative, got {metres}"
+                    )));
+                }
+            }
+        }
+        let waiting_by_slot = Vec::<Duration>::decode(reader)?;
+        if distance_by_load_m.len() != HourSlot::COUNT || waiting_by_slot.len() != HourSlot::COUNT {
+            return Err(DecodeError::Invalid(format!(
+                "per-slot histograms must have {} rows, got {} and {}",
+                HourSlot::COUNT,
+                distance_by_load_m.len(),
+                waiting_by_slot.len()
+            )));
+        }
+        let disruption_active = bool::decode(reader)?;
+        Ok(MetricsCollector {
+            policy,
+            total_orders,
+            horizon,
+            delivered,
+            rejected,
+            rejected_during_disruption,
+            cancelled,
+            undelivered,
+            windows,
+            distance_by_load_m,
+            waiting_by_slot,
+            disruption_active,
+        })
     }
 }
 

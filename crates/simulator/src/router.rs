@@ -36,9 +36,11 @@
 //! service: `tests/router_equivalence.rs` pins a 1-zone router bit-identical
 //! to a [`DispatchService`] on a disruption-heavy day.
 
+use crate::checkpoint::{RestoreError, RouterCheckpoint};
 use crate::metrics::{SimulationReport, WindowStats, MAX_TRACKED_LOAD};
 use crate::service::{
-    DispatchOutput, DispatchService, IngestOutcome, ServiceSnapshot, SubmitOutcome,
+    AdvanceOutcome, AdvanceStatus, DispatchOutput, DispatchService, IngestOutcome, ServiceSnapshot,
+    SubmitOutcome,
 };
 use foodmatch_core::{parallel_map, DispatchConfig, DispatchPolicy, Order, OrderId, VehicleId};
 use foodmatch_events::{DisruptionEvent, EventScope};
@@ -486,8 +488,19 @@ impl<P: DispatchPolicy> DispatchRouter<P> {
     /// shards of each window run concurrently (`config.num_threads` wide)
     /// and their outputs are appended in zone order, so the stream is
     /// bit-identical for every thread count.
-    pub fn advance_to(&mut self, until: TimePoint) -> Vec<RoutedOutput> {
+    ///
+    /// Returns the same typed [`AdvanceOutcome`] as the bare service (with
+    /// zone-tagged outputs): a target behind the router clock reports
+    /// [`AdvanceStatus::OutOfOrder`] instead of silently doing nothing.
+    pub fn advance_to(&mut self, until: TimePoint) -> AdvanceOutcome<RoutedOutput> {
+        if self.finished {
+            return AdvanceOutcome::finished();
+        }
+        if until < self.window_close {
+            return AdvanceOutcome::out_of_order(until, self.window_close);
+        }
         let mut out = Vec::new();
+        let mut advanced = false;
         while !self.finished {
             let next_close = self.window_close + self.delta;
             if next_close > self.drain_end {
@@ -495,6 +508,7 @@ impl<P: DispatchPolicy> DispatchRouter<P> {
                 // same advance a bare service performs internally).
                 self.fan_out(self.drain_end, &mut out);
                 self.finished = true;
+                advanced = true;
                 break;
             }
             if next_close > until {
@@ -502,11 +516,13 @@ impl<P: DispatchPolicy> DispatchRouter<P> {
             }
             self.fan_out(next_close, &mut out);
             self.window_close = next_close;
+            advanced = true;
             if self.shards.iter_mut().all(|s| s.get_mut().expect("shard lock").is_finished()) {
                 self.finished = true;
             }
         }
-        out
+        let status = if advanced { AdvanceStatus::Advanced } else { AdvanceStatus::Pending };
+        AdvanceOutcome::new(out, status)
     }
 
     /// Advances one lockstep step: every shard to `until`, concurrently when
@@ -514,12 +530,12 @@ impl<P: DispatchPolicy> DispatchRouter<P> {
     fn fan_out(&mut self, until: TimePoint, out: &mut Vec<RoutedOutput>) {
         let per_shard: Vec<Vec<DispatchOutput>> = if self.threads > 1 && self.shards.len() > 1 {
             parallel_map(&self.shards, self.threads, |_, shard| {
-                shard.lock().expect("shard lock").advance_to(until)
+                shard.lock().expect("shard lock").advance_to(until).into_outputs()
             })
         } else {
             self.shards
                 .iter_mut()
-                .map(|shard| shard.get_mut().expect("shard lock").advance_to(until))
+                .map(|shard| shard.get_mut().expect("shard lock").advance_to(until).into_outputs())
                 .collect()
         };
         for (zi, outputs) in per_shard.into_iter().enumerate() {
@@ -531,7 +547,7 @@ impl<P: DispatchPolicy> DispatchRouter<P> {
     /// Drives the router to completion (through the drain phase) and
     /// returns the final report.
     pub fn run_to_completion(&mut self) -> RouterReport {
-        self.advance_to(self.drain_end);
+        let _ = self.advance_to(self.drain_end);
         self.report()
     }
 
@@ -598,6 +614,83 @@ impl<P: DispatchPolicy> DispatchRouter<P> {
             .collect();
         let aggregate = merge_reports(&zones);
         RouterReport { aggregate, zones }
+    }
+
+    /// Captures the complete deployment state as a [`RouterCheckpoint`]:
+    /// one [`ServiceCheckpoint`](crate::checkpoint::ServiceCheckpoint) per
+    /// zone shard plus the router's own manifest (zone-membership maps,
+    /// lockstep clock, termination state). Restore with
+    /// [`DispatchRouter::restore`] — same network, same zone map, same
+    /// policy factory — to resume the run bit-identically.
+    ///
+    /// As on the service, `wal_seq` is zero; a
+    /// [`DurableDispatch`](crate::durable::DurableDispatch) stamps the log
+    /// position on top.
+    pub fn checkpoint(&self) -> RouterCheckpoint {
+        let shards =
+            self.shards.iter().map(|s| s.lock().expect("shard lock").checkpoint()).collect();
+        let mut order_zone: Vec<(OrderId, u32)> =
+            self.order_zone.iter().map(|(&k, &v)| (k, v)).collect();
+        order_zone.sort_unstable_by_key(|&(k, _)| k);
+        let mut vehicle_zone: Vec<(VehicleId, u32)> =
+            self.vehicle_zone.iter().map(|(&k, &v)| (k, v)).collect();
+        vehicle_zone.sort_unstable_by_key(|&(k, _)| k);
+        RouterCheckpoint {
+            wal_seq: 0,
+            config: self.config.clone(),
+            window_close: self.window_close,
+            drain_end: self.drain_end,
+            finished: self.finished,
+            order_zone,
+            vehicle_zone,
+            shards,
+        }
+    }
+
+    /// Rebuilds a router from a [`RouterCheckpoint`], resuming the
+    /// deployment exactly where [`checkpoint`](Self::checkpoint) captured
+    /// it. The caller supplies the deployment configuration the checkpoint
+    /// deliberately omits: the road network, the zone map the run was
+    /// created with (validated against the checkpoint's shard count), and
+    /// the per-zone policy factory. Each shard gets a fresh caching engine,
+    /// with its overlay re-installed when the shard was checkpointed under
+    /// an active disruption.
+    pub fn restore(
+        network: &RoadNetwork,
+        zones: ZoneMap,
+        mut make_policy: impl FnMut(ZoneId) -> P,
+        checkpoint: &RouterCheckpoint,
+    ) -> Result<Self, RestoreError> {
+        if zones.zone_count() != checkpoint.shards.len() {
+            return Err(RestoreError::ZoneCountMismatch {
+                checkpoint: checkpoint.shards.len(),
+                zones: zones.zone_count(),
+            });
+        }
+        let shards: Vec<Mutex<DispatchService<P>>> = zones
+            .zones()
+            .iter()
+            .zip(&checkpoint.shards)
+            .map(|(zone, shard)| {
+                let engine = ShortestPathEngine::cached(network.clone());
+                Mutex::new(DispatchService::restore(engine, make_policy(zone.id), shard))
+            })
+            .collect();
+        let threads = checkpoint.config.effective_threads();
+        let delta = checkpoint.config.accumulation_window;
+        Ok(DispatchRouter {
+            zones,
+            network: network.clone(),
+            shards,
+            order_zone: checkpoint.order_zone.iter().copied().collect(),
+            vehicle_zone: checkpoint.vehicle_zone.iter().copied().collect(),
+            config: checkpoint.config.clone(),
+            threads,
+            delta,
+            window_close: checkpoint.window_close,
+            drain_end: checkpoint.drain_end,
+            finished: checkpoint.finished,
+        })
     }
 
     fn shard_mut(&mut self, index: usize) -> &mut DispatchService<P> {

@@ -42,6 +42,7 @@
 //!   perpetual deployment should be restarted (or sharded) per service day,
 //!   exactly like the paper's per-day evaluation.
 
+use crate::checkpoint::ServiceCheckpoint;
 use crate::fleet::{CarriedOrder, FleetEvent, VehicleState};
 use crate::metrics::{MetricsCollector, SimulationReport, WindowStats};
 use foodmatch_core::route::{plan_optimal_route, PlannedOrder};
@@ -97,6 +98,105 @@ impl IngestOutcome {
     /// True when the event was accepted.
     pub fn is_accepted(self) -> bool {
         self == IngestOutcome::Accepted
+    }
+}
+
+/// What an [`advance_to`](DispatchService::advance_to) call did to the
+/// clock. `OutOfOrder` is the variant that used to be a silent no-op: a
+/// replay driver stepping a service from a write-ahead log can now detect a
+/// log whose `AdvanceTo` records run backwards instead of quietly producing
+/// a diverged run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AdvanceStatus {
+    /// At least one accumulation window was processed (possibly including
+    /// the final drain).
+    Advanced,
+    /// The target lies inside the current window: legal, but no window
+    /// closed yet. Call again with a later target.
+    Pending,
+    /// The target precedes the service clock. Nothing happened; the caller
+    /// is stepping out of order.
+    OutOfOrder {
+        /// The (stale) target that was requested.
+        requested: TimePoint,
+        /// The service clock the target fell behind.
+        clock: TimePoint,
+    },
+    /// The service had already finished before the call. Nothing happened.
+    Finished,
+}
+
+/// The typed result of advancing a [`DispatchService`] (or, with
+/// `T = RoutedOutput`, a [`DispatchRouter`](crate::router::DispatchRouter)).
+///
+/// Iterates like the `Vec` it replaces (`for output in svc.advance_to(..)`,
+/// `outputs.extend(svc.advance_to(..))`), and additionally carries a typed
+/// [`AdvanceStatus`] so callers — in particular WAL replay — can tell an
+/// empty-but-fine step from an out-of-order one.
+#[must_use = "advancing can be refused (out-of-order target) — check the status or iterate the outputs"]
+#[derive(Clone, Debug, PartialEq)]
+pub struct AdvanceOutcome<T = DispatchOutput> {
+    /// The typed outcomes of every window processed by this call, in order.
+    pub outputs: Vec<T>,
+    /// What the call did to the clock.
+    pub status: AdvanceStatus,
+}
+
+impl<T> AdvanceOutcome<T> {
+    pub(crate) fn new(outputs: Vec<T>, status: AdvanceStatus) -> Self {
+        AdvanceOutcome { outputs, status }
+    }
+
+    pub(crate) fn finished() -> Self {
+        AdvanceOutcome { outputs: Vec::new(), status: AdvanceStatus::Finished }
+    }
+
+    pub(crate) fn out_of_order(requested: TimePoint, clock: TimePoint) -> Self {
+        AdvanceOutcome {
+            outputs: Vec::new(),
+            status: AdvanceStatus::OutOfOrder { requested, clock },
+        }
+    }
+
+    /// True when no outputs were produced.
+    pub fn is_empty(&self) -> bool {
+        self.outputs.is_empty()
+    }
+
+    /// Number of outputs produced.
+    pub fn len(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Iterates over the outputs by reference.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.outputs.iter()
+    }
+
+    /// True when the call was refused because the target precedes the clock.
+    pub fn is_out_of_order(&self) -> bool {
+        matches!(self.status, AdvanceStatus::OutOfOrder { .. })
+    }
+
+    /// Consumes the outcome, returning just the outputs.
+    pub fn into_outputs(self) -> Vec<T> {
+        self.outputs
+    }
+}
+
+impl<T> IntoIterator for AdvanceOutcome<T> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.outputs.into_iter()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a AdvanceOutcome<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.outputs.iter()
     }
 }
 
@@ -332,28 +432,44 @@ impl<P: DispatchPolicy> DispatchService<P> {
     /// Advancing to [`drain_deadline`](Self::drain_deadline) (or beyond)
     /// drains the service: leftover orders are rejected, the engine overlay
     /// is cleared, and the service refuses further input.
-    pub fn advance_to(&mut self, until: TimePoint) -> Vec<DispatchOutput> {
+    ///
+    /// The returned [`AdvanceOutcome`] iterates like the `Vec` it replaced
+    /// and carries a typed [`AdvanceStatus`]: a target earlier than
+    /// [`now`](Self::now) — previously a silent no-op — reports
+    /// [`AdvanceStatus::OutOfOrder`] so replay-driven stepping (e.g. from a
+    /// write-ahead log) can detect a misordered input stream.
+    pub fn advance_to(&mut self, until: TimePoint) -> AdvanceOutcome {
+        if self.finished {
+            return AdvanceOutcome::finished();
+        }
+        if until < self.window_close {
+            return AdvanceOutcome::out_of_order(until, self.window_close);
+        }
         let delta = self.config.accumulation_window;
         let mut out = Vec::new();
+        let mut advanced = false;
         while !self.finished {
             let next_close = self.window_close + delta;
             if next_close > self.drain_end {
                 self.finalize(&mut out);
+                advanced = true;
                 break;
             }
             if next_close > until {
                 break;
             }
             self.step_window(next_close, &mut out);
+            advanced = true;
         }
-        out
+        let status = if advanced { AdvanceStatus::Advanced } else { AdvanceStatus::Pending };
+        AdvanceOutcome::new(out, status)
     }
 
     /// Drives the service to completion (through the drain phase) and
     /// returns the final report. Equivalent to
     /// `advance_to(self.drain_deadline())` + [`report`](Self::report).
     pub fn run_to_completion(&mut self) -> SimulationReport {
-        self.advance_to(self.drain_end);
+        let _ = self.advance_to(self.drain_end);
         self.report()
     }
 
@@ -413,6 +529,111 @@ impl<P: DispatchPolicy> DispatchService<P> {
     /// fully accounted report of the run.
     pub fn report(&self) -> SimulationReport {
         self.collector.clone().finish()
+    }
+
+    /// Captures the complete run state as a [`ServiceCheckpoint`]: order
+    /// pools and cursors, fleet (positions, edge-level itineraries, shift
+    /// state), the event-schedule cursor and active overlay set, and the
+    /// metrics accumulated so far. Restoring the checkpoint (into a fresh
+    /// engine handle over the same network, with the same policy) resumes
+    /// the run bit-identically — see
+    /// [`DispatchService::restore`].
+    ///
+    /// The checkpoint's `wal_seq` is zero; a durable wrapper
+    /// ([`DurableDispatch`](crate::durable::DurableDispatch)) stamps its
+    /// write-ahead-log position on top.
+    pub fn checkpoint(&self) -> ServiceCheckpoint {
+        fn sorted_map<K: Ord + Copy, V: Copy>(map: &HashMap<K, V>) -> Vec<(K, V)> {
+            let mut flat: Vec<(K, V)> = map.iter().map(|(&k, &v)| (k, v)).collect();
+            flat.sort_unstable_by_key(|&(k, _)| k);
+            flat
+        }
+        fn sorted_set<K: Ord + Copy>(set: &HashSet<K>) -> Vec<K> {
+            let mut flat: Vec<K> = set.iter().copied().collect();
+            flat.sort_unstable();
+            flat
+        }
+        ServiceCheckpoint {
+            wal_seq: 0,
+            config: self.config.clone(),
+            start: self.start,
+            end: self.end,
+            drain_end: self.drain_end,
+            window_close: self.window_close,
+            orders: self.orders.clone(),
+            next_order: self.next_order,
+            known: sorted_map(&self.known),
+            schedule: self.schedule.clone(),
+            vehicles: self.vehicles.clone(),
+            pending: self.pending.clone(),
+            assigned_or_done: sorted_set(&self.assigned_or_done),
+            delivered: sorted_set(&self.delivered),
+            cancel_requested: sorted_set(&self.cancel_requested),
+            prep_delay_pending: sorted_map(&self.prep_delay_pending),
+            cancelled_ids: sorted_set(&self.cancelled_ids),
+            sdt: sorted_map(&self.sdt),
+            collector: self.collector.clone(),
+            finished: self.finished,
+        }
+    }
+
+    /// Rebuilds a service from a [`ServiceCheckpoint`], resuming the run
+    /// exactly where [`checkpoint`](Self::checkpoint) captured it.
+    ///
+    /// The caller supplies the parts that are deliberately *not* in the
+    /// checkpoint: an engine handle over the same road network (checkpoints
+    /// store run state, not the city), and the policy (stateless across
+    /// windows by the [`DispatchPolicy`] contract). Everything derived is
+    /// recomputed — the vehicle index from the fleet, the reshuffle flag
+    /// from policy × config — and if the checkpoint was taken under an
+    /// active traffic disruption the engine's overlay is re-rendered and
+    /// re-installed, so the restored service sees the same perturbed travel
+    /// times.
+    ///
+    /// # Panics
+    /// Panics when the checkpoint's configuration is invalid — impossible
+    /// for checkpoints produced by [`checkpoint`](Self::checkpoint) or
+    /// decoded through [`Codec`](foodmatch_core::Codec) (both validate).
+    pub fn restore(engine: ShortestPathEngine, policy: P, checkpoint: &ServiceCheckpoint) -> Self {
+        checkpoint.config.validate().expect("invalid dispatch configuration in checkpoint");
+        let reshuffle = policy.uses_reshuffling(&checkpoint.config);
+        let vehicles = checkpoint.vehicles.clone();
+        let vehicle_index = vehicles.iter().enumerate().map(|(i, v)| (v.id, i)).collect();
+        let mut schedule = checkpoint.schedule.clone();
+        // The engine handle arrives in an arbitrary overlay state; make it
+        // match the checkpoint's (the schedule knows what was active).
+        if engine.has_overlay() {
+            engine.clear_overlay();
+        }
+        if schedule.traffic_active() {
+            let overlay = schedule.render_overlay(engine.network());
+            engine.set_overlay(overlay);
+        }
+        DispatchService {
+            engine,
+            policy,
+            config: checkpoint.config.clone(),
+            reshuffle,
+            start: checkpoint.start,
+            end: checkpoint.end,
+            drain_end: checkpoint.drain_end,
+            window_close: checkpoint.window_close,
+            orders: checkpoint.orders.clone(),
+            next_order: checkpoint.next_order,
+            known: checkpoint.known.iter().copied().collect(),
+            schedule,
+            vehicles,
+            vehicle_index,
+            pending: checkpoint.pending.clone(),
+            assigned_or_done: checkpoint.assigned_or_done.iter().copied().collect(),
+            delivered: checkpoint.delivered.iter().copied().collect(),
+            cancel_requested: checkpoint.cancel_requested.iter().copied().collect(),
+            prep_delay_pending: checkpoint.prep_delay_pending.iter().copied().collect(),
+            cancelled_ids: checkpoint.cancelled_ids.iter().copied().collect(),
+            sdt: checkpoint.sdt.iter().copied().collect(),
+            collector: checkpoint.collector.clone(),
+            finished: checkpoint.finished,
+        }
     }
 
     /// Processes exactly one accumulation window closing at `close`.
@@ -799,6 +1020,7 @@ fn replan_vehicle(vehicle: &mut VehicleState, now: TimePoint, engine: &ShortestP
 #[cfg(test)]
 mod tests {
     use super::*;
+    use foodmatch_core::codec::Codec;
     use foodmatch_core::policies::{FoodMatchPolicy, GreedyPolicy};
     use foodmatch_events::{DisruptionCause, TrafficDisruption};
     use foodmatch_roadnet::generators::GridCityBuilder;
@@ -844,7 +1066,7 @@ mod tests {
         );
 
         // Step a few windows, submitting the second order mid-run.
-        let mut outputs = svc.advance_to(start + Duration::from_mins(6.0));
+        let mut outputs = svc.advance_to(start + Duration::from_mins(6.0)).into_outputs();
         assert!(svc
             .submit_order(order(
                 2,
@@ -933,7 +1155,7 @@ mod tests {
         let mut slow = service(&engine, &b, GreedyPolicy::new());
         let _ = slow.submit_order(o);
         // The surge is ingested live, mid-run, after the first window.
-        slow.advance_to(start + Duration::from_mins(3.0));
+        let _ = slow.advance_to(start + Duration::from_mins(3.0));
         let _ = slow.ingest_event(DisruptionEvent::new(
             start + Duration::from_mins(4.0),
             EventKind::Traffic(TrafficDisruption::city_wide(
@@ -994,11 +1216,107 @@ mod tests {
         let (engine, b) = grid();
         let mut svc = service(&engine, &b, GreedyPolicy::new());
         let start = svc.now();
-        svc.advance_to(start + Duration::from_mins(9.0));
+        let _ = svc.advance_to(start + Duration::from_mins(9.0));
         // Placed in the (already processed) past: enters the next window.
         let _ = svc.submit_order(order(1, b.node_at(1, 1), b.node_at(5, 1), start));
         let report = svc.run_to_completion();
         assert_eq!(report.total_orders, 1);
         assert_eq!(report.delivered.len(), 1);
+    }
+
+    #[test]
+    fn advancing_backwards_is_a_typed_out_of_order_status() {
+        let (engine, b) = grid();
+        let mut svc = service(&engine, &b, GreedyPolicy::new());
+        let start = svc.now();
+        let _ = svc.advance_to(start + Duration::from_mins(9.0));
+        let clock = svc.now();
+
+        // The stale target that used to no-op silently now names itself.
+        let outcome = svc.advance_to(start + Duration::from_mins(3.0));
+        assert!(outcome.is_out_of_order());
+        assert!(outcome.is_empty());
+        match outcome.status {
+            AdvanceStatus::OutOfOrder { requested, clock: reported } => {
+                assert_eq!(requested, start + Duration::from_mins(3.0));
+                assert_eq!(reported, clock);
+            }
+            other => panic!("expected OutOfOrder, got {other:?}"),
+        }
+        // The rejection changed nothing: the clock and the run go on.
+        assert_eq!(svc.now(), clock);
+        let report = svc.run_to_completion();
+        assert_eq!(report.total_orders, 0);
+    }
+
+    #[test]
+    fn checkpoint_restore_mid_run_completes_identically() {
+        let (engine, b) = grid();
+        let start = TimePoint::from_hms(12, 0, 0);
+        fn fresh(
+            engine: &ShortestPathEngine,
+            b: &GridCityBuilder,
+            start: TimePoint,
+        ) -> DispatchService<FoodMatchPolicy> {
+            let mut svc = DispatchService::new(
+                engine.clone(),
+                vec![(VehicleId(0), b.node_at(0, 0)), (VehicleId(1), b.node_at(7, 7))],
+                FoodMatchPolicy::new(),
+                DispatchConfig::default(),
+                start,
+                start + Duration::from_hours(1.0),
+                Duration::from_hours(3.0),
+            );
+            for i in 0..5u64 {
+                let _ = svc.submit_order(Order::new(
+                    OrderId(i),
+                    b.node_at(1 + (i % 3) as usize, 1),
+                    b.node_at(5, 1 + (i % 4) as usize),
+                    start + Duration::from_mins(1.0 + 4.0 * i as f64),
+                    1,
+                    Duration::from_mins(8.0),
+                ));
+            }
+            let _ = svc.ingest_event(DisruptionEvent::new(
+                start + Duration::from_mins(5.0),
+                EventKind::Traffic(TrafficDisruption::city_wide(
+                    DisruptionCause::Rain,
+                    1.5,
+                    start + Duration::from_mins(30.0),
+                )),
+            ));
+            svc
+        }
+        fn normalized(mut report: crate::SimulationReport) -> crate::SimulationReport {
+            for window in &mut report.windows {
+                window.compute_secs = 0.0;
+                window.overflown = false;
+            }
+            report
+        }
+
+        let golden_report = fresh(&engine, &b, start).run_to_completion();
+
+        // The same run, interrupted mid-disruption by a checkpoint + a
+        // restore into a fresh service (round-tripped through bytes).
+        let mut svc = fresh(&engine, &b, start);
+        let _ = svc.advance_to(start + Duration::from_mins(12.0));
+        let checkpoint = svc.checkpoint();
+        assert!(!checkpoint.is_finished());
+        assert_eq!(checkpoint.clock(), svc.now());
+        drop(svc);
+
+        let bytes = checkpoint.to_bytes();
+        let revived = ServiceCheckpoint::from_bytes(&bytes).expect("round trip");
+        let mut restored =
+            DispatchService::restore(engine.clone(), FoodMatchPolicy::new(), &revived);
+        assert_eq!(restored.now(), revived.clock());
+        let report = restored.run_to_completion();
+        assert_eq!(
+            normalized(report),
+            normalized(golden_report),
+            "a restored service must finish the identical run"
+        );
+        assert!(!engine.has_overlay(), "the engine is handed back clean after restore");
     }
 }

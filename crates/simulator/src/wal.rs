@@ -1,0 +1,455 @@
+//! The write-ahead log: a durable, replayable record of every input the
+//! online dispatch layer receives.
+//!
+//! Dispatch is deterministic: the same inputs in the same order produce the
+//! same windows, the same assignments, the same report — bit for bit. That
+//! makes crash-safety a logging problem. A [`WriteAheadLog`] records every
+//! [`submit_order`](crate::DispatchService::submit_order),
+//! [`ingest_event`](crate::DispatchService::ingest_event) and
+//! [`advance_to`](crate::DispatchService::advance_to) call as a framed
+//! [`WalRecord`] *before* it is applied; recovery restores the latest
+//! [checkpoint](crate::checkpoint) and replays the log suffix past the
+//! checkpoint's [`wal_seq`](crate::checkpoint::ServiceCheckpoint::wal_seq),
+//! landing on exactly the state — and exactly the output stream — the
+//! uninterrupted run would have produced.
+//!
+//! ## On-disk format
+//!
+//! ```text
+//! [8-byte magic "FMWAL001"]
+//! repeated: [u32 payload length] [u32 CRC-32 of payload] [payload]
+//! ```
+//!
+//! All integers little-endian; payloads are [`Codec`]-encoded
+//! [`WalRecord`]s. The reader distinguishes two failure shapes, mirroring
+//! what a real crash can and cannot produce:
+//!
+//! * a **torn tail** — the file ends mid-record, exactly what a crash
+//!   during an append leaves behind. The partial record is dropped and
+//!   reported as [`TornTail`]; every record before it is intact (appends
+//!   are flushed in order). [`WriteAheadLog::open`] truncates the tear and
+//!   resumes appending after the last whole record.
+//! * **corruption** — a checksum mismatch, an oversized length, or a
+//!   payload that fails structural validation *anywhere* in the log. No
+//!   crash produces this (earlier records were fully flushed before later
+//!   ones were written); it means the file was damaged after the fact, and
+//!   reading stops with a hard, typed [`WalError`]. Never a panic, never a
+//!   silently wrong prefix.
+
+use foodmatch_core::codec::{crc32, ByteReader, Codec, DecodeError};
+use foodmatch_core::Order;
+use foodmatch_events::DisruptionEvent;
+use foodmatch_roadnet::TimePoint;
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Magic prefix of every WAL file (8 bytes, versioned).
+pub const WAL_MAGIC: &[u8; 8] = b"FMWAL001";
+
+/// Upper bound on one record's payload (16 MiB). A declared length above
+/// this is corruption, not a plausibly torn append — even a maximal-fleet
+/// disruption event is orders of magnitude smaller.
+pub const MAX_RECORD_LEN: u32 = 16 << 20;
+
+/// One logged dispatcher input. The three variants mirror the three
+/// mutating calls of the online API.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WalRecord {
+    /// An order was submitted.
+    SubmitOrder(Order),
+    /// A disruption event was ingested.
+    IngestEvent(DisruptionEvent),
+    /// The clock was advanced to this target.
+    AdvanceTo(TimePoint),
+}
+
+impl Codec for WalRecord {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            WalRecord::SubmitOrder(order) => {
+                out.push(0);
+                order.encode(out);
+            }
+            WalRecord::IngestEvent(event) => {
+                out.push(1);
+                event.encode(out);
+            }
+            WalRecord::AdvanceTo(until) => {
+                out.push(2);
+                until.encode(out);
+            }
+        }
+    }
+    fn decode(reader: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        match reader.take(1)?[0] {
+            0 => Ok(WalRecord::SubmitOrder(Order::decode(reader)?)),
+            1 => Ok(WalRecord::IngestEvent(DisruptionEvent::decode(reader)?)),
+            2 => Ok(WalRecord::AdvanceTo(TimePoint::decode(reader)?)),
+            tag => Err(DecodeError::Invalid(format!("unknown WalRecord tag {tag}"))),
+        }
+    }
+}
+
+/// A typed write-ahead-log failure. Reading or writing a WAL never panics;
+/// every corruption and I/O mode surfaces as one of these.
+#[derive(Debug)]
+pub enum WalError {
+    /// The underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// The file does not start with [`WAL_MAGIC`] (wrong file, or a
+    /// future/incompatible format version).
+    BadHeader {
+        /// The bytes actually found (up to 8).
+        found: Vec<u8>,
+    },
+    /// A record frame declares a payload larger than [`MAX_RECORD_LEN`] —
+    /// a corrupt length field, not a torn append.
+    OversizedRecord {
+        /// Byte offset of the offending frame.
+        offset: u64,
+        /// The declared payload length.
+        declared: u32,
+    },
+    /// A record's payload does not match its stored CRC-32. The log was
+    /// damaged after it was written (a torn append cannot produce this —
+    /// earlier records are flushed before later ones exist).
+    ChecksumMismatch {
+        /// Index of the corrupt record.
+        index: u64,
+        /// Byte offset of its frame.
+        offset: u64,
+        /// Checksum stored in the frame.
+        expected: u32,
+        /// Checksum of the payload actually present.
+        actual: u32,
+    },
+    /// A record passed its checksum but failed structural validation.
+    Malformed {
+        /// Index of the malformed record.
+        index: u64,
+        /// Byte offset of its frame.
+        offset: u64,
+        /// The underlying decode failure.
+        source: DecodeError,
+    },
+    /// A fault-injection point fired (see
+    /// [`FailPoint`](crate::durable::FailPoint)): the simulated process
+    /// died here. Only produced by the fault-injection harness.
+    CrashInjected {
+        /// The record sequence number at which the simulated crash fired.
+        seq: u64,
+    },
+    /// The durable wrapper already crashed (via a fail point); further
+    /// input is refused until recovery.
+    Crashed,
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "WAL i/o failed: {e}"),
+            WalError::BadHeader { found } => {
+                write!(f, "not a WAL file (header {found:?})")
+            }
+            WalError::OversizedRecord { offset, declared } => write!(
+                f,
+                "WAL record at offset {offset} declares {declared} payload bytes (limit {MAX_RECORD_LEN}) — corrupt length"
+            ),
+            WalError::ChecksumMismatch { index, offset, expected, actual } => write!(
+                f,
+                "WAL record {index} (offset {offset}) checksum mismatch: expected {expected:#010x}, got {actual:#010x}"
+            ),
+            WalError::Malformed { index, offset, source } => {
+                write!(f, "WAL record {index} (offset {offset}) is malformed: {source}")
+            }
+            WalError::CrashInjected { seq } => {
+                write!(f, "fault injection: simulated crash at WAL sequence {seq}")
+            }
+            WalError::Crashed => {
+                write!(f, "dispatcher crashed (fault injection); recover before submitting input")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WalError::Io(e) => Some(e),
+            WalError::Malformed { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+/// A partial final record left by a crash mid-append: tolerated, dropped,
+/// reported.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TornTail {
+    /// Byte offset where the partial frame starts (the valid prefix ends
+    /// here).
+    pub offset: u64,
+    /// Number of partial bytes dropped.
+    pub bytes: u64,
+}
+
+/// The result of reading a WAL: the intact records plus, when the file
+/// ends mid-append, the torn tail that was dropped.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WalReadOutcome {
+    /// Every intact record, in append order.
+    pub records: Vec<WalRecord>,
+    /// Present when the file ended mid-record (crash during append).
+    pub torn_tail: Option<TornTail>,
+}
+
+/// Frames one record: `[u32 len] [u32 crc] [payload]`.
+fn frame(record: &WalRecord) -> Vec<u8> {
+    let payload = record.to_bytes();
+    let mut framed = Vec::with_capacity(payload.len() + 8);
+    framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    framed.extend_from_slice(&crc32(&payload).to_le_bytes());
+    framed.extend_from_slice(&payload);
+    framed
+}
+
+/// Decodes a WAL from raw bytes. Torn tails are tolerated (see the
+/// [module docs](self)); any other irregularity is a hard [`WalError`].
+pub fn read_wal_bytes(bytes: &[u8]) -> Result<WalReadOutcome, WalError> {
+    if bytes.len() < WAL_MAGIC.len() {
+        return Err(WalError::BadHeader { found: bytes.to_vec() });
+    }
+    if &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Err(WalError::BadHeader { found: bytes[..WAL_MAGIC.len()].to_vec() });
+    }
+    let mut records = Vec::new();
+    let mut offset = WAL_MAGIC.len();
+    loop {
+        let remaining = bytes.len() - offset;
+        if remaining == 0 {
+            return Ok(WalReadOutcome { records, torn_tail: None });
+        }
+        if remaining < 8 {
+            // The frame header itself is incomplete: torn append.
+            return Ok(WalReadOutcome {
+                records,
+                torn_tail: Some(TornTail { offset: offset as u64, bytes: remaining as u64 }),
+            });
+        }
+        let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes"));
+        let expected =
+            u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().expect("4 bytes"));
+        if len > MAX_RECORD_LEN {
+            return Err(WalError::OversizedRecord { offset: offset as u64, declared: len });
+        }
+        let body = offset + 8;
+        if bytes.len() - body < len as usize {
+            // Payload incomplete at end-of-file: torn append.
+            return Ok(WalReadOutcome {
+                records,
+                torn_tail: Some(TornTail { offset: offset as u64, bytes: remaining as u64 }),
+            });
+        }
+        let payload = &bytes[body..body + len as usize];
+        let actual = crc32(payload);
+        if actual != expected {
+            return Err(WalError::ChecksumMismatch {
+                index: records.len() as u64,
+                offset: offset as u64,
+                expected,
+                actual,
+            });
+        }
+        let record = WalRecord::from_bytes(payload).map_err(|source| WalError::Malformed {
+            index: records.len() as u64,
+            offset: offset as u64,
+            source,
+        })?;
+        records.push(record);
+        offset = body + len as usize;
+    }
+}
+
+/// Reads and decodes a WAL file. See [`read_wal_bytes`].
+pub fn read_wal_file(path: impl AsRef<Path>) -> Result<WalReadOutcome, WalError> {
+    read_wal_bytes(&fs::read(path.as_ref())?)
+}
+
+/// An append-only write-ahead log file.
+///
+/// Appends are framed, checksummed and flushed to the OS before the
+/// corresponding state change is applied ([`DurableDispatch`]
+/// (crate::durable::DurableDispatch) enforces the ordering), so the log
+/// always holds at least as much history as any state the process has
+/// exposed.
+#[derive(Debug)]
+pub struct WriteAheadLog {
+    file: fs::File,
+    path: PathBuf,
+    seq: u64,
+}
+
+impl WriteAheadLog {
+    /// Creates a fresh WAL at `path` (truncating any existing file) and
+    /// writes the header.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self, WalError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = fs::File::create(&path)?;
+        file.write_all(WAL_MAGIC)?;
+        file.sync_all()?;
+        Ok(WriteAheadLog { file, path, seq: 0 })
+    }
+
+    /// Opens an existing WAL for appending: reads it back (propagating any
+    /// corruption as a typed error), truncates a torn tail if one exists,
+    /// and returns the log positioned after the last intact record together
+    /// with everything read. This is the restart path — the returned
+    /// records drive recovery replay.
+    pub fn open(path: impl AsRef<Path>) -> Result<(Self, WalReadOutcome), WalError> {
+        let path = path.as_ref().to_path_buf();
+        let bytes = fs::read(&path)?;
+        let outcome = read_wal_bytes(&bytes)?;
+        let file = fs::OpenOptions::new().append(true).open(&path)?;
+        if let Some(tear) = outcome.torn_tail {
+            file.set_len(tear.offset)?;
+            file.sync_all()?;
+        }
+        let seq = outcome.records.len() as u64;
+        Ok((WriteAheadLog { file, path, seq }, outcome))
+    }
+
+    /// Appends one record and flushes it to the OS. Returns the record's
+    /// sequence number (zero-based append index).
+    pub fn append(&mut self, record: &WalRecord) -> Result<u64, WalError> {
+        self.file.write_all(&frame(record))?;
+        self.file.sync_data()?;
+        let seq = self.seq;
+        self.seq += 1;
+        Ok(seq)
+    }
+
+    /// Appends only a *prefix* of the record's frame — a simulated torn
+    /// write, as a crash mid-append would leave. The record does not count
+    /// as durable (the sequence number does not advance). Used by the
+    /// fault-injection harness to exercise the torn-tail recovery path.
+    pub fn append_torn(&mut self, record: &WalRecord) -> Result<(), WalError> {
+        let framed = frame(record);
+        let keep = (framed.len() / 2).max(1);
+        self.file.write_all(&framed[..keep])?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Number of records durably appended (and the sequence number the
+    /// next append will get).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The file path this log writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use foodmatch_core::OrderId;
+    use foodmatch_roadnet::{Duration, NodeId};
+
+    fn sample_records() -> Vec<WalRecord> {
+        let t = TimePoint::from_hms(12, 0, 0);
+        vec![
+            WalRecord::SubmitOrder(Order::new(
+                OrderId(1),
+                NodeId(4),
+                NodeId(9),
+                t,
+                2,
+                Duration::from_mins(7.0),
+            )),
+            WalRecord::AdvanceTo(t + Duration::from_mins(3.0)),
+            WalRecord::AdvanceTo(t + Duration::from_mins(6.0)),
+        ]
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("fm-wal-test-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn append_read_round_trip_preserves_every_record() {
+        let path = temp_path("roundtrip");
+        let mut wal = WriteAheadLog::create(&path).expect("create");
+        let records = sample_records();
+        for (i, record) in records.iter().enumerate() {
+            assert_eq!(wal.append(record).expect("append"), i as u64);
+        }
+        let outcome = read_wal_file(&path).expect("read");
+        assert_eq!(outcome.records, records);
+        assert_eq!(outcome.torn_tail, None);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_appending_resumes_after_it() {
+        let path = temp_path("torn");
+        let mut wal = WriteAheadLog::create(&path).expect("create");
+        let records = sample_records();
+        wal.append(&records[0]).expect("append");
+        wal.append_torn(&records[1]).expect("torn append");
+        drop(wal);
+
+        let (mut reopened, outcome) = WriteAheadLog::open(&path).expect("open tolerates tear");
+        assert_eq!(outcome.records, records[..1]);
+        assert!(outcome.torn_tail.is_some(), "the tear is reported");
+        assert_eq!(reopened.seq(), 1);
+
+        // The tear was truncated: appending continues from a clean log.
+        reopened.append(&records[2]).expect("append after recovery");
+        drop(reopened);
+        let outcome = read_wal_file(&path).expect("reread");
+        assert_eq!(outcome.records, vec![records[0].clone(), records[2].clone()]);
+        assert_eq!(outcome.torn_tail, None);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mid_log_corruption_is_a_hard_typed_error() {
+        let path = temp_path("corrupt");
+        let mut wal = WriteAheadLog::create(&path).expect("create");
+        for record in &sample_records() {
+            wal.append(record).expect("append");
+        }
+        drop(wal);
+        let mut bytes = fs::read(&path).expect("read file");
+        // Flip one payload bit of the *first* record (well before the tail).
+        bytes[WAL_MAGIC.len() + 8] ^= 0x10;
+        match read_wal_bytes(&bytes) {
+            Err(WalError::ChecksumMismatch { index: 0, .. }) => {}
+            other => panic!("expected a checksum error on record 0, got {other:?}"),
+        }
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn header_and_length_corruption_yield_typed_errors() {
+        assert!(matches!(read_wal_bytes(b"nope"), Err(WalError::BadHeader { .. })));
+        assert!(matches!(read_wal_bytes(b"XXXXXXXXrest"), Err(WalError::BadHeader { .. })));
+
+        let mut bytes = WAL_MAGIC.to_vec();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 64]);
+        assert!(matches!(read_wal_bytes(&bytes), Err(WalError::OversizedRecord { .. })));
+    }
+}

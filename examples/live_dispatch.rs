@@ -1,11 +1,14 @@
 //! Live dispatch: drive the online `DispatchService` from a closed-loop
-//! Poisson demand source — no pre-materialized order list anywhere.
+//! Poisson demand source — no pre-materialized order list anywhere — with
+//! the full crash-safety loop around it.
 //!
-//! The loop below is the shape of a production deployment: each tick, poll
-//! the demand stream, submit what arrived, maybe ingest a disruption, then
-//! advance the service one accumulation window and react to the typed
-//! output events. Metrics are available at any point via `snapshot()` /
-//! `report()`.
+//! The shape below is a production deployment: each tick, poll the demand
+//! stream, submit what arrived through the write-ahead log, maybe ingest a
+//! disruption, advance one accumulation window and react to the typed
+//! output events, checkpointing every few windows. Forty minutes in the
+//! process "loses power": the in-memory dispatch state is dropped and the
+//! service is rebuilt from the newest checkpoint plus a WAL replay, then
+//! resumes the same demand stream to the end of the day.
 //!
 //! ```text
 //! cargo run --release -p integration-tests --example live_dispatch
@@ -13,17 +16,23 @@
 
 use foodmatch_core::FoodMatchPolicy;
 use foodmatch_events::{DisruptionCause, DisruptionEvent, EventKind, TrafficDisruption};
-use foodmatch_roadnet::Duration;
-use foodmatch_sim::DispatchOutput;
+use foodmatch_roadnet::{Duration, TimePoint};
+use foodmatch_sim::{
+    load_checkpoint, replay_wal, save_checkpoint, DispatchOutput, DispatchService, DurableDispatch,
+    ServiceCheckpoint, WriteAheadLog,
+};
 use foodmatch_workload::{CityId, OrderSource, PoissonOrderSource, Scenario, ScenarioOptions};
+use std::path::Path;
+
+type DurableService = DurableDispatch<DispatchService<FoodMatchPolicy>>;
 
 fn main() {
     // A generated city provides the network, the restaurant directory and
     // the fleet — but NOT the demand: orders will be drawn live.
     let options = ScenarioOptions {
         seed: 1,
-        start: foodmatch_roadnet::TimePoint::from_hms(12, 0, 0),
-        end: foodmatch_roadnet::TimePoint::from_hms(13, 0, 0),
+        start: TimePoint::from_hms(12, 0, 0),
+        end: TimePoint::from_hms(13, 0, 0),
         vehicle_fraction: 1.0,
     };
     let scenario = Scenario::generate(CityId::GrubHub, options);
@@ -35,33 +44,102 @@ fn main() {
         sim.vehicle_starts.len()
     );
 
-    let mut service = sim.service(FoodMatchPolicy::new());
+    // Durability: every submit/ingest/advance is framed, checksummed and
+    // flushed to the WAL before the service applies it; the periodic
+    // checkpoint bounds how much of the log a recovery has to replay.
+    let dir = std::env::temp_dir().join(format!("fm-live-dispatch-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let wal_path = dir.join("dispatch.wal");
+    let ckpt_path = dir.join("dispatch.ckpt");
+    let log = WriteAheadLog::create(&wal_path).expect("create WAL");
+    let mut durable = DurableDispatch::new(sim.service(FoodMatchPolicy::new()), log);
 
-    // Half an hour in, it starts raining: ingest the disruption live, the
-    // same way orders arrive.
+    // Half an hour in it starts raining; ten minutes later the power goes.
     let rain_at = sim.start + Duration::from_mins(30.0);
-    let mut rain_ingested = false;
+    let crash_at = sim.start + Duration::from_mins(40.0);
 
-    while !service.is_finished() {
-        let tick = service.now() + service.config().accumulation_window;
+    pump(&mut durable, &mut demand, Some(rain_at), &ckpt_path);
+    let _ = durable
+        .ingest_event(DisruptionEvent::new(
+            rain_at,
+            EventKind::Traffic(TrafficDisruption::city_wide(
+                DisruptionCause::Rain,
+                1.5,
+                sim.end + Duration::from_hours(1.0),
+            )),
+        ))
+        .expect("log rain");
+    println!("{rain_at:?}  rain surge ingested (all roads 1.5x slower)");
+    pump(&mut durable, &mut demand, Some(crash_at), &ckpt_path);
+
+    // Simulated power cut: the in-memory dispatch state is gone; only the
+    // WAL and the last sealed checkpoint survive on disk.
+    let lost_seq = durable.wal_seq();
+    drop(durable);
+    println!();
+    println!("-- power cut near {crash_at:?}: dispatch state lost at wal seq {lost_seq} --");
+
+    // Recovery: reopen the log (a torn final record would be truncated
+    // here), restore the newest checkpoint, replay the log suffix the
+    // checkpoint has not seen. The rain overlay, carried orders and
+    // vehicle routes all come back bit-identical.
+    let (log, read) = WriteAheadLog::open(&wal_path).expect("reopen WAL");
+    let checkpoint: ServiceCheckpoint = load_checkpoint(&ckpt_path).expect("load checkpoint");
+    let mut service =
+        DispatchService::restore(sim.engine.clone(), FoodMatchPolicy::new(), &checkpoint);
+    let replayed = replay_wal(&mut service, &read.records[checkpoint.wal_seq as usize..])
+        .expect("replay the WAL suffix");
+    println!(
+        "-- recovered: checkpoint at seq {} + {} replayed records \
+         ({} outputs regenerated), clock back at {:?} --",
+        checkpoint.wal_seq,
+        read.records.len() - checkpoint.wal_seq as usize,
+        replayed.len(),
+        service.now(),
+    );
+    println!();
+
+    // The demand feed never died — resume it against the rebuilt service
+    // and drain the day.
+    let mut durable = DurableDispatch::new(service, log);
+    pump(&mut durable, &mut demand, None, &ckpt_path);
+
+    let report = durable.target().report();
+    println!();
+    println!(
+        "day done: {} offered, {} delivered, {} rejected | XDT {:.2} h, {:.2} orders/km",
+        report.total_orders,
+        report.delivered.len(),
+        report.rejected.len(),
+        report.total_xdt_hours(),
+        report.orders_per_km()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Drives the durable service one accumulation window at a time until
+/// `stop` (or completion), submitting live demand through the WAL and
+/// sealing a checkpoint every five windows.
+fn pump(
+    durable: &mut DurableService,
+    demand: &mut PoissonOrderSource,
+    stop: Option<TimePoint>,
+    ckpt_path: &Path,
+) {
+    let mut windows = 0usize;
+    while !durable.target().is_finished() {
+        let tick = durable.target().now() + durable.target().config().accumulation_window;
+        if let Some(stop) = stop {
+            if tick >= stop {
+                return;
+            }
+        }
 
         for order in demand.poll(tick) {
-            let _ = service.submit_order(order);
-        }
-        if !rain_ingested && tick >= rain_at {
-            let _ = service.ingest_event(DisruptionEvent::new(
-                rain_at,
-                EventKind::Traffic(TrafficDisruption::city_wide(
-                    DisruptionCause::Rain,
-                    1.5,
-                    sim.end + Duration::from_hours(1.0),
-                )),
-            ));
-            rain_ingested = true;
-            println!("{tick:?}  rain surge ingested (all roads 1.5x slower)");
+            let _ = durable.submit_order(order).expect("log order");
         }
 
-        for output in service.advance_to(tick) {
+        for output in durable.advance_to(tick).expect("log advance") {
             match output {
                 DispatchOutput::Assigned { order, vehicle, .. } => {
                     println!("{tick:?}  assigned  {order:?} -> {vehicle:?}");
@@ -73,7 +151,7 @@ fn main() {
                     println!("{tick:?}  rejected  {order:?}");
                 }
                 DispatchOutput::WindowClosed { stats } => {
-                    let snap = service.snapshot();
+                    let snap = durable.target().snapshot();
                     println!(
                         "{tick:?}  window: {} orders x {} vehicles, {} assigned | \
                          pending {}, in flight {}{}",
@@ -88,16 +166,12 @@ fn main() {
                 _ => {}
             }
         }
-    }
 
-    let report = service.report();
-    println!();
-    println!(
-        "day done: {} offered, {} delivered, {} rejected | XDT {:.2} h, {:.2} orders/km",
-        report.total_orders,
-        report.delivered.len(),
-        report.rejected.len(),
-        report.total_xdt_hours(),
-        report.orders_per_km()
-    );
+        windows += 1;
+        if windows % 5 == 0 {
+            let checkpoint = durable.checkpoint();
+            save_checkpoint(ckpt_path, &checkpoint).expect("save checkpoint");
+            println!("{tick:?}  checkpoint sealed at wal seq {}", checkpoint.wal_seq);
+        }
+    }
 }

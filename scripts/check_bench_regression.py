@@ -21,6 +21,14 @@ kind is auto-detected from its keys:
   ingest ``orders_per_sec`` dropped, or its lockstep ``advance_to``
   ``mean_ms`` or ``p90_ms`` latency grew, by more than the threshold — the
   shard-scaling curve must not flatten.
+* ``BENCH_recovery.json`` (``recovery``): fails when durable (WAL-on)
+  ingest ``wal_orders_per_sec`` dropped, the ``wal_overhead_ratio`` vs the
+  bare service grew, checkpoint ``save_best_ms``/``restore_best_ms`` grew,
+  or the replay ``records_per_sec`` catch-up rate dropped, by more than the
+  threshold — crash-safety must not silently get more expensive. The
+  guarded numbers are best-of estimates (fastest chunk/snapshot/pass): the
+  sub-millisecond fsync-bound means are too runner-noise-sensitive to gate
+  on, the floor is not.
 
 Timing-based comparisons (dispatch, matching) are skipped — informational
 only, exit 0 — when the two runs are not comparable: different
@@ -209,6 +217,78 @@ def check_router(new, baseline, threshold):
     return failures
 
 
+def check_recovery(new, baseline, threshold):
+    """Durability-cost guard for BENCH_recovery.json (per policy)."""
+    baseline_runs = {r["policy"]: r for r in baseline.get("recovery", [])}
+    failures = []
+    for run in new.get("recovery", []):
+        policy = run["policy"]
+        old = baseline_runs.get(policy)
+        if old is None:
+            print(f"note: policy {policy} has no committed baseline, skipping")
+            continue
+
+        def lower_is_regression(label, new_value, old_value, unit=""):
+            if old_value <= 0:
+                return
+            drop = (old_value - new_value) / old_value
+            status = "REGRESSION" if drop > threshold else "ok"
+            print(
+                f"{policy:<10} {label:<22} baseline {old_value:>12.1f}{unit}  "
+                f"now {new_value:>12.1f}{unit}  ({-drop:+.1%}) {status}"
+            )
+            if drop > threshold:
+                failures.append(f"{policy} {label}")
+
+        def higher_is_regression(label, new_value, old_value, unit=""):
+            if old_value <= 0:
+                return
+            growth = (new_value - old_value) / old_value
+            status = "REGRESSION" if growth > threshold else "ok"
+            print(
+                f"{policy:<10} {label:<22} baseline {old_value:>12.2f}{unit}  "
+                f"now {new_value:>12.2f}{unit}  ({growth:+.1%}) {status}"
+            )
+            if growth > threshold:
+                failures.append(f"{policy} {label}")
+
+        lower_is_regression(
+            "WAL ingest orders/sec",
+            float(run["ingest"]["wal_orders_per_sec"]),
+            float(old["ingest"]["wal_orders_per_sec"]),
+        )
+        higher_is_regression(
+            "checkpoint bytes",
+            float(run["checkpoint"]["bytes"]),
+            float(old["checkpoint"]["bytes"]),
+            "B",
+        )
+        higher_is_regression(
+            "WAL overhead ratio",
+            float(run["ingest"]["wal_overhead_ratio"]),
+            float(old["ingest"]["wal_overhead_ratio"]),
+            "x",
+        )
+        higher_is_regression(
+            "checkpoint save best",
+            float(run["checkpoint"]["save_best_ms"]),
+            float(old["checkpoint"]["save_best_ms"]),
+            "ms",
+        )
+        higher_is_regression(
+            "checkpoint restore best",
+            float(run["checkpoint"]["restore_best_ms"]),
+            float(old["checkpoint"]["restore_best_ms"]),
+            "ms",
+        )
+        lower_is_regression(
+            "replay records/sec",
+            float(run["replay"]["records_per_sec"]),
+            float(old["replay"]["records_per_sec"]),
+        )
+    return failures
+
+
 def check_disruptions(new, baseline, threshold):
     """Policy-quality guard for BENCH_disruptions.json (XDT per run)."""
     def key(run):
@@ -262,6 +342,9 @@ def main():
     elif "router" in new:
         comparable = check_comparable(new, baseline, ["available_parallelism", "quick"])
         failures = check_router(new, baseline, args.threshold)
+    elif "recovery" in new:
+        comparable = check_comparable(new, baseline, ["available_parallelism", "quick"])
+        failures = check_recovery(new, baseline, args.threshold)
     elif "runs" in new:
         comparable = check_comparable(new, baseline, ["quick", "seed"])
         failures = check_disruptions(new, baseline, args.threshold)

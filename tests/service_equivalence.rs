@@ -147,7 +147,7 @@ fn streaming_submission_matches_batch_on_a_calm_day() {
             for order in source.poll(tick) {
                 let _ = service.submit_order(order);
             }
-            service.advance_to(tick);
+            let _ = service.advance_to(tick);
         }
         assert_eq!(
             normalized(batch),
