@@ -6,7 +6,14 @@
 //! repro fig6cde [--seed 3]                 # run one experiment
 //! repro dispatch --bench-out BENCH_dispatch.json   # machine-readable perf baseline
 //! repro matching --solver dense-km         # pin the assignment solver
+//! repro service --telemetry-out telemetry.json     # metrics + Chrome trace export
 //! ```
+//!
+//! `--telemetry-out PATH` installs a global [`foodmatch_telemetry`] recorder
+//! before the first experiment runs, then writes the aggregated metric
+//! snapshot to `PATH` as JSON and the ring-buffered span trace to
+//! `PATH` with a `.trace.json` suffix (Chrome trace-event format, loadable
+//! in `chrome://tracing` or Perfetto).
 
 use foodmatch_bench::experiments;
 use foodmatch_bench::ExperimentContext;
@@ -37,6 +44,13 @@ fn main() -> ExitCode {
                 Some(path) => ctx.bench_out = Some(path.into()),
                 None => {
                     eprintln!("--bench-out requires a file path argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--telemetry-out" => match iter.next() {
+                Some(path) => ctx.telemetry_out = Some(path.into()),
+                None => {
+                    eprintln!("--telemetry-out requires a file path argument");
                     return ExitCode::FAILURE;
                 }
             },
@@ -92,18 +106,45 @@ fn main() -> ExitCode {
         ctx.seed,
         if ctx.quick { "quick" } else { "full" }
     );
+    let recorder = ctx.telemetry_out.as_ref().map(|_| {
+        let recorder = foodmatch_telemetry::Recorder::new();
+        foodmatch_telemetry::install(recorder.clone());
+        recorder
+    });
     for experiment in to_run {
         let started = std::time::Instant::now();
         (experiment.run)(&ctx);
         println!("\n[{} finished in {:.1}s]", experiment.name, started.elapsed().as_secs_f64());
     }
+    if let (Some(path), Some(recorder)) = (&ctx.telemetry_out, recorder) {
+        foodmatch_telemetry::uninstall();
+        if let Err(error) = write_telemetry(path, &recorder) {
+            eprintln!("failed to write telemetry to {}: {error}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
+}
+
+/// Writes the metric snapshot to `path` and the span trace to a sibling
+/// `<stem>.trace.json` in Chrome trace-event format.
+fn write_telemetry(
+    path: &std::path::Path,
+    recorder: &foodmatch_telemetry::Recorder,
+) -> std::io::Result<()> {
+    let snapshot = recorder.telemetry.snapshot();
+    std::fs::write(path, snapshot.to_json())?;
+    println!("\ntelemetry snapshot written to {}", path.display());
+    let trace_path = path.with_extension("trace.json");
+    std::fs::write(&trace_path, recorder.trace.chrome_trace_json())?;
+    println!("span trace written to {} ({} spans)", trace_path.display(), recorder.trace.len());
+    Ok(())
 }
 
 fn usage() {
     eprintln!(
         "usage: repro <experiment|all|list> [--quick] [--seed N] [--bench-out FILE] \
-         [--solver NAME]"
+         [--solver NAME] [--telemetry-out FILE]"
     );
     eprintln!("run `repro list` to see the available experiments");
     eprintln!("solvers: {}", SolverKind::ALL.map(|s| s.name()).join(", "));

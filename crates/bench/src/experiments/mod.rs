@@ -14,6 +14,7 @@ pub mod recovery;
 pub mod router;
 pub mod service;
 pub mod table2;
+pub mod telemetry;
 
 use crate::harness::ExperimentContext;
 
@@ -125,6 +126,11 @@ pub const ALL: &[Experiment] = &[
         description: "Crash-safe dispatch: WAL overhead, checkpoint latency, replay catch-up",
         run: recovery::run,
     },
+    Experiment {
+        name: "telemetry",
+        description: "Observability: dispatch-loop overhead with the recorder off vs on",
+        run: telemetry::run,
+    },
 ];
 
 /// Looks an experiment up by name.
@@ -135,7 +141,7 @@ pub fn find(name: &str) -> Option<&'static Experiment> {
 /// The names every registered experiment must carry, in paper order — the
 /// single source of truth for the registry-coverage tests here and in the
 /// workspace-level smoke suite.
-pub const EXPECTED_NAMES: [&str; 19] = [
+pub const EXPECTED_NAMES: [&str; 20] = [
     "table2",
     "fig4a",
     "fig6a",
@@ -155,6 +161,7 @@ pub const EXPECTED_NAMES: [&str; 19] = [
     "service",
     "router",
     "recovery",
+    "telemetry",
 ];
 
 #[cfg(test)]

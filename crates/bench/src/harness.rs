@@ -23,11 +23,21 @@ pub struct ExperimentContext {
     /// experiments route the matching stage through this solver instead of
     /// the config default.
     pub solver: Option<SolverKind>,
+    /// Where the telemetry snapshot should be written after the run
+    /// (`--telemetry-out`); when set, `repro` installs a global recorder
+    /// before the first experiment starts.
+    pub telemetry_out: Option<std::path::PathBuf>,
 }
 
 impl Default for ExperimentContext {
     fn default() -> Self {
-        ExperimentContext { seed: 1, quick: false, bench_out: None, solver: None }
+        ExperimentContext {
+            seed: 1,
+            quick: false,
+            bench_out: None,
+            solver: None,
+            telemetry_out: None,
+        }
     }
 }
 

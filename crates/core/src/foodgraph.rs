@@ -84,6 +84,7 @@ pub fn build_food_graph(
     t: TimePoint,
     config: &DispatchConfig,
 ) -> FoodGraph {
+    let _span = foodmatch_telemetry::span("engine", "foodgraph.build");
     let vehicle_ids: Vec<VehicleId> = vehicles.iter().map(|v| v.id).collect();
     if batches.is_empty() || vehicles.is_empty() {
         let costs = SparseCostMatrix::new(

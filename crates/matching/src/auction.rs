@@ -117,14 +117,19 @@ fn auction_useful(costs: &SparseCostMatrix) -> Vec<(usize, usize, f64)> {
 
     let eps_final = 1.0 / (m as f64 + 2.0);
     let mut eps = (max_benefit / 4.0).max(eps_final);
+    let mut rounds = 0u64;
     loop {
         match_bidder.iter_mut().for_each(|slot| *slot = None);
         match_col.iter_mut().for_each(|slot| *slot = None);
         run_phase(&adj, &mut prices, &mut heap, &mut match_bidder, &mut match_col, eps);
+        rounds += 1;
         if eps <= eps_final {
             break;
         }
         eps = (eps / 5.0).max(eps_final);
+    }
+    if foodmatch_telemetry::active() {
+        foodmatch_telemetry::histogram("matching.auction.rounds").record(rounds);
     }
 
     match_bidder

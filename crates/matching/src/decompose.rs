@@ -192,6 +192,15 @@ impl<S: AssignmentSolver> AssignmentSolver for Decomposed<S> {
         debug_assert_entries_at_most_default(costs);
         let omega = costs.default_cost();
         let components = decompose(costs);
+        // `Decomposed` stays `Copy`, so handles are looked up per solve
+        // (window granularity) rather than cached in the struct.
+        if foodmatch_telemetry::active() {
+            foodmatch_telemetry::histogram("matching.components").record(components.len() as u64);
+            let size = foodmatch_telemetry::histogram("matching.component_size");
+            for component in &components {
+                size.record((component.rows.len() + component.cols.len()) as u64);
+            }
+        }
         // Small instances or a single component: skip the sharding overhead.
         if components.len() <= 1 {
             let solved = match components.into_iter().next() {

@@ -30,6 +30,7 @@
 
 use crate::hungarian;
 use crate::matrix::{Assignment, SparseCostMatrix};
+use foodmatch_telemetry as telemetry;
 
 /// A minimum-cost bipartite assignment solver over sparse cost matrices.
 ///
@@ -240,7 +241,7 @@ impl SolverKind {
     /// the `Decomposed*` variants (`<= 1` solves components serially) and is
     /// ignored by the base solvers.
     pub fn build(self, threads: usize) -> Box<dyn AssignmentSolver> {
-        match self {
+        let inner: Box<dyn AssignmentSolver> = match self {
             SolverKind::DenseKm => Box::new(DenseKm),
             SolverKind::SparseKm => Box::new(crate::SparseKm),
             SolverKind::Auction => Box::new(crate::Auction),
@@ -254,6 +255,12 @@ impl SolverKind {
                 Box::new(crate::Decomposed::new(crate::Auction).with_threads(threads))
             }
             SolverKind::Auto => Box::new(crate::Decomposed::new(AutoKm).with_threads(threads)),
+        };
+        if telemetry::active() {
+            let solve_ns = telemetry::histogram(&format!("matching.solve_ns.{}", inner.name()));
+            Box::new(InstrumentedSolver { inner, solve_ns })
+        } else {
+            inner
         }
     }
 
@@ -262,6 +269,28 @@ impl SolverKind {
     /// under one cost unit) of optimal otherwise.
     pub fn is_exact_on_reals(self) -> bool {
         !matches!(self, SolverKind::Auction | SolverKind::DecomposedAuction)
+    }
+}
+
+/// Observational wrapper [`SolverKind::build`] adds while a telemetry
+/// recorder is installed: times every `solve` into
+/// `matching.solve_ns.<solver>` and opens a `solver`-category span.
+/// Delegates `name()` untouched so reports and round-trip parsing are
+/// unaffected, and never inspects or alters the assignment.
+struct InstrumentedSolver {
+    inner: Box<dyn AssignmentSolver>,
+    solve_ns: telemetry::Histogram,
+}
+
+impl AssignmentSolver for InstrumentedSolver {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn solve(&self, costs: &SparseCostMatrix) -> Assignment {
+        let _span = telemetry::span("solver", self.inner.name());
+        let _timer = self.solve_ns.timer();
+        self.inner.solve(costs)
     }
 }
 

@@ -35,6 +35,7 @@ use crate::ids::{EdgeId, NodeId};
 use crate::overlay::{self, TrafficOverlay};
 use crate::parallel::parallel_map;
 use crate::timeofday::{Duration, HourSlot, TimePoint};
+use foodmatch_telemetry as telemetry;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::ops::{Deref, DerefMut};
@@ -112,6 +113,49 @@ pub struct ShortestPathEngine {
     inner: Arc<EngineInner>,
 }
 
+/// Telemetry handles, acquired once at engine construction. Inert (every
+/// update a no-op) when no recorder is installed at that point; strictly
+/// observational either way — recording never changes an answer.
+struct EngineMetrics {
+    /// `engine.queries` — every point/one-to-many/path query.
+    queries: telemetry::Counter,
+    /// `engine.memo.hits.shardNN` / `.misses.shardNN` — per-shard memo
+    /// traffic of the [`EngineKind::Cached`] backend.
+    memo_hits: [telemetry::Counter; CACHE_SHARDS],
+    memo_misses: [telemetry::Counter; CACHE_SHARDS],
+    /// `engine.overlay_memo.hits` / `.misses` — generation-stamped
+    /// overlay memo traffic of the indexed backends.
+    overlay_hits: telemetry::Counter,
+    overlay_misses: telemetry::Counter,
+    /// `engine.backend.{dijkstra,hub,ch}.queries` — which index answered
+    /// (the Dijkstra counter includes the cached backend's fill runs).
+    backend_dijkstra: telemetry::Counter,
+    backend_hub: telemetry::Counter,
+    backend_ch: telemetry::Counter,
+    /// `engine.index.build_ns` — lazy per-slot hub-label / CH builds.
+    index_build_ns: telemetry::Histogram,
+}
+
+impl EngineMetrics {
+    fn acquire() -> Self {
+        EngineMetrics {
+            queries: telemetry::counter("engine.queries"),
+            memo_hits: std::array::from_fn(|i| {
+                telemetry::counter(&format!("engine.memo.hits.shard{i:02}"))
+            }),
+            memo_misses: std::array::from_fn(|i| {
+                telemetry::counter(&format!("engine.memo.misses.shard{i:02}"))
+            }),
+            overlay_hits: telemetry::counter("engine.overlay_memo.hits"),
+            overlay_misses: telemetry::counter("engine.overlay_memo.misses"),
+            backend_dijkstra: telemetry::counter("engine.backend.dijkstra.queries"),
+            backend_hub: telemetry::counter("engine.backend.hub.queries"),
+            backend_ch: telemetry::counter("engine.backend.ch.queries"),
+            index_build_ns: telemetry::histogram("engine.index.build_ns"),
+        }
+    }
+}
+
 struct EngineInner {
     network: RoadNetwork,
     kind: EngineKind,
@@ -135,6 +179,7 @@ struct EngineInner {
     /// main cache and invalidated by generation stamp.
     overlay_cache: [Mutex<OverlayShard>; CACHE_SHARDS],
     queries: AtomicU64,
+    metrics: EngineMetrics,
 }
 
 impl ShortestPathEngine {
@@ -155,6 +200,7 @@ impl ShortestPathEngine {
                 overlay_active: AtomicBool::new(false),
                 overlay_cache: std::array::from_fn(|_| Mutex::new(OverlayShard::default())),
                 queries: AtomicU64::new(0),
+                metrics: EngineMetrics::acquire(),
             }),
         }
     }
@@ -210,6 +256,7 @@ impl ShortestPathEngine {
     /// answer is exact on the perturbed weights (see [`Self::set_overlay`]).
     pub fn travel_time(&self, source: NodeId, target: NodeId, t: TimePoint) -> Option<Duration> {
         self.inner.queries.fetch_add(1, Ordering::Relaxed);
+        self.inner.metrics.queries.inc();
         if source == target {
             return Some(Duration::ZERO);
         }
@@ -231,6 +278,7 @@ impl ShortestPathEngine {
     ) -> Option<Duration> {
         match self.inner.kind {
             EngineKind::Dijkstra => {
+                self.inner.metrics.backend_dijkstra.inc();
                 let mut space = self.search_space();
                 dijkstra::shortest_travel_time_in(
                     &self.inner.network,
@@ -241,8 +289,12 @@ impl ShortestPathEngine {
                 )
             }
             EngineKind::Cached => self.cached_travel_time(source, target, t),
-            EngineKind::HubLabels => self.labels_for(t.hour_slot()).travel_time(source, target),
+            EngineKind::HubLabels => {
+                self.inner.metrics.backend_hub.inc();
+                self.labels_for(t.hour_slot()).travel_time(source, target)
+            }
             EngineKind::ContractionHierarchies => {
+                self.inner.metrics.backend_ch.inc();
                 self.hierarchy_for(t.hour_slot()).travel_time(source, target)
             }
         }
@@ -278,9 +330,11 @@ impl ShortestPathEngine {
             let mut cache = shard.lock();
             cache.ensure(version.generation, slot);
             if let Some(&secs) = cache.map.get(&(source, target)) {
+                self.inner.metrics.overlay_hits.inc();
                 return decode(secs);
             }
         }
+        self.inner.metrics.overlay_misses.inc();
         // Overlays never disconnect the graph, so an unreachable baseline is
         // an unreachable perturbed pair too.
         let answer = self.baseline_travel_time(source, target, t).and_then(|d0| {
@@ -312,6 +366,7 @@ impl ShortestPathEngine {
         t: TimePoint,
     ) -> Vec<Option<Duration>> {
         self.inner.queries.fetch_add(targets.len() as u64, Ordering::Relaxed);
+        self.inner.metrics.queries.add(targets.len() as u64);
         if self.inner.overlay_active.load(Ordering::Acquire) {
             let version = self.overlay_version();
             if !version.overlay.is_empty() {
@@ -329,15 +384,18 @@ impl ShortestPathEngine {
     ) -> Vec<Option<Duration>> {
         match self.inner.kind {
             EngineKind::Dijkstra => {
+                self.inner.metrics.backend_dijkstra.add(targets.len() as u64);
                 let mut space = self.search_space();
                 dijkstra::one_to_many_in(&self.inner.network, source, targets, t, &mut space)
             }
             EngineKind::Cached => self.cached_to_many(source, targets, t),
             EngineKind::HubLabels => {
+                self.inner.metrics.backend_hub.add(targets.len() as u64);
                 let index = self.labels_for(t.hour_slot());
                 targets.iter().map(|&target| index.travel_time(source, target)).collect()
             }
             EngineKind::ContractionHierarchies => {
+                self.inner.metrics.backend_ch.add(targets.len() as u64);
                 self.hierarchy_for(t.hour_slot()).travel_times_to_many(source, targets)
             }
         }
@@ -380,6 +438,8 @@ impl ShortestPathEngine {
         }
         let missing: Vec<NodeId> =
             targets.iter().zip(&out).filter(|(_, o)| o.is_none()).map(|(&n, _)| n).collect();
+        self.inner.metrics.overlay_hits.add((targets.len() - missing.len()) as u64);
+        self.inner.metrics.overlay_misses.add(missing.len() as u64);
         if !missing.is_empty() {
             let baselines = self.baseline_to_many(source, &missing, t);
             // The search bound must cover the slowest reachable target.
@@ -429,6 +489,7 @@ impl ShortestPathEngine {
         t: TimePoint,
     ) -> Option<dijkstra::PathResult> {
         self.inner.queries.fetch_add(1, Ordering::Relaxed);
+        self.inner.metrics.queries.inc();
         if self.inner.overlay_active.load(Ordering::Acquire) {
             let version = self.overlay_version();
             if !version.overlay.is_empty() {
@@ -552,10 +613,14 @@ impl ShortestPathEngine {
 
     fn cached_travel_time(&self, source: NodeId, target: NodeId, t: TimePoint) -> Option<Duration> {
         let slot = t.hour_slot();
-        let shard = &self.inner.cache[slot.index()][Self::shard(source)];
+        let shard_index = Self::shard(source);
+        let shard = &self.inner.cache[slot.index()][shard_index];
         if let Some(&secs) = shard.lock().get(&(source, target)) {
+            self.inner.metrics.memo_hits[shard_index].inc();
             return decode(secs);
         }
+        self.inner.metrics.memo_misses[shard_index].inc();
+        self.inner.metrics.backend_dijkstra.inc();
         // The fallback Dijkstra runs with no lock held; concurrent fills of
         // the same pair are idempotent (both insert the same exact answer).
         let answer = {
@@ -575,7 +640,8 @@ impl ShortestPathEngine {
         // Answer what the cache already knows, then fill the gaps with a
         // single one-to-many run performed with no lock held.
         let slot = t.hour_slot();
-        let shard = &self.inner.cache[slot.index()][Self::shard(source)];
+        let shard_index = Self::shard(source);
+        let shard = &self.inner.cache[slot.index()][shard_index];
         let mut out: Vec<Option<Option<Duration>>> = vec![None; targets.len()];
         {
             let cache = shard.lock();
@@ -589,6 +655,9 @@ impl ShortestPathEngine {
         }
         let missing: Vec<NodeId> =
             targets.iter().zip(&out).filter(|(_, o)| o.is_none()).map(|(&n, _)| n).collect();
+        self.inner.metrics.memo_hits[shard_index].add((targets.len() - missing.len()) as u64);
+        self.inner.metrics.memo_misses[shard_index].add(missing.len() as u64);
+        self.inner.metrics.backend_dijkstra.add(missing.len() as u64);
         if !missing.is_empty() {
             let answers = {
                 let mut space = self.search_space();
@@ -619,6 +688,8 @@ impl ShortestPathEngine {
         if let Some(index) = guard.as_ref() {
             return Arc::clone(index);
         }
+        let _span = telemetry::span("engine", "hub_labels.build");
+        let _build = self.inner.metrics.index_build_ns.timer();
         let index = Arc::new(HubLabelIndex::build(&self.inner.network, slot));
         *guard = Some(Arc::clone(&index));
         index
@@ -636,6 +707,8 @@ impl ShortestPathEngine {
         if let Some(index) = guard.as_ref() {
             return Arc::clone(index);
         }
+        let _span = telemetry::span("engine", "ch.build");
+        let _build = self.inner.metrics.index_build_ns.timer();
         let index = Arc::new(ContractionHierarchy::build(&self.inner.network, slot));
         *guard = Some(Arc::clone(&index));
         index

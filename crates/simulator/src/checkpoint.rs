@@ -493,6 +493,8 @@ fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
 /// any other [`Codec`] state) into a checksummed container and writes it
 /// atomically to `path`.
 pub fn save_checkpoint<C: Codec>(path: impl AsRef<Path>, state: &C) -> Result<(), CheckpointError> {
+    let _span = foodmatch_telemetry::span("checkpoint", "save");
+    let _timer = foodmatch_telemetry::histogram("checkpoint.save_ns").timer();
     atomic_write(path.as_ref(), &seal(&state.to_bytes()))
 }
 
@@ -500,6 +502,8 @@ pub fn save_checkpoint<C: Codec>(path: impl AsRef<Path>, state: &C) -> Result<()
 /// checksum before decoding. Every corruption mode is a typed
 /// [`CheckpointError`].
 pub fn load_checkpoint<C: Codec>(path: impl AsRef<Path>) -> Result<C, CheckpointError> {
+    let _span = foodmatch_telemetry::span("checkpoint", "restore");
+    let _timer = foodmatch_telemetry::histogram("checkpoint.restore_ns").timer();
     let bytes = fs::read(path.as_ref())?;
     let payload = unseal(&bytes)?;
     Ok(C::from_bytes(payload)?)
@@ -519,6 +523,8 @@ pub fn save_router_checkpoint(
     dir: impl AsRef<Path>,
     checkpoint: &RouterCheckpoint,
 ) -> Result<(), CheckpointError> {
+    let _span = foodmatch_telemetry::span("checkpoint", "save_router");
+    let _timer = foodmatch_telemetry::histogram("checkpoint.save_ns").timer();
     let dir = dir.as_ref();
     let staging = dir.with_extension("ckpt-staging");
     if staging.exists() {
@@ -550,6 +556,8 @@ pub fn save_router_checkpoint(
 /// [`save_router_checkpoint`], verifying the manifest and every shard file
 /// (container checksum *and* the manifest's record of it) before decoding.
 pub fn load_router_checkpoint(dir: impl AsRef<Path>) -> Result<RouterCheckpoint, CheckpointError> {
+    let _span = foodmatch_telemetry::span("checkpoint", "restore_router");
+    let _timer = foodmatch_telemetry::histogram("checkpoint.restore_ns").timer();
     let dir = dir.as_ref();
     let manifest_bytes = fs::read(dir.join(ROUTER_MANIFEST))?;
     let payload = unseal(&manifest_bytes)?;

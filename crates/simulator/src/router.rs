@@ -49,6 +49,7 @@ use foodmatch_roadnet::{
 };
 use std::collections::HashMap;
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Identifier of a dispatch zone — the index of the zone in its
 /// [`ZoneMap`], stable for the lifetime of the map.
@@ -306,6 +307,31 @@ pub struct DispatchRouter<P: DispatchPolicy> {
     window_close: TimePoint,
     drain_end: TimePoint,
     finished: bool,
+    metrics: RouterMetrics,
+}
+
+/// Telemetry handles for the lockstep fan-out. Acquired at construction
+/// and at restore (run state, not checkpoint state); inert when no
+/// recorder is installed, and strictly observational either way.
+#[derive(Debug)]
+struct RouterMetrics {
+    /// `router.advance_ns` — one whole lockstep step across every shard.
+    advance_ns: foodmatch_telemetry::Histogram,
+    /// `router.shard_advance_ns` — each shard's own advance within a step.
+    shard_advance_ns: foodmatch_telemetry::Histogram,
+    /// `router.shard_imbalance_ns` — slowest minus fastest shard per step:
+    /// the straggler gap the lockstep barrier waits out.
+    imbalance_ns: foodmatch_telemetry::Histogram,
+}
+
+impl RouterMetrics {
+    fn acquire() -> Self {
+        RouterMetrics {
+            advance_ns: foodmatch_telemetry::histogram("router.advance_ns"),
+            shard_advance_ns: foodmatch_telemetry::histogram("router.shard_advance_ns"),
+            imbalance_ns: foodmatch_telemetry::histogram("router.shard_imbalance_ns"),
+        }
+    }
 }
 
 impl<P: DispatchPolicy> DispatchRouter<P> {
@@ -379,6 +405,7 @@ impl<P: DispatchPolicy> DispatchRouter<P> {
             window_close: start,
             drain_end: end + drain_limit,
             finished: false,
+            metrics: RouterMetrics::acquire(),
         }
         .with_vehicle_zone(vehicle_zone)
     }
@@ -528,17 +555,46 @@ impl<P: DispatchPolicy> DispatchRouter<P> {
     /// Advances one lockstep step: every shard to `until`, concurrently when
     /// the configuration allows, outputs tagged and appended in zone order.
     fn fan_out(&mut self, until: TimePoint, out: &mut Vec<RoutedOutput>) {
-        let per_shard: Vec<Vec<DispatchOutput>> = if self.threads > 1 && self.shards.len() > 1 {
-            parallel_map(&self.shards, self.threads, |_, shard| {
-                shard.lock().expect("shard lock").advance_to(until).into_outputs()
+        let _step = self.metrics.advance_ns.timer();
+        // Per-shard wall time is only read when a recorder is live; the
+        // measurement is observational — outputs are identical either way.
+        let timed = self.metrics.shard_advance_ns.is_live();
+        let per_shard: Vec<(Vec<DispatchOutput>, u64)> = if self.threads > 1
+            && self.shards.len() > 1
+        {
+            parallel_map(&self.shards, self.threads, |zi, shard| {
+                let _span = foodmatch_telemetry::span_dyn("shard", || format!("zone{zi}"));
+                let started = timed.then(Instant::now);
+                let outputs = shard.lock().expect("shard lock").advance_to(until).into_outputs();
+                let nanos = started.map_or(0, |s| s.elapsed().as_nanos() as u64);
+                (outputs, nanos)
             })
         } else {
             self.shards
                 .iter_mut()
-                .map(|shard| shard.get_mut().expect("shard lock").advance_to(until).into_outputs())
+                .enumerate()
+                .map(|(zi, shard)| {
+                    let _span = foodmatch_telemetry::span_dyn("shard", || format!("zone{zi}"));
+                    let started = timed.then(Instant::now);
+                    let outputs =
+                        shard.get_mut().expect("shard lock").advance_to(until).into_outputs();
+                    let nanos = started.map_or(0, |s| s.elapsed().as_nanos() as u64);
+                    (outputs, nanos)
+                })
                 .collect()
         };
-        for (zi, outputs) in per_shard.into_iter().enumerate() {
+        if timed {
+            let (mut fastest, mut slowest) = (u64::MAX, 0u64);
+            for &(_, nanos) in &per_shard {
+                self.metrics.shard_advance_ns.record(nanos);
+                fastest = fastest.min(nanos);
+                slowest = slowest.max(nanos);
+            }
+            if per_shard.len() > 1 {
+                self.metrics.imbalance_ns.record(slowest - fastest);
+            }
+        }
+        for (zi, (outputs, _)) in per_shard.into_iter().enumerate() {
             let zone = ZoneId(zi as u32);
             out.extend(outputs.into_iter().map(|output| RoutedOutput { zone, output }));
         }
@@ -690,6 +746,7 @@ impl<P: DispatchPolicy> DispatchRouter<P> {
             window_close: checkpoint.window_close,
             drain_end: checkpoint.drain_end,
             finished: checkpoint.finished,
+            metrics: RouterMetrics::acquire(),
         })
     }
 

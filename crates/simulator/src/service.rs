@@ -322,6 +322,37 @@ pub struct DispatchService<P: DispatchPolicy> {
     sdt: HashMap<OrderId, Duration>,
     collector: MetricsCollector,
     finished: bool,
+    metrics: ServiceMetrics,
+}
+
+/// Telemetry handles for the service's three entry points plus per-window
+/// stepping. Acquired at construction *and* at restore (handles are run
+/// state, not checkpoint state — a checkpoint restored in a different
+/// process gets that process's recorder). Inert when no recorder is
+/// installed; strictly observational either way.
+#[derive(Debug)]
+struct ServiceMetrics {
+    submit_ns: foodmatch_telemetry::Histogram,
+    ingest_ns: foodmatch_telemetry::Histogram,
+    advance_ns: foodmatch_telemetry::Histogram,
+    window_ns: foodmatch_telemetry::Histogram,
+    submits: foodmatch_telemetry::Counter,
+    ingests: foodmatch_telemetry::Counter,
+    windows: foodmatch_telemetry::Counter,
+}
+
+impl ServiceMetrics {
+    fn acquire() -> Self {
+        ServiceMetrics {
+            submit_ns: foodmatch_telemetry::histogram("service.submit_ns"),
+            ingest_ns: foodmatch_telemetry::histogram("service.ingest_ns"),
+            advance_ns: foodmatch_telemetry::histogram("service.advance_ns"),
+            window_ns: foodmatch_telemetry::histogram("service.window_ns"),
+            submits: foodmatch_telemetry::counter("service.submits"),
+            ingests: foodmatch_telemetry::counter("service.ingests"),
+            windows: foodmatch_telemetry::counter("service.windows"),
+        }
+    }
 }
 
 impl<P: DispatchPolicy> DispatchService<P> {
@@ -378,6 +409,7 @@ impl<P: DispatchPolicy> DispatchService<P> {
             sdt: HashMap::new(),
             collector,
             finished: false,
+            metrics: ServiceMetrics::acquire(),
         }
     }
 
@@ -390,6 +422,8 @@ impl<P: DispatchPolicy> DispatchService<P> {
     /// reaches its `placed_at` (immediately next window if that is already
     /// in the past).
     pub fn submit_order(&mut self, order: Order) -> SubmitOutcome {
+        let _timer = self.metrics.submit_ns.timer();
+        self.metrics.submits.inc();
         if self.finished {
             return SubmitOutcome::ServiceFinished;
         }
@@ -417,6 +451,8 @@ impl<P: DispatchPolicy> DispatchService<P> {
     /// same one-window granularity). Returns
     /// [`IngestOutcome::ServiceFinished`] once the service has finished.
     pub fn ingest_event(&mut self, event: DisruptionEvent) -> IngestOutcome {
+        let _timer = self.metrics.ingest_ns.timer();
+        self.metrics.ingests.inc();
         if self.finished {
             return IngestOutcome::ServiceFinished;
         }
@@ -439,6 +475,7 @@ impl<P: DispatchPolicy> DispatchService<P> {
     /// [`AdvanceStatus::OutOfOrder`] so replay-driven stepping (e.g. from a
     /// write-ahead log) can detect a misordered input stream.
     pub fn advance_to(&mut self, until: TimePoint) -> AdvanceOutcome {
+        let _timer = self.metrics.advance_ns.timer();
         if self.finished {
             return AdvanceOutcome::finished();
         }
@@ -633,12 +670,16 @@ impl<P: DispatchPolicy> DispatchService<P> {
             sdt: checkpoint.sdt.iter().copied().collect(),
             collector: checkpoint.collector.clone(),
             finished: checkpoint.finished,
+            metrics: ServiceMetrics::acquire(),
         }
     }
 
     /// Processes exactly one accumulation window closing at `close`.
     /// This is the body of the batch loop, verbatim.
     fn step_window(&mut self, window_close: TimePoint, out: &mut Vec<DispatchOutput>) {
+        let _span = foodmatch_telemetry::span("service", "window");
+        let _timer = self.metrics.window_ns.timer();
+        self.metrics.windows.inc();
         let delta = self.config.accumulation_window;
         self.window_close = window_close;
         let in_horizon = window_close <= self.end + delta;

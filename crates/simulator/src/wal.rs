@@ -295,6 +295,32 @@ pub struct WriteAheadLog {
     file: fs::File,
     path: PathBuf,
     seq: u64,
+    metrics: WalMetrics,
+}
+
+/// Telemetry handles for the durability hot path, acquired when the log
+/// is created or opened. Inert without an installed recorder; appends are
+/// identical bytes either way.
+#[derive(Debug)]
+struct WalMetrics {
+    /// `wal.append_ns` — full append (frame write + fsync).
+    append_ns: foodmatch_telemetry::Histogram,
+    /// `wal.fsync_ns` — the `sync_data` portion alone.
+    fsync_ns: foodmatch_telemetry::Histogram,
+    /// `wal.bytes` / `wal.records` — durable append volume.
+    bytes: foodmatch_telemetry::Counter,
+    records: foodmatch_telemetry::Counter,
+}
+
+impl WalMetrics {
+    fn acquire() -> Self {
+        WalMetrics {
+            append_ns: foodmatch_telemetry::histogram("wal.append_ns"),
+            fsync_ns: foodmatch_telemetry::histogram("wal.fsync_ns"),
+            bytes: foodmatch_telemetry::counter("wal.bytes"),
+            records: foodmatch_telemetry::counter("wal.records"),
+        }
+    }
 }
 
 impl WriteAheadLog {
@@ -305,7 +331,7 @@ impl WriteAheadLog {
         let mut file = fs::File::create(&path)?;
         file.write_all(WAL_MAGIC)?;
         file.sync_all()?;
-        Ok(WriteAheadLog { file, path, seq: 0 })
+        Ok(WriteAheadLog { file, path, seq: 0, metrics: WalMetrics::acquire() })
     }
 
     /// Opens an existing WAL for appending: reads it back (propagating any
@@ -323,14 +349,22 @@ impl WriteAheadLog {
             file.sync_all()?;
         }
         let seq = outcome.records.len() as u64;
-        Ok((WriteAheadLog { file, path, seq }, outcome))
+        Ok((WriteAheadLog { file, path, seq, metrics: WalMetrics::acquire() }, outcome))
     }
 
     /// Appends one record and flushes it to the OS. Returns the record's
     /// sequence number (zero-based append index).
     pub fn append(&mut self, record: &WalRecord) -> Result<u64, WalError> {
-        self.file.write_all(&frame(record))?;
-        self.file.sync_data()?;
+        let _span = foodmatch_telemetry::span("wal", "append");
+        let _append = self.metrics.append_ns.timer();
+        let framed = frame(record);
+        self.file.write_all(&framed)?;
+        {
+            let _fsync = self.metrics.fsync_ns.timer();
+            self.file.sync_data()?;
+        }
+        self.metrics.bytes.add(framed.len() as u64);
+        self.metrics.records.inc();
         let seq = self.seq;
         self.seq += 1;
         Ok(seq)

@@ -27,6 +27,12 @@ use std::path::Path;
 type DurableService = DurableDispatch<DispatchService<FoodMatchPolicy>>;
 
 fn main() {
+    // Observability: install the global recorder before any component is
+    // built, so every layer (engine, service, WAL, checkpoints) acquires
+    // live handles; each window below prints a dashboard line from it.
+    let recorder = foodmatch_telemetry::Recorder::new();
+    foodmatch_telemetry::install(recorder.clone());
+
     // A generated city provides the network, the restaurant directory and
     // the fleet — but NOT the demand: orders will be drawn live.
     let options = ScenarioOptions {
@@ -114,7 +120,38 @@ fn main() {
         report.total_xdt_hours(),
         report.orders_per_km()
     );
+    println!("final {}", dashboard_line());
+    println!(
+        "trace: {} spans buffered ({} evicted) — export with `repro … --telemetry-out`",
+        recorder.trace.len(),
+        recorder.trace.dropped()
+    );
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// One dashboard line from the global recorder: sustained ingest rate,
+/// advance_to p99, WAL fsync p99 and the engine memo hit rate.
+fn dashboard_line() -> String {
+    let Some(recorder) = foodmatch_telemetry::recorder() else {
+        return "telemetry: recorder not installed".to_string();
+    };
+    let snap = recorder.telemetry.snapshot();
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let (submits, submit_ns) =
+        snap.histogram("service.submit_ns").map_or((0, 0), |h| (h.count, h.sum));
+    let ingest_rate = if submit_ns > 0 { submits as f64 / (submit_ns as f64 / 1e9) } else { 0.0 };
+    let advance_p99 = snap.histogram("service.advance_ns").and_then(|h| h.quantile(99.0));
+    let fsync_p99 = snap.histogram("wal.fsync_ns").and_then(|h| h.quantile(99.0));
+    let hits = snap.counter_sum("engine.memo.hits");
+    let misses = snap.counter_sum("engine.memo.misses");
+    let lookups = hits + misses;
+    format!(
+        "telemetry: ingest {ingest_rate:.0} ord/s | advance p99 {:.2} ms | \
+         fsync p99 {:.2} ms | memo hit {:.1}%",
+        advance_p99.map_or(0.0, ms),
+        fsync_p99.map_or(0.0, ms),
+        if lookups > 0 { hits as f64 / lookups as f64 * 100.0 } else { 0.0 },
+    )
 }
 
 /// Drives the durable service one accumulation window at a time until
@@ -162,6 +199,7 @@ fn pump(
                         snap.in_flight,
                         if stats.disrupted { " [disrupted]" } else { "" }
                     );
+                    println!("{tick:?}  {}", dashboard_line());
                 }
                 _ => {}
             }

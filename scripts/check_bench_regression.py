@@ -29,6 +29,14 @@ kind is auto-detected from its keys:
   guarded numbers are best-of estimates (fastest chunk/snapshot/pass): the
   sub-millisecond fsync-bound means are too runner-noise-sensitive to gate
   on, the floor is not.
+* ``BENCH_telemetry.json`` (``telemetry``): fails when the recorder-on
+  dispatch loop is more than 5% slower than the recorder-off loop of the
+  *same run* (``overhead_pct``) — the observability contract. This check
+  is self-contained in the new file (on vs off were interleaved on the
+  same machine minutes apart), so it enforces regardless of baseline
+  comparability; it is skipped only when ``recorder_preinstalled`` is
+  true (the run was made under ``--telemetry-out``, so the "off" passes
+  were live too).
 
 Timing-based comparisons (dispatch, matching) are skipped — informational
 only, exit 0 — when the two runs are not comparable: different
@@ -289,6 +297,36 @@ def check_recovery(new, baseline, threshold):
     return failures
 
 
+def check_telemetry(new):
+    """Recorder-overhead guard for BENCH_telemetry.json (self-contained).
+
+    The experiment interleaves recorder-off and recorder-on passes of the
+    same dispatch loop, so ``overhead_pct`` is a same-machine, same-minute
+    comparison: no baseline or comparability gate is needed (or used).
+    """
+    overhead_limit_pct = 5.0
+    failures = []
+    for run in new.get("telemetry", []):
+        label = f"{run['shards']} shard(s)"
+        if run.get("recorder_preinstalled"):
+            print(
+                f"SKIP {label}: recorder was pre-installed (--telemetry-out), "
+                "the recorder-off passes were live — overhead gate not applicable"
+            )
+            continue
+        off_qps = float(run["off"]["orders_per_sec"])
+        on_qps = float(run["on"]["orders_per_sec"])
+        overhead = float(run["overhead_pct"])
+        status = "REGRESSION" if overhead > overhead_limit_pct else "ok"
+        print(
+            f"{label:<10} recorder off {off_qps:>10.0f} ord/s  on {on_qps:>10.0f} ord/s  "
+            f"overhead {overhead:+.2f}% (limit {overhead_limit_pct:.0f}%) {status}"
+        )
+        if overhead > overhead_limit_pct:
+            failures.append(f"{label} recorder overhead {overhead:.2f}%")
+    return failures
+
+
 def check_disruptions(new, baseline, threshold):
     """Policy-quality guard for BENCH_disruptions.json (XDT per run)."""
     def key(run):
@@ -345,6 +383,10 @@ def main():
     elif "recovery" in new:
         comparable = check_comparable(new, baseline, ["available_parallelism", "quick"])
         failures = check_recovery(new, baseline, args.threshold)
+    elif "telemetry" in new:
+        # Self-contained on-vs-off comparison: always enforced.
+        comparable = True
+        failures = check_telemetry(new)
     elif "runs" in new:
         comparable = check_comparable(new, baseline, ["quick", "seed"])
         failures = check_disruptions(new, baseline, args.threshold)
