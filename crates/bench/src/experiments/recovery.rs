@@ -8,9 +8,16 @@
 //! * **WAL ingest overhead** — `submit_order` through a [`DurableDispatch`]
 //!   (frame + checksum + append + flush per order) vs the bare service, as
 //!   sustained bursts. The ratio is the price of the write-ahead contract.
+//!   A **flush-policy sweep** repeats the durable burst under each
+//!   group-commit [`FlushPolicy`], showing how amortising the fsync across
+//!   batches buys the overhead back.
 //! * **Checkpoint save** — capture + atomically persist the full mid-day
 //!   service state (orders, fleet physics, schedule, metrics), timed per
-//!   snapshot, with the sealed container size reported.
+//!   snapshot, with the sealed container size reported. The **capture
+//!   stall** row times only the in-thread half of the two-phase background
+//!   path ([`DurableDispatch::checkpoint`] +
+//!   [`BackgroundCheckpointer::save`]) — the part the dispatch thread
+//!   actually pays when persistence moves off-thread.
 //! * **Checkpoint restore** — read, verify (magic, length, CRC) and rebuild
 //!   a live service from the container.
 //! * **Replay catch-up** — drive a whole logged day back through
@@ -25,12 +32,24 @@
 use crate::harness::{header, percentile, ExperimentContext};
 use foodmatch_core::PolicyKind;
 use foodmatch_sim::{
-    load_checkpoint, read_wal_file, replay_wal, save_checkpoint, DispatchService, DurableDispatch,
-    ServiceCheckpoint, Simulation, WriteAheadLog,
+    load_checkpoint, read_wal_file, replay_wal, save_checkpoint, BackgroundCheckpointer,
+    DispatchService, DurableDispatch, FlushPolicy, ServiceCheckpoint, Simulation, WriteAheadLog,
 };
 use foodmatch_workload::{CityId, Scenario};
 use std::path::PathBuf;
 use std::time::Instant;
+
+/// One row of the group-commit sweep: the durable burst re-run under a
+/// single [`FlushPolicy`].
+struct FlushPolicyResult {
+    /// Stable label from [`FlushPolicy::label`] (`every-record`,
+    /// `every-64`, `window`).
+    label: String,
+    /// Durable sustained ingest under this policy (orders/sec).
+    wal_orders_per_sec: f64,
+    /// plain / wal for this policy — the residual durability tax.
+    wal_overhead_ratio: f64,
+}
 
 /// The measured durability profile of one policy's day.
 struct RecoveryResult {
@@ -43,6 +62,9 @@ struct RecoveryResult {
     wal_orders_per_sec: f64,
     /// plain / wal — how many times slower durable ingest is.
     wal_overhead_ratio: f64,
+    /// The same burst under each group-commit flush policy (the
+    /// `every-record` row repeats the headline pair above).
+    flush_policies: Vec<FlushPolicyResult>,
     /// Sealed on-disk size of the mid-day checkpoint container.
     checkpoint_bytes: u64,
     /// Fastest observed snapshot (capture + atomic write). The best-of
@@ -52,6 +74,14 @@ struct RecoveryResult {
     save_best_ms: f64,
     save_mean_ms: f64,
     save_p90_ms: f64,
+    /// In-thread capture stall on the two-phase background path: flush the
+    /// WAL, clone the state, hand it to the worker — no serialisation, no
+    /// disk wait on the dispatch thread.
+    capture_best_ms: f64,
+    capture_mean_ms: f64,
+    /// Highest sequence the background worker durably sealed before the
+    /// final drain — proof the off-thread half actually persisted.
+    background_sealed: u64,
     restore_best_ms: f64,
     restore_mean_ms: f64,
     restore_p90_ms: f64,
@@ -143,18 +173,43 @@ fn bench_policy(sim: &Simulation, kind: PolicyKind, quick: bool) -> RecoveryResu
         }),
     );
 
-    // Durable sustained ingest — same stream through the write-ahead log.
+    // Durable sustained ingest — same stream through the write-ahead log,
+    // once per flush policy. `every-record` pays one fsync per order and
+    // stays the headline (worst-case) pair; the group-commit policies
+    // amortise it and should land near the bare-service rate.
     let wal_path = scratch("ingest.wal");
-    let wal_orders_per_sec = best_of_chunks(
-        wal_target,
-        Box::new(|| {
-            let log = WriteAheadLog::create(&wal_path).expect("create ingest WAL");
-            let mut durable = DurableDispatch::new(sim.service(kind.build()), log);
-            for order in &sim.orders {
-                let _ = durable.submit_order(*order).expect("durable submit");
-            }
-        }),
-    );
+    let durable_burst = |policy: FlushPolicy, target: usize| -> f64 {
+        let path = &wal_path;
+        best_of_chunks(
+            target,
+            Box::new(move || {
+                let log = WriteAheadLog::create_with(path, policy).expect("create ingest WAL");
+                let mut durable = DurableDispatch::new(sim.service(kind.build()), log);
+                for order in &sim.orders {
+                    let _ = durable.submit_order(*order).expect("durable submit");
+                }
+                // The drop flushes the final partial group — inside the
+                // timed region, so every policy is charged its full fsync
+                // bill.
+            }),
+        )
+    };
+    let wal_orders_per_sec = durable_burst(FlushPolicy::EveryRecord, wal_target);
+    let mut flush_policies = vec![FlushPolicyResult {
+        label: FlushPolicy::EveryRecord.label(),
+        wal_orders_per_sec,
+        wal_overhead_ratio: plain_orders_per_sec / wal_orders_per_sec.max(f64::EPSILON),
+    }];
+    for policy in [FlushPolicy::EveryN(64), FlushPolicy::Window] {
+        // Group-committed bursts run near bare speed: give them the plain
+        // target so the measurement window stays comparable.
+        let rate = durable_burst(policy, plain_target);
+        flush_policies.push(FlushPolicyResult {
+            label: policy.label(),
+            wal_orders_per_sec: rate,
+            wal_overhead_ratio: plain_orders_per_sec / rate.max(f64::EPSILON),
+        });
+    }
     std::fs::remove_file(&wal_path).ok();
 
     // Checkpoint save/restore latency, measured on a mid-day service with
@@ -185,6 +240,26 @@ fn bench_policy(sim: &Simulation, kind: PolicyKind, quick: bool) -> RecoveryResu
         drop(restored);
     }
     std::fs::remove_file(&ckpt_path).ok();
+
+    // Capture stall: the same mid-day state through the two-phase
+    // background path. The dispatch thread pays only flush-barrier +
+    // capture + hand-off; serialisation and fsync happen on the worker.
+    let capture_wal = scratch("capture.wal");
+    let bg_ckpt = scratch("background.ckpt");
+    let log = WriteAheadLog::create(&capture_wal).expect("create capture WAL");
+    let mut durable = DurableDispatch::new(service, log);
+    let checkpointer = BackgroundCheckpointer::service(&bg_ckpt);
+    let mut capture_ms = Vec::with_capacity(snapshots);
+    for seq in 1..=snapshots as u64 {
+        let started = Instant::now();
+        let checkpoint = durable.checkpoint().expect("capture checkpoint");
+        checkpointer.save(seq, checkpoint);
+        capture_ms.push(started.elapsed().as_secs_f64() * 1e3);
+    }
+    let background_sealed = checkpointer.drain().expect("background checkpoints seal");
+    drop(durable);
+    std::fs::remove_file(&capture_wal).ok();
+    std::fs::remove_file(&bg_ckpt).ok();
 
     // Replay catch-up: log a full day (just-in-time submissions, one window
     // per advance), then replay it cold onto a fresh service.
@@ -234,10 +309,14 @@ fn bench_policy(sim: &Simulation, kind: PolicyKind, quick: bool) -> RecoveryResu
         plain_orders_per_sec,
         wal_orders_per_sec,
         wal_overhead_ratio: plain_orders_per_sec / wal_orders_per_sec.max(f64::EPSILON),
+        flush_policies,
         checkpoint_bytes,
         save_best_ms: save_ms.iter().copied().fold(f64::MAX, f64::min),
         save_mean_ms: save_ms.iter().sum::<f64>() / save_ms.len().max(1) as f64,
         save_p90_ms: p(&save_ms, 90.0),
+        capture_best_ms: capture_ms.iter().copied().fold(f64::MAX, f64::min),
+        capture_mean_ms: capture_ms.iter().sum::<f64>() / capture_ms.len().max(1) as f64,
+        background_sealed,
         restore_best_ms: restore_ms.iter().copied().fold(f64::MAX, f64::min),
         restore_mean_ms: restore_ms.iter().sum::<f64>() / restore_ms.len().max(1) as f64,
         restore_p90_ms: p(&restore_ms, 90.0),
@@ -257,6 +336,13 @@ fn print_result(result: &RecoveryResult) {
         result.wal_orders_per_sec,
         result.wal_overhead_ratio
     );
+    println!("  flush-policy sweep (same burst, group-committed fsync):");
+    for row in &result.flush_policies {
+        println!(
+            "    {:<14} {:>9.0} orders/s   {:>7.2}x overhead",
+            row.label, row.wal_orders_per_sec, row.wal_overhead_ratio
+        );
+    }
     println!(
         "  checkpoint: {} bytes sealed | save best {:.2} ms, mean {:.2}, p90 {:.2} | \
          restore best {:.2} ms, mean {:.2}, p90 {:.2}",
@@ -267,6 +353,14 @@ fn print_result(result: &RecoveryResult) {
         result.restore_best_ms,
         result.restore_mean_ms,
         result.restore_p90_ms
+    );
+    println!(
+        "  background checkpoint: capture stall best {:.3} ms, mean {:.3} \
+         (vs {:.2} ms synchronous save) — worker sealed through seq {}",
+        result.capture_best_ms,
+        result.capture_mean_ms,
+        result.save_best_ms,
+        result.background_sealed
     );
     println!(
         "  replay: {} records in {:.3}s ({:.0} records/s) — catches up {:.0}x faster than \
@@ -289,13 +383,28 @@ fn to_json(ctx: &ExperimentContext, r: &RecoveryResult) -> String {
         "  \"available_parallelism\": {},\n",
         std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
     ));
+    let flush_policies = r
+        .flush_policies
+        .iter()
+        .map(|row| {
+            format!(
+                "{{\"policy\": \"{}\", \"wal_orders_per_sec\": {:.1}, \
+                 \"wal_overhead_ratio\": {:.4}}}",
+                row.label, row.wal_orders_per_sec, row.wal_overhead_ratio
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
     out.push_str("  \"recovery\": [\n");
     out.push_str(&format!(
         "    {{\"policy\": \"{}\", \
          \"ingest\": {{\"orders\": {}, \"plain_orders_per_sec\": {:.1}, \
-         \"wal_orders_per_sec\": {:.1}, \"wal_overhead_ratio\": {:.4}}}, \
+         \"wal_orders_per_sec\": {:.1}, \"wal_overhead_ratio\": {:.4}, \
+         \"flush_policies\": [{}]}}, \
          \"checkpoint\": {{\"bytes\": {}, \"save_best_ms\": {:.3}, \"save_mean_ms\": {:.3}, \
-         \"save_p90_ms\": {:.3}, \"restore_best_ms\": {:.3}, \"restore_mean_ms\": {:.3}, \
+         \"save_p90_ms\": {:.3}, \"capture_best_ms\": {:.3}, \"capture_mean_ms\": {:.3}, \
+         \"background_sealed\": {}, \
+         \"restore_best_ms\": {:.3}, \"restore_mean_ms\": {:.3}, \
          \"restore_p90_ms\": {:.3}}}, \
          \"replay\": {{\"records\": {}, \"secs\": {:.6}, \"records_per_sec\": {:.1}, \
          \"catchup_x\": {:.1}}}}}\n",
@@ -304,10 +413,14 @@ fn to_json(ctx: &ExperimentContext, r: &RecoveryResult) -> String {
         r.plain_orders_per_sec,
         r.wal_orders_per_sec,
         r.wal_overhead_ratio,
+        flush_policies,
         r.checkpoint_bytes,
         r.save_best_ms,
         r.save_mean_ms,
         r.save_p90_ms,
+        r.capture_best_ms,
+        r.capture_mean_ms,
+        r.background_sealed,
         r.restore_best_ms,
         r.restore_mean_ms,
         r.restore_p90_ms,
@@ -334,10 +447,25 @@ mod tests {
             plain_orders_per_sec: 250_000.0,
             wal_orders_per_sec: 40_000.0,
             wal_overhead_ratio: 6.25,
+            flush_policies: vec![
+                FlushPolicyResult {
+                    label: "every-record".to_string(),
+                    wal_orders_per_sec: 40_000.0,
+                    wal_overhead_ratio: 6.25,
+                },
+                FlushPolicyResult {
+                    label: "window".to_string(),
+                    wal_orders_per_sec: 240_000.0,
+                    wal_overhead_ratio: 1.04,
+                },
+            ],
             checkpoint_bytes: 180_000,
             save_best_ms: 1.6,
             save_mean_ms: 2.0,
             save_p90_ms: 3.1,
+            capture_best_ms: 0.4,
+            capture_mean_ms: 0.6,
+            background_sealed: 128,
             restore_best_ms: 1.1,
             restore_mean_ms: 1.4,
             restore_p90_ms: 2.2,
@@ -351,8 +479,13 @@ mod tests {
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         for key in [
             "wal_overhead_ratio",
+            "flush_policies",
+            "\"every-record\"",
+            "\"window\"",
             "save_best_ms",
             "save_mean_ms",
+            "capture_best_ms",
+            "background_sealed",
             "restore_best_ms",
             "restore_p90_ms",
             "catchup_x",

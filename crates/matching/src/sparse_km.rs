@@ -42,9 +42,24 @@
 //! most of the `(E + V) log V` constant on instances whose augmenting paths
 //! are short. Fully deterministic: heap ties break on node index and the
 //! adjacency is sorted by column.
+//!
+//! ## Pooled scratch
+//!
+//! The dispatch loop calls this solver once per window per shard, on
+//! matrices of similar shape every time. All working state — adjacency,
+//! matching and potential arrays, the Dijkstra heap and its distance array
+//! — lives in a thread-local [`Scratch`] pool, so repeated solves on a
+//! thread are allocation-free once the pool has grown to the workload's
+//! high-water mark (the same idiom as `roadnet::dijkstra::SearchSpace`).
+//! The per-round distance reset is O(1) via generation stamps: a slot's
+//! distance counts only if its stamp matches the current round, everything
+//! else reads as +∞. Pooling is invisible in the output — every array the
+//! algorithm reads is (re)initialised per solve or stamped per round, and
+//! the results stay bit-identical to the unpooled solver's.
 
 use crate::matrix::{Assignment, SparseCostMatrix};
 use crate::solver::{debug_assert_entries_at_most_default, pad_assignment, AssignmentSolver};
+use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -90,28 +105,91 @@ impl PartialOrd for HeapEntry {
     }
 }
 
+/// The pooled per-thread working state of [`min_weight_matching`]. Every
+/// vector grows to the workload's high-water mark and stays; the distance
+/// array resets per Dijkstra round in O(1) via generation stamps.
+#[derive(Default)]
+struct Scratch {
+    /// Per-row `(col, reduced weight)` lists; inner vectors are reused.
+    adj: Vec<Vec<(usize, f64)>>,
+    match_row: Vec<Option<usize>>,
+    match_col: Vec<Option<usize>>,
+    pot_row: Vec<f64>,
+    pot_col: Vec<f64>,
+    /// `dist[i]` is meaningful only when `stamp[i] == generation`;
+    /// everything else reads as +∞.
+    dist: Vec<f64>,
+    stamp: Vec<u32>,
+    generation: u32,
+    parent_col: Vec<usize>,
+    parent_row: Vec<usize>,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
+
 /// Computes the minimum-weight (most negative) matching over the explicit
 /// sub-Ω entries, returning the matched `(row, col, original cost)` triples
-/// sorted by row.
+/// sorted by row. Working state comes from the thread-local [`Scratch`]
+/// pool; only the returned triples allocate in steady state.
 fn min_weight_matching(costs: &SparseCostMatrix) -> Vec<(usize, usize, f64)> {
+    SCRATCH.with(|scratch| min_weight_matching_in(&mut scratch.borrow_mut(), costs))
+}
+
+fn min_weight_matching_in(
+    scratch: &mut Scratch,
+    costs: &SparseCostMatrix,
+) -> Vec<(usize, usize, f64)> {
     let n = costs.rows();
     let m = costs.cols();
     let omega = costs.default_cost();
-    // Reduced weights w = c − Ω ≤ 0 on the explicit useful edges.
-    let adj: Vec<Vec<(usize, f64)>> = costs
-        .row_adjacency()
-        .into_iter()
-        .map(|row| row.into_iter().map(|(c, v)| (c, v - omega)).collect())
-        .collect();
+    let Scratch {
+        adj,
+        match_row,
+        match_col,
+        pot_row,
+        pot_col,
+        dist,
+        stamp,
+        generation,
+        parent_col,
+        parent_row,
+        heap,
+    } = scratch;
 
-    // Nodes: rows are 0..n, columns are n..n+m.
-    let mut match_row: Vec<Option<usize>> = vec![None; n];
-    let mut match_col: Vec<Option<usize>> = vec![None; m];
+    // Reduced weights w = c − Ω ≤ 0 on the explicit useful edges, sorted by
+    // column within each row (same shape `SparseCostMatrix::row_adjacency`
+    // produces, built into the pooled row vectors).
+    if adj.len() < n {
+        adj.resize_with(n, Vec::new);
+    }
+    for row in adj[..n].iter_mut() {
+        row.clear();
+    }
+    for &(r, c, v) in costs.entries() {
+        if v < omega {
+            adj[r].push((c, v - omega));
+        }
+    }
+    for row in adj[..n].iter_mut() {
+        row.sort_by_key(|&(c, _)| c);
+    }
+
+    // Nodes: rows are 0..n, columns are n..n+m. The per-solve arrays are
+    // fully re-initialised here; nothing from a previous solve leaks.
+    match_row.clear();
+    match_row.resize(n, None);
+    match_col.clear();
+    match_col.resize(m, None);
     // Johnson potentials keeping every residual arc's reduced cost ≥ 0:
     // pot_row starts at 0, pot_col at the cheapest incoming weight.
-    let mut pot_row = vec![0.0_f64; n];
-    let mut pot_col = vec![0.0_f64; m];
-    for row in &adj {
+    pot_row.clear();
+    pot_row.resize(n, 0.0);
+    pot_col.clear();
+    pot_col.resize(m, 0.0);
+    for row in &adj[..n] {
         for &(c, w) in row {
             if w < pot_col[c] {
                 pot_col[c] = w;
@@ -119,18 +197,37 @@ fn min_weight_matching(costs: &SparseCostMatrix) -> Vec<(usize, usize, f64)> {
         }
     }
 
-    let mut dist = vec![f64::INFINITY; n + m];
-    let mut parent_col: Vec<usize> = vec![usize::MAX; m];
-    let mut parent_row: Vec<usize> = vec![usize::MAX; n];
-    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
+    if stamp.len() < n + m {
+        stamp.resize(n + m, 0);
+        dist.resize(stamp.len(), f64::INFINITY);
+    }
+    parent_col.clear();
+    parent_col.resize(m, usize::MAX);
+    parent_row.clear();
+    parent_row.resize(n, usize::MAX);
 
     loop {
         // One Dijkstra over the residual graph from every free useful row.
-        dist.iter_mut().for_each(|d| *d = f64::INFINITY);
+        // Bumping the generation invalidates every stamped distance — the
+        // O(1) equivalent of refilling `dist` with +∞.
+        if *generation == u32::MAX {
+            stamp.fill(0);
+            *generation = 0;
+        }
+        *generation += 1;
+        let gen = *generation;
+        let read_dist = |dist: &[f64], stamp: &[u32], i: usize| {
+            if stamp[i] == gen {
+                dist[i]
+            } else {
+                f64::INFINITY
+            }
+        };
         heap.clear();
         for r in 0..n {
             if match_row[r].is_none() && !adj[r].is_empty() {
                 dist[r] = 0.0;
+                stamp[r] = gen;
                 heap.push(HeapEntry { dist: 0.0, node: r });
             }
         }
@@ -144,7 +241,7 @@ fn min_weight_matching(costs: &SparseCostMatrix) -> Vec<(usize, usize, f64)> {
             .fold(f64::INFINITY, f64::min);
         let mut best_settled = f64::INFINITY;
         while let Some(HeapEntry { dist: d, node }) = heap.pop() {
-            if d > dist[node] {
+            if d > read_dist(dist, stamp, node) {
                 continue; // stale entry
             }
             // Everything still in the heap leads to true costs of at least
@@ -162,8 +259,9 @@ fn min_weight_matching(costs: &SparseCostMatrix) -> Vec<(usize, usize, f64)> {
                     }
                     let reduced = (w + pot_row[r] - pot_col[c]).max(0.0);
                     let nd = d + reduced;
-                    if nd < dist[n + c] {
+                    if nd < read_dist(dist, stamp, n + c) {
                         dist[n + c] = nd;
+                        stamp[n + c] = gen;
                         parent_col[c] = r;
                         heap.push(HeapEntry { dist: nd, node: n + c });
                     }
@@ -185,8 +283,9 @@ fn min_weight_matching(costs: &SparseCostMatrix) -> Vec<(usize, usize, f64)> {
                         .expect("matched edges come from the adjacency");
                     let reduced = (-(w + pot_row[r] - pot_col[c])).max(0.0);
                     let nd = d + reduced;
-                    if nd < dist[r] {
+                    if nd < read_dist(dist, stamp, r) {
                         dist[r] = nd;
+                        stamp[r] = gen;
                         parent_row[r] = c;
                         heap.push(HeapEntry { dist: nd, node: r });
                     }
@@ -198,10 +297,11 @@ fn min_weight_matching(costs: &SparseCostMatrix) -> Vec<(usize, usize, f64)> {
         // (reduced distance un-telescoped through the potentials).
         let mut best: Option<(f64, usize)> = None;
         for c in 0..m {
-            if match_col[c].is_some() || !dist[n + c].is_finite() {
+            let d = read_dist(dist, stamp, n + c);
+            if match_col[c].is_some() || !d.is_finite() {
                 continue;
             }
-            let true_cost = dist[n + c] + pot_col[c];
+            let true_cost = d + pot_col[c];
             if best.is_none_or(|(cost, _)| true_cost < cost) {
                 best = Some((true_cost, c));
             }
@@ -213,12 +313,12 @@ fn min_weight_matching(costs: &SparseCostMatrix) -> Vec<(usize, usize, f64)> {
 
         // Update potentials (capped at the target's distance — the classic
         // rule that keeps unreached arcs non-negative), then augment.
-        let cap = dist[n + target];
-        for r in 0..n {
-            pot_row[r] += dist[r].min(cap);
+        let cap = read_dist(dist, stamp, n + target);
+        for (r, pot) in pot_row.iter_mut().enumerate().take(n) {
+            *pot += read_dist(dist, stamp, r).min(cap);
         }
-        for c in 0..m {
-            pot_col[c] += dist[n + c].min(cap);
+        for (c, pot) in pot_col.iter_mut().enumerate().take(m) {
+            *pot += read_dist(dist, stamp, n + c).min(cap);
         }
         let mut c = target;
         loop {
@@ -328,6 +428,37 @@ mod tests {
             assert_matches_dense(&costs);
             // Determinism: repeated solves return identical assignments.
             assert_eq!(SparseKm.solve(&costs), SparseKm.solve(&costs));
+        }
+    }
+
+    #[test]
+    fn pooled_scratch_is_invisible_across_interleaved_shapes() {
+        // Alternate between a large and a small instance so the pool's
+        // high-water arrays dwarf the small solve, then pin every pooled
+        // result bit-identical to one from a pristine scratch. Catches any
+        // state leaking between solves (stale stamps, dirty adjacency rows,
+        // oversized arrays read past their logical length).
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut instances = Vec::new();
+        for round in 0..6 {
+            let (rows, cols) = if round % 2 == 0 { (40, 35) } else { (3, 4) };
+            let mut costs = SparseCostMatrix::new(rows, cols, 700.0);
+            for r in 0..rows {
+                for c in 0..cols {
+                    if rng.random_range(0.0..1.0) < 0.2 {
+                        costs.set(r, c, (rng.random_range(0..14) * 50) as f64);
+                    }
+                }
+            }
+            instances.push(costs);
+        }
+        for costs in &instances {
+            let pooled = min_weight_matching(costs);
+            let pristine = min_weight_matching_in(&mut Scratch::default(), costs);
+            assert_eq!(pooled, pristine);
+            assert_matches_dense(costs);
         }
     }
 

@@ -49,6 +49,8 @@ use std::fmt;
 use std::fs;
 use std::io::Write;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Magic prefix of every checkpoint file (8 bytes, versioned).
 pub const CHECKPOINT_MAGIC: &[u8; 8] = b"FMCKPT01";
@@ -588,6 +590,202 @@ pub fn load_router_checkpoint(dir: impl AsRef<Path>) -> Result<RouterCheckpoint,
     Ok(checkpoint)
 }
 
+/// One enqueued background save: the WAL sequence the checkpoint covers,
+/// plus the captured state itself.
+struct CheckpointJob<C> {
+    seq: u64,
+    state: C,
+}
+
+/// Cross-thread state shared between the dispatch side and the persist
+/// worker.
+struct CheckpointerShared {
+    /// Highest WAL sequence whose checkpoint is sealed on disk (0 until the
+    /// first seal; 0 is also the trivially-sealed empty prefix).
+    sealed_seq: AtomicU64,
+    /// Jobs enqueued but not yet persisted (or coalesced away).
+    pending: Mutex<usize>,
+    /// Signalled whenever `pending` drops.
+    idle: Condvar,
+    /// First persist failure, if any. Once set, later seals still proceed
+    /// (a transient disk error on one save does not doom the next), but the
+    /// error stays visible until [`BackgroundCheckpointer::take_error`].
+    error: Mutex<Option<String>>,
+}
+
+/// Two-phase background checkpointing: cheap in-thread *capture*
+/// (cloning the dispatcher's state — what
+/// [`DurableDispatch::checkpoint`](crate::DurableDispatch::checkpoint)
+/// returns), worker-thread *persist* (Codec-serialise, seal, atomic
+/// rename). The dispatch thread stalls only for the capture; the
+/// serialisation and fsync — the expensive phase — happen off-thread.
+///
+/// When saves arrive faster than the disk persists them, queued jobs are
+/// **coalesced**: the worker drains the queue and seals only the newest
+/// state (each checkpoint is a complete snapshot, so intermediate ones are
+/// dead weight the moment a newer capture exists). The skipped count is
+/// recorded on the `checkpoint.coalesced` counter.
+///
+/// [`sealed_seq`](Self::sealed_seq) publishes the newest checkpoint known
+/// safe on disk — the anchor [`WriteAheadLog::compact_below`](crate::WriteAheadLog::compact_below)
+/// may truncate the log to. Never compact past a sequence this has not
+/// published: the checkpoint covering the dropped prefix must exist before
+/// the prefix goes.
+///
+/// Dropping the checkpointer drains the queue and joins the worker, so an
+/// in-flight seal is never abandoned half-written (the atomic rename
+/// guarantees that even a hard kill leaves the previous file intact).
+pub struct BackgroundCheckpointer<C: Send + 'static> {
+    sender: Option<std::sync::mpsc::Sender<CheckpointJob<C>>>,
+    worker: Option<std::thread::JoinHandle<()>>,
+    shared: Arc<CheckpointerShared>,
+}
+
+impl<C: Send + 'static> fmt::Debug for BackgroundCheckpointer<C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BackgroundCheckpointer")
+            .field("sealed_seq", &self.sealed_seq())
+            .finish_non_exhaustive()
+    }
+}
+
+impl BackgroundCheckpointer<ServiceCheckpoint> {
+    /// A background checkpointer persisting [`ServiceCheckpoint`]s to a
+    /// single container file via [`save_checkpoint`].
+    pub fn service(path: impl AsRef<Path>) -> Self {
+        Self::new(path, |path, state| save_checkpoint(path, state))
+    }
+}
+
+impl BackgroundCheckpointer<RouterCheckpoint> {
+    /// A background checkpointer persisting [`RouterCheckpoint`]s to a
+    /// checkpoint directory via [`save_router_checkpoint`].
+    pub fn router(dir: impl AsRef<Path>) -> Self {
+        Self::new(dir, |dir, state| save_router_checkpoint(dir, state))
+    }
+}
+
+impl<C: Send + 'static> BackgroundCheckpointer<C> {
+    /// Starts the persist worker, writing every sealed checkpoint to
+    /// `path` through `persist` (an atomic-rename writer such as
+    /// [`save_checkpoint`] or [`save_router_checkpoint`]).
+    pub fn new(
+        path: impl AsRef<Path>,
+        persist: fn(&Path, &C) -> Result<(), CheckpointError>,
+    ) -> Self {
+        let path = path.as_ref().to_path_buf();
+        let shared = Arc::new(CheckpointerShared {
+            sealed_seq: AtomicU64::new(0),
+            pending: Mutex::new(0),
+            idle: Condvar::new(),
+            error: Mutex::new(None),
+        });
+        let (sender, receiver) = std::sync::mpsc::channel::<CheckpointJob<C>>();
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("fm-checkpointer".to_string())
+            .spawn(move || {
+                let persist_ns = foodmatch_telemetry::histogram("checkpoint.persist_ns");
+                let sealed = foodmatch_telemetry::counter("checkpoint.sealed");
+                let coalesced = foodmatch_telemetry::counter("checkpoint.coalesced");
+                while let Ok(first) = receiver.recv() {
+                    // Coalesce: a newer complete snapshot obsoletes every
+                    // older queued one.
+                    let mut consumed = 1usize;
+                    let mut job = first;
+                    while let Ok(newer) = receiver.try_recv() {
+                        consumed += 1;
+                        job = newer;
+                    }
+                    if consumed > 1 {
+                        coalesced.add(consumed as u64 - 1);
+                    }
+                    let result = {
+                        let _span = foodmatch_telemetry::span("checkpoint", "persist");
+                        let _timer = persist_ns.timer();
+                        persist(&path, &job.state)
+                    };
+                    match result {
+                        Ok(()) => {
+                            worker_shared.sealed_seq.fetch_max(job.seq, Ordering::SeqCst);
+                            sealed.inc();
+                        }
+                        Err(e) => {
+                            let mut slot = worker_shared.error.lock().expect("error lock");
+                            slot.get_or_insert_with(|| {
+                                format!("background checkpoint at seq {} failed: {e}", job.seq)
+                            });
+                        }
+                    }
+                    let mut pending = worker_shared.pending.lock().expect("pending lock");
+                    *pending -= consumed;
+                    worker_shared.idle.notify_all();
+                }
+            })
+            .expect("spawn checkpoint worker");
+        BackgroundCheckpointer { sender: Some(sender), worker: Some(worker), shared }
+    }
+
+    /// Phase two: hands a captured checkpoint (covering WAL records below
+    /// `seq`) to the persist worker and returns immediately. `seq` must be
+    /// the value stamped on the checkpoint (its `wal_seq`).
+    pub fn save(&self, seq: u64, state: C) {
+        let mut pending = self.shared.pending.lock().expect("pending lock");
+        *pending += 1;
+        drop(pending);
+        self.sender
+            .as_ref()
+            .expect("sender lives until drop")
+            .send(CheckpointJob { seq, state })
+            .expect("checkpoint worker lives until drop");
+    }
+
+    /// Highest WAL sequence whose checkpoint is sealed on disk — safe to
+    /// [compact](crate::WriteAheadLog::compact_below) the log below. Zero
+    /// until the first seal (the empty prefix needs no checkpoint).
+    pub fn sealed_seq(&self) -> u64 {
+        self.shared.sealed_seq.load(Ordering::SeqCst)
+    }
+
+    /// Jobs enqueued but not yet persisted or coalesced.
+    pub fn pending(&self) -> usize {
+        *self.shared.pending.lock().expect("pending lock")
+    }
+
+    /// Takes the first persist failure, if one occurred. A failed save
+    /// never advances [`sealed_seq`](Self::sealed_seq), so compaction
+    /// anchored there stays safe even if the error goes unchecked.
+    pub fn take_error(&self) -> Option<String> {
+        self.shared.error.lock().expect("error lock").take()
+    }
+
+    /// Blocks until every enqueued job is persisted (or coalesced away)
+    /// and returns the sealed sequence, or the first persist failure.
+    pub fn drain(&self) -> Result<u64, String> {
+        let mut pending = self.shared.pending.lock().expect("pending lock");
+        while *pending > 0 {
+            pending = self.shared.idle.wait(pending).expect("pending lock");
+        }
+        drop(pending);
+        match self.take_error() {
+            Some(error) => Err(error),
+            None => Ok(self.sealed_seq()),
+        }
+    }
+}
+
+impl<C: Send + 'static> Drop for BackgroundCheckpointer<C> {
+    fn drop(&mut self) {
+        // Close the channel so the worker drains the queue and exits, then
+        // join it: every enqueued seal completes (or reports its error)
+        // before the checkpointer is gone.
+        self.sender.take();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -625,6 +823,41 @@ mod tests {
         // Overwrite goes through the same atomic rename.
         save_checkpoint(&path, &7u64).expect("overwrite");
         assert_eq!(load_checkpoint::<u64>(&path).expect("reload"), 7);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn background_checkpointer_seals_the_newest_state_and_publishes_its_seq() {
+        let dir = std::env::temp_dir().join(format!("fm-bgckpt-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("create temp dir");
+        let path = dir.join("bg.ckpt");
+        let bg: BackgroundCheckpointer<u64> =
+            BackgroundCheckpointer::new(&path, |path, state| save_checkpoint(path, state));
+        assert_eq!(bg.sealed_seq(), 0, "nothing sealed yet");
+        // A burst of saves: the worker may coalesce, but the newest always
+        // lands, and sealed_seq only moves forward.
+        for seq in 1..=5u64 {
+            bg.save(seq, seq * 100);
+        }
+        let sealed = bg.drain().expect("drain");
+        assert_eq!(sealed, 5);
+        assert_eq!(load_checkpoint::<u64>(&path).expect("load"), 500);
+        assert_eq!(bg.pending(), 0);
+        drop(bg);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn background_checkpointer_reports_persist_failures_without_advancing() {
+        let dir = std::env::temp_dir().join(format!("fm-bgckpt-err-{}", std::process::id()));
+        // The parent directory does not exist, so every atomic write fails.
+        let path = dir.join("missing").join("bg.ckpt");
+        let bg: BackgroundCheckpointer<u64> =
+            BackgroundCheckpointer::new(&path, |path, state| save_checkpoint(path, state));
+        bg.save(3, 42);
+        let err = bg.drain().expect_err("persist into a missing dir fails");
+        assert!(err.contains("seq 3"), "error names the failed seq: {err}");
+        assert_eq!(bg.sealed_seq(), 0, "a failed save never advances the seal");
         fs::remove_dir_all(&dir).ok();
     }
 }

@@ -4,16 +4,29 @@
 //! [`DurableDispatch`] wraps a [`DispatchService`](crate::DispatchService)
 //! or [`DispatchRouter`](crate::DispatchRouter) (anything implementing
 //! [`WalTarget`]) and enforces the write-ahead contract on every mutating
-//! call: the input is framed, checksummed and flushed to the
-//! [`WriteAheadLog`] *first*, and only then applied. The log therefore
-//! always holds at least as much history as any state the process has
-//! exposed, and recovery is a pure function of (latest checkpoint, log):
+//! call: the input is framed and checksummed into the [`WriteAheadLog`]
+//! *first*, and only then applied. Under a group-commit
+//! [`FlushPolicy`](crate::wal::FlushPolicy) the record may sit in the
+//! log's in-memory group until the next flush — the wrapper therefore
+//! exposes both ends of the durability ledger:
+//! [`acked_seq`](DurableDispatch::acked_seq) (records fsynced to disk,
+//! guaranteed to survive a crash) and
+//! [`appended_seq`](DurableDispatch::appended_seq) (records accepted,
+//! durable *or* buffered). A crash loses at most the unacked suffix, and
+//! recovery is a pure function of (latest checkpoint, log):
 //!
-//! 1. [`WriteAheadLog::open`] the log — torn tails from a crash mid-append
+//! 1. [`WriteAheadLog::open`] the log — torn tails from a crash mid-flush
 //!    are truncated, corruption is a typed error;
 //! 2. [restore](crate::DispatchService::restore) the latest checkpoint;
 //! 3. [`replay_wal`] the records past the checkpoint's
-//!    [`wal_seq`](crate::checkpoint::ServiceCheckpoint::wal_seq).
+//!    [`wal_seq`](crate::checkpoint::ServiceCheckpoint::wal_seq) — on a
+//!    compacted log, [`suffix_from`](crate::wal::WalReadOutcome::suffix_from)
+//!    guards against a missing prefix with a typed error.
+//!
+//! [`checkpoint`](DurableDispatch::checkpoint) is a *flush barrier*: the
+//! buffered group is made durable before the state is captured, so a
+//! checkpoint's `wal_seq` never exceeds the acked log — restoring it can
+//! always find (on disk) every record at or below its stamp.
 //!
 //! Because dispatch is deterministic, the recovered run continues with the
 //! same windows, the same assignments, the same outputs and the same final
@@ -116,7 +129,8 @@ impl<P: DispatchPolicy> WalTarget for DispatchRouter<P> {
 pub enum FailMode {
     /// Die before the record reaches the log: the input is neither durable
     /// nor applied — recovery never sees it (the caller would retry in a
-    /// real deployment).
+    /// real deployment). Any unflushed group-commit buffer dies with the
+    /// process.
     BeforeAppend,
     /// Die after the record is durable but before it is applied: the
     /// classic write-ahead gap. Recovery replays the record, so the input
@@ -168,9 +182,38 @@ impl<T: WalTarget> DurableDispatch<T> {
         self.crashed
     }
 
-    /// The next record's sequence number (= records durably logged).
+    /// The next record's sequence number (= records accepted into the log,
+    /// durable or buffered; alias of [`appended_seq`](Self::appended_seq)).
     pub fn wal_seq(&self) -> u64 {
         self.log.seq()
+    }
+
+    /// Records known durable on disk — the crash-survival guarantee.
+    pub fn acked_seq(&self) -> u64 {
+        self.log.acked_seq()
+    }
+
+    /// Records accepted into the log, durable or buffered.
+    pub fn appended_seq(&self) -> u64 {
+        self.log.appended_seq()
+    }
+
+    /// Records buffered but not yet durable (the acked lag).
+    pub fn unflushed(&self) -> u64 {
+        self.log.unflushed()
+    }
+
+    /// Forces the buffered group durable now, regardless of policy.
+    /// Returns the new acked sequence.
+    pub fn flush(&mut self) -> Result<u64, WalError> {
+        self.log.flush()
+    }
+
+    /// Drops every WAL record below `below` — call with a *sealed*
+    /// checkpoint's `wal_seq` once its file is safely on disk. See
+    /// [`WriteAheadLog::compact_below`].
+    pub fn compact_log(&mut self, below: u64) -> Result<(), WalError> {
+        self.log.compact_below(below)
     }
 
     /// The wrapped dispatcher, read-only.
@@ -186,10 +229,21 @@ impl<T: WalTarget> DurableDispatch<T> {
     /// Captures a checkpoint of the dispatcher with the current log
     /// position stamped on: restoring it and replaying the log suffix past
     /// [`wal_seq`](Self::wal_seq) reproduces the run exactly.
-    pub fn checkpoint(&self) -> T::Checkpoint {
+    ///
+    /// Checkpoints are **flush barriers**: the buffered group is flushed
+    /// first, so the stamp never exceeds [`acked_seq`](Self::acked_seq) —
+    /// otherwise a crash right after the checkpoint sealed could leave a
+    /// state *ahead* of the durable log, and the lost records would be
+    /// re-driven on top of state that already contains them.
+    pub fn checkpoint(&mut self) -> Result<T::Checkpoint, WalError> {
+        // `checkpoint.capture_ns` is the only stall the dispatch thread
+        // pays under background checkpointing — the persist phase
+        // (serialise + fsync + rename) runs on the worker.
+        let _capture = foodmatch_telemetry::histogram("checkpoint.capture_ns").timer();
+        self.log.flush()?;
         let mut checkpoint = self.target.take_checkpoint();
-        T::stamp_wal_seq(&mut checkpoint, self.log.seq());
-        checkpoint
+        T::stamp_wal_seq(&mut checkpoint, self.log.acked_seq());
+        Ok(checkpoint)
     }
 
     /// Logs, then applies, one submitted order.
@@ -218,7 +272,8 @@ impl<T: WalTarget> DurableDispatch<T> {
 
     /// The write-ahead contract, shared by all three calls: refuse input
     /// after a crash, honour the fail point at its exact boundary, append
-    /// and flush the record, then apply it.
+    /// the record (the flush policy decides when it hits disk), then apply
+    /// it.
     fn log_then<R>(
         &mut self,
         record: WalRecord,
@@ -230,12 +285,21 @@ impl<T: WalTarget> DurableDispatch<T> {
         let seq = self.log.seq();
         if let Some(fp) = self.fail_point.filter(|fp| fp.at_seq == seq) {
             self.crashed = true;
+            // A simulated power cut also loses whatever the group-commit
+            // buffer held: only the acked prefix survives on disk.
             match fp.mode {
-                FailMode::BeforeAppend => {}
+                FailMode::BeforeAppend => {
+                    self.log.discard_unflushed();
+                }
                 FailMode::AfterAppend => {
+                    // "Durable but not applied" means the group holding the
+                    // record flushed before the process died.
                     self.log.append(&record)?;
+                    self.log.flush()?;
                 }
                 FailMode::TornAppend => {
+                    // `append_torn` flushes the pending group, then dies
+                    // midway through this record's frame bytes.
                     self.log.append_torn(&record)?;
                 }
             }

@@ -47,16 +47,22 @@
 //!   thread-count independence.
 //! * **Durable** — [`DurableDispatch`] wraps a service or router and makes
 //!   it crash-safe: every mutating call is appended to a checksummed
-//!   [`WriteAheadLog`] *before* it is applied, the full dispatcher state
-//!   (order pools, fleet physics, event schedule, metrics) checkpoints via
-//!   [`DispatchService::checkpoint`] / [`DispatchRouter::checkpoint`] into
-//!   atomically-written files, and recovery — restore the latest
-//!   checkpoint, [`replay_wal`] the log suffix — lands on the exact state
-//!   and output stream of the uninterrupted run. Torn log tails from a
-//!   crash mid-append are truncated and tolerated; any other corruption is
-//!   a typed [`WalError`] / [`CheckpointError`], never a panic.
+//!   [`WriteAheadLog`] *before* it is applied, with a [`FlushPolicy`]
+//!   amortising the fsync across group-committed batches (per record, per
+//!   N records, per accumulation window, or per latency deadline — the
+//!   acked/appended ledger makes the durability lag explicit). The full
+//!   dispatcher state (order pools, fleet physics, event schedule, metrics)
+//!   checkpoints via [`DispatchService::checkpoint`] /
+//!   [`DispatchRouter::checkpoint`] into atomically-written files — off the
+//!   dispatch thread with [`BackgroundCheckpointer`], whose sealed
+//!   checkpoints anchor [log compaction](WriteAheadLog::compact_below) —
+//!   and recovery — restore the latest checkpoint, [`replay_wal`] the log
+//!   suffix — lands on the exact state and output stream of a valid prefix
+//!   run ending at a flush boundary. Torn log tails from a crash mid-flush
+//!   are truncated and tolerated; any other corruption is a typed
+//!   [`WalError`] / [`CheckpointError`], never a panic.
 //!   `tests/recovery_equivalence.rs` pins recovery bit-identical across
-//!   policies, crash points and both dispatcher shapes.
+//!   policies, flush policies, crash points and both dispatcher shapes.
 //!
 //! ### Batch: replay a scenario
 //!
@@ -127,7 +133,7 @@ pub mod wal;
 
 pub use checkpoint::{
     load_checkpoint, load_router_checkpoint, save_checkpoint, save_router_checkpoint,
-    CheckpointError, RestoreError, RouterCheckpoint, ServiceCheckpoint,
+    BackgroundCheckpointer, CheckpointError, RestoreError, RouterCheckpoint, ServiceCheckpoint,
 };
 pub use durable::{replay_wal, DurableDispatch, FailMode, FailPoint, ReplayError, WalTarget};
 pub use engine::Simulation;
@@ -141,5 +147,6 @@ pub use service::{
     SubmitOutcome,
 };
 pub use wal::{
-    read_wal_bytes, read_wal_file, TornTail, WalError, WalReadOutcome, WalRecord, WriteAheadLog,
+    read_wal_bytes, read_wal_file, FlushPolicy, TornTail, WalError, WalReadOutcome, WalRecord,
+    WriteAheadLog,
 };

@@ -1,5 +1,5 @@
 //! The write-ahead log: a durable, replayable record of every input the
-//! online dispatch layer receives.
+//! online dispatch layer receives — with group-commit batched fsync.
 //!
 //! Dispatch is deterministic: the same inputs in the same order produce the
 //! same windows, the same assignments, the same report — bit for bit. That
@@ -13,22 +13,44 @@
 //! landing on exactly the state — and exactly the output stream — the
 //! uninterrupted run would have produced.
 //!
+//! ## Group commit
+//!
+//! One `fdatasync` per record caps durable ingest around the disk's flush
+//! rate — three orders of magnitude below what the dispatcher itself
+//! sustains. A [`FlushPolicy`] amortises that cost: appended records are
+//! framed into an in-memory group and written + fsynced *once per flush*.
+//! The log therefore distinguishes two sequence numbers:
+//!
+//! * [`appended_seq`](WriteAheadLog::appended_seq) — records accepted into
+//!   the log (buffered or durable);
+//! * [`acked_seq`](WriteAheadLog::acked_seq) — records known durable on
+//!   disk. Only acked records survive a crash.
+//!
+//! The durability contract is *prefix durability*: a crash loses at most
+//! the unflushed suffix `[acked_seq, appended_seq)`, never a record below
+//! an acked one, never a reordered or fabricated record. Recovery lands on
+//! a valid prefix run ending at a flush boundary;
+//! `tests/recovery_equivalence.rs` pins the property for every policy.
+//!
 //! ## On-disk format
 //!
 //! ```text
-//! [8-byte magic "FMWAL001"]
+//! [8-byte magic "FMWAL002"] [u64 base_seq] [u32 CRC-32 of base_seq]
 //! repeated: [u32 payload length] [u32 CRC-32 of payload] [payload]
 //! ```
 //!
 //! All integers little-endian; payloads are [`Codec`]-encoded
-//! [`WalRecord`]s. The reader distinguishes two failure shapes, mirroring
-//! what a real crash can and cannot produce:
+//! [`WalRecord`]s. `base_seq` is the global sequence number of the first
+//! record in the file — zero for a fresh log, the sealed checkpoint's
+//! `wal_seq` after [compaction](WriteAheadLog::compact_below) dropped the
+//! prefix a checkpoint already covers. The reader distinguishes two failure
+//! shapes, mirroring what a real crash can and cannot produce:
 //!
 //! * a **torn tail** — the file ends mid-record, exactly what a crash
-//!   during an append leaves behind. The partial record is dropped and
-//!   reported as [`TornTail`]; every record before it is intact (appends
-//!   are flushed in order). [`WriteAheadLog::open`] truncates the tear and
-//!   resumes appending after the last whole record.
+//!   during a group flush leaves behind. The partial record is dropped and
+//!   reported as [`TornTail`]; every record before it is intact (flushes
+//!   write the group in order). [`WriteAheadLog::open`] truncates the tear
+//!   and resumes appending after the last whole record.
 //! * **corruption** — a checksum mismatch, an oversized length, or a
 //!   payload that fails structural validation *anywhere* in the log. No
 //!   crash produces this (earlier records were fully flushed before later
@@ -44,9 +66,14 @@ use std::fmt;
 use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
-/// Magic prefix of every WAL file (8 bytes, versioned).
-pub const WAL_MAGIC: &[u8; 8] = b"FMWAL001";
+/// Magic prefix of every WAL file (8 bytes, versioned). Version 002 added
+/// the checksummed `base_seq` header field for compacted logs.
+pub const WAL_MAGIC: &[u8; 8] = b"FMWAL002";
+
+/// Total size of the file header: magic, base sequence, header CRC.
+pub const WAL_HEADER_LEN: usize = 8 + 8 + 4;
 
 /// Upper bound on one record's payload (16 MiB). A declared length above
 /// this is corruption, not a plausibly torn append — even a maximal-fleet
@@ -92,6 +119,44 @@ impl Codec for WalRecord {
     }
 }
 
+/// When the write-ahead log flushes buffered records to disk.
+///
+/// Every policy preserves the append *order*; they differ only in how many
+/// records share one `fdatasync`. The group-commit trade is explicit: a
+/// crash loses at most the unflushed suffix (`appended_seq − acked_seq`
+/// records), and recovery always lands on a clean flush boundary.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FlushPolicy {
+    /// Flush after every record — the strictest contract (nothing is ever
+    /// lost once `append` returns) and the default. One fsync per record.
+    #[default]
+    EveryRecord,
+    /// Flush once `n` records are buffered. Bounded loss window of `n − 1`
+    /// records; amortises the fsync `n` ways.
+    EveryN(u32),
+    /// Flush when an [`AdvanceTo`](WalRecord::AdvanceTo) record is appended
+    /// — one fsync per accumulation window, aligning durability with the
+    /// dispatch cadence: a window's inputs become durable together, before
+    /// any of its outputs are computed.
+    Window,
+    /// Flush when the oldest buffered record has waited at least this long
+    /// (checked at append time), bounding the durability *latency* rather
+    /// than the record count.
+    Timed(Duration),
+}
+
+impl FlushPolicy {
+    /// Short stable label used in benchmark JSON and tables.
+    pub fn label(&self) -> String {
+        match self {
+            FlushPolicy::EveryRecord => "every-record".to_string(),
+            FlushPolicy::EveryN(n) => format!("every-{n}"),
+            FlushPolicy::Window => "window".to_string(),
+            FlushPolicy::Timed(d) => format!("timed-{}ms", d.as_millis()),
+        }
+    }
+}
+
 /// A typed write-ahead-log failure. Reading or writing a WAL never panics;
 /// every corruption and I/O mode surfaces as one of these.
 #[derive(Debug)]
@@ -99,10 +164,18 @@ pub enum WalError {
     /// The underlying filesystem operation failed.
     Io(std::io::Error),
     /// The file does not start with [`WAL_MAGIC`] (wrong file, or a
-    /// future/incompatible format version).
+    /// future/incompatible format version), or is shorter than the header.
     BadHeader {
-        /// The bytes actually found (up to 8).
+        /// The bytes actually found (up to the header length).
         found: Vec<u8>,
+    },
+    /// The header's `base_seq` does not match its stored CRC-32 — the
+    /// header was damaged after the fact.
+    HeaderChecksumMismatch {
+        /// Checksum stored in the header.
+        expected: u32,
+        /// Checksum of the `base_seq` bytes actually present.
+        actual: u32,
     },
     /// A record frame declares a payload larger than [`MAX_RECORD_LEN`] —
     /// a corrupt length field, not a torn append.
@@ -116,7 +189,7 @@ pub enum WalError {
     /// damaged after it was written (a torn append cannot produce this —
     /// earlier records are flushed before later ones exist).
     ChecksumMismatch {
-        /// Index of the corrupt record.
+        /// Global sequence number of the corrupt record.
         index: u64,
         /// Byte offset of its frame.
         offset: u64,
@@ -127,12 +200,22 @@ pub enum WalError {
     },
     /// A record passed its checksum but failed structural validation.
     Malformed {
-        /// Index of the malformed record.
+        /// Global sequence number of the malformed record.
         index: u64,
         /// Byte offset of its frame.
         offset: u64,
         /// The underlying decode failure.
         source: DecodeError,
+    },
+    /// A replay asked for records below the log's `base_seq` — the prefix
+    /// was [compacted](WriteAheadLog::compact_below) away after a
+    /// checkpoint sealed, and that checkpoint (or a newer one) is required
+    /// to recover. Raised instead of silently replaying a partial history.
+    CompactedPast {
+        /// First sequence number still present in the log.
+        base_seq: u64,
+        /// The (older) sequence number the caller asked to replay from.
+        requested: u64,
     },
     /// A fault-injection point fired (see
     /// [`FailPoint`](crate::durable::FailPoint)): the simulated process
@@ -153,6 +236,10 @@ impl fmt::Display for WalError {
             WalError::BadHeader { found } => {
                 write!(f, "not a WAL file (header {found:?})")
             }
+            WalError::HeaderChecksumMismatch { expected, actual } => write!(
+                f,
+                "WAL header checksum mismatch: expected {expected:#010x}, got {actual:#010x}"
+            ),
             WalError::OversizedRecord { offset, declared } => write!(
                 f,
                 "WAL record at offset {offset} declares {declared} payload bytes (limit {MAX_RECORD_LEN}) — corrupt length"
@@ -164,6 +251,11 @@ impl fmt::Display for WalError {
             WalError::Malformed { index, offset, source } => {
                 write!(f, "WAL record {index} (offset {offset}) is malformed: {source}")
             }
+            WalError::CompactedPast { base_seq, requested } => write!(
+                f,
+                "WAL was compacted up to sequence {base_seq}; records from {requested} are gone — \
+                 recover from the checkpoint the compaction was anchored to"
+            ),
             WalError::CrashInjected { seq } => {
                 write!(f, "fault injection: simulated crash at WAL sequence {seq}")
             }
@@ -190,7 +282,7 @@ impl From<std::io::Error> for WalError {
     }
 }
 
-/// A partial final record left by a crash mid-append: tolerated, dropped,
+/// A partial final record left by a crash mid-flush: tolerated, dropped,
 /// reported.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TornTail {
@@ -202,44 +294,85 @@ pub struct TornTail {
 }
 
 /// The result of reading a WAL: the intact records plus, when the file
-/// ends mid-append, the torn tail that was dropped.
+/// ends mid-record, the torn tail that was dropped.
 #[derive(Clone, Debug, PartialEq)]
 pub struct WalReadOutcome {
+    /// Global sequence number of `records[0]` — zero for an uncompacted
+    /// log, the compaction anchor otherwise.
+    pub base_seq: u64,
     /// Every intact record, in append order.
     pub records: Vec<WalRecord>,
-    /// Present when the file ended mid-record (crash during append).
+    /// Present when the file ended mid-record (crash during a flush).
     pub torn_tail: Option<TornTail>,
 }
 
+impl WalReadOutcome {
+    /// Sequence number the next append would get (= records durably in the
+    /// file, counted from the global origin).
+    pub fn next_seq(&self) -> u64 {
+        self.base_seq + self.records.len() as u64
+    }
+
+    /// The records from global sequence `from` on — the replay suffix past
+    /// a checkpoint's `wal_seq`. Returns [`WalError::CompactedPast`] when
+    /// `from` predates the log's `base_seq`: the history below the
+    /// compaction anchor is gone, and replaying a partial middle would
+    /// corrupt state. A `from` beyond the end yields an empty slice (the
+    /// checkpoint is newer than every surviving record).
+    pub fn suffix_from(&self, from: u64) -> Result<&[WalRecord], WalError> {
+        if from < self.base_seq {
+            return Err(WalError::CompactedPast { base_seq: self.base_seq, requested: from });
+        }
+        let skip = (from - self.base_seq) as usize;
+        Ok(&self.records[skip.min(self.records.len())..])
+    }
+}
+
 /// Frames one record: `[u32 len] [u32 crc] [payload]`.
-fn frame(record: &WalRecord) -> Vec<u8> {
+fn frame_into(record: &WalRecord, framed: &mut Vec<u8>) {
     let payload = record.to_bytes();
-    let mut framed = Vec::with_capacity(payload.len() + 8);
+    framed.reserve(payload.len() + 8);
     framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     framed.extend_from_slice(&crc32(&payload).to_le_bytes());
     framed.extend_from_slice(&payload);
-    framed
+}
+
+/// The file header: magic, base sequence and a CRC binding the two.
+fn header(base_seq: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(WAL_HEADER_LEN);
+    out.extend_from_slice(WAL_MAGIC);
+    let seq_bytes = base_seq.to_le_bytes();
+    out.extend_from_slice(&seq_bytes);
+    out.extend_from_slice(&crc32(&seq_bytes).to_le_bytes());
+    out
 }
 
 /// Decodes a WAL from raw bytes. Torn tails are tolerated (see the
 /// [module docs](self)); any other irregularity is a hard [`WalError`].
 pub fn read_wal_bytes(bytes: &[u8]) -> Result<WalReadOutcome, WalError> {
-    if bytes.len() < WAL_MAGIC.len() {
-        return Err(WalError::BadHeader { found: bytes.to_vec() });
+    if bytes.len() < WAL_HEADER_LEN || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Err(WalError::BadHeader {
+            found: bytes[..bytes.len().min(WAL_HEADER_LEN)].to_vec(),
+        });
     }
-    if &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
-        return Err(WalError::BadHeader { found: bytes[..WAL_MAGIC.len()].to_vec() });
+    let seq_bytes: [u8; 8] = bytes[8..16].try_into().expect("8 bytes");
+    let expected = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes"));
+    let actual = crc32(&seq_bytes);
+    if actual != expected {
+        return Err(WalError::HeaderChecksumMismatch { expected, actual });
     }
+    let base_seq = u64::from_le_bytes(seq_bytes);
     let mut records = Vec::new();
-    let mut offset = WAL_MAGIC.len();
+    let mut offset = WAL_HEADER_LEN;
     loop {
         let remaining = bytes.len() - offset;
         if remaining == 0 {
-            return Ok(WalReadOutcome { records, torn_tail: None });
+            return Ok(WalReadOutcome { base_seq, records, torn_tail: None });
         }
         if remaining < 8 {
-            // The frame header itself is incomplete: torn append.
+            // The frame header itself is incomplete: torn flush.
             return Ok(WalReadOutcome {
+                base_seq,
                 records,
                 torn_tail: Some(TornTail { offset: offset as u64, bytes: remaining as u64 }),
             });
@@ -252,8 +385,9 @@ pub fn read_wal_bytes(bytes: &[u8]) -> Result<WalReadOutcome, WalError> {
         }
         let body = offset + 8;
         if bytes.len() - body < len as usize {
-            // Payload incomplete at end-of-file: torn append.
+            // Payload incomplete at end-of-file: torn flush.
             return Ok(WalReadOutcome {
+                base_seq,
                 records,
                 torn_tail: Some(TornTail { offset: offset as u64, bytes: remaining as u64 }),
             });
@@ -262,14 +396,14 @@ pub fn read_wal_bytes(bytes: &[u8]) -> Result<WalReadOutcome, WalError> {
         let actual = crc32(payload);
         if actual != expected {
             return Err(WalError::ChecksumMismatch {
-                index: records.len() as u64,
+                index: base_seq + records.len() as u64,
                 offset: offset as u64,
                 expected,
                 actual,
             });
         }
         let record = WalRecord::from_bytes(payload).map_err(|source| WalError::Malformed {
-            index: records.len() as u64,
+            index: base_seq + records.len() as u64,
             offset: offset as u64,
             source,
         })?;
@@ -283,18 +417,29 @@ pub fn read_wal_file(path: impl AsRef<Path>) -> Result<WalReadOutcome, WalError>
     read_wal_bytes(&fs::read(path.as_ref())?)
 }
 
-/// An append-only write-ahead log file.
+/// An append-only write-ahead log file with group-commit flushing.
 ///
-/// Appends are framed, checksummed and flushed to the OS before the
-/// corresponding state change is applied ([`DurableDispatch`]
-/// (crate::durable::DurableDispatch) enforces the ordering), so the log
-/// always holds at least as much history as any state the process has
-/// exposed.
+/// Appends are framed and checksummed into an in-memory group; the
+/// [`FlushPolicy`] decides when the group is written and fsynced as one
+/// unit. [`DurableDispatch`](crate::durable::DurableDispatch) enforces the
+/// write-ahead ordering (buffer before apply, durable before ack), so the
+/// *acked* log always holds at least as much history as any state the
+/// process has acknowledged.
 #[derive(Debug)]
 pub struct WriteAheadLog {
     file: fs::File,
     path: PathBuf,
-    seq: u64,
+    policy: FlushPolicy,
+    /// Global sequence number of the first record in this file.
+    base_seq: u64,
+    /// Records known durable on disk.
+    acked_seq: u64,
+    /// Records accepted into the log (acked + buffered).
+    appended_seq: u64,
+    /// Framed, unflushed records.
+    buffer: Vec<u8>,
+    /// Wall-clock arrival of the oldest buffered record (Timed policy).
+    oldest_buffered: Option<Instant>,
     metrics: WalMetrics,
 }
 
@@ -303,13 +448,20 @@ pub struct WriteAheadLog {
 /// identical bytes either way.
 #[derive(Debug)]
 struct WalMetrics {
-    /// `wal.append_ns` — full append (frame write + fsync).
+    /// `wal.append_ns` — one buffered append (framing + policy check;
+    /// includes the flush when the policy triggers one).
     append_ns: foodmatch_telemetry::Histogram,
-    /// `wal.fsync_ns` — the `sync_data` portion alone.
+    /// `wal.fsync_ns` — the `sync_data` portion of each flush.
     fsync_ns: foodmatch_telemetry::Histogram,
+    /// `wal.flush_records` — records per group flush (batch size).
+    flush_records: foodmatch_telemetry::Histogram,
+    /// `wal.unflushed` — records currently buffered (acked lag).
+    unflushed: foodmatch_telemetry::Gauge,
     /// `wal.bytes` / `wal.records` — durable append volume.
     bytes: foodmatch_telemetry::Counter,
     records: foodmatch_telemetry::Counter,
+    /// `wal.compactions` — prefix compactions performed.
+    compactions: foodmatch_telemetry::Counter,
 }
 
 impl WalMetrics {
@@ -317,29 +469,59 @@ impl WalMetrics {
         WalMetrics {
             append_ns: foodmatch_telemetry::histogram("wal.append_ns"),
             fsync_ns: foodmatch_telemetry::histogram("wal.fsync_ns"),
+            flush_records: foodmatch_telemetry::histogram("wal.flush_records"),
+            unflushed: foodmatch_telemetry::gauge("wal.unflushed"),
             bytes: foodmatch_telemetry::counter("wal.bytes"),
             records: foodmatch_telemetry::counter("wal.records"),
+            compactions: foodmatch_telemetry::counter("wal.compactions"),
         }
     }
 }
 
 impl WriteAheadLog {
-    /// Creates a fresh WAL at `path` (truncating any existing file) and
-    /// writes the header.
+    /// Creates a fresh WAL at `path` (truncating any existing file) with
+    /// the default per-record flush policy.
     pub fn create(path: impl AsRef<Path>) -> Result<Self, WalError> {
+        Self::create_with(path, FlushPolicy::EveryRecord)
+    }
+
+    /// Creates a fresh WAL at `path` (truncating any existing file) under
+    /// the given [`FlushPolicy`] and writes the header.
+    pub fn create_with(path: impl AsRef<Path>, policy: FlushPolicy) -> Result<Self, WalError> {
         let path = path.as_ref().to_path_buf();
         let mut file = fs::File::create(&path)?;
-        file.write_all(WAL_MAGIC)?;
+        file.write_all(&header(0))?;
         file.sync_all()?;
-        Ok(WriteAheadLog { file, path, seq: 0, metrics: WalMetrics::acquire() })
+        Ok(WriteAheadLog {
+            file,
+            path,
+            policy,
+            base_seq: 0,
+            acked_seq: 0,
+            appended_seq: 0,
+            buffer: Vec::new(),
+            oldest_buffered: None,
+            metrics: WalMetrics::acquire(),
+        })
+    }
+
+    /// Opens an existing WAL for appending with the default per-record
+    /// flush policy. See [`open_with`](Self::open_with).
+    pub fn open(path: impl AsRef<Path>) -> Result<(Self, WalReadOutcome), WalError> {
+        Self::open_with(path, FlushPolicy::EveryRecord)
     }
 
     /// Opens an existing WAL for appending: reads it back (propagating any
     /// corruption as a typed error), truncates a torn tail if one exists,
     /// and returns the log positioned after the last intact record together
     /// with everything read. This is the restart path — the returned
-    /// records drive recovery replay.
-    pub fn open(path: impl AsRef<Path>) -> Result<(Self, WalReadOutcome), WalError> {
+    /// records drive recovery replay, and
+    /// [`WalReadOutcome::suffix_from`] guards compacted logs with a typed
+    /// error instead of replaying a partial history.
+    pub fn open_with(
+        path: impl AsRef<Path>,
+        policy: FlushPolicy,
+    ) -> Result<(Self, WalReadOutcome), WalError> {
         let path = path.as_ref().to_path_buf();
         let bytes = fs::read(&path)?;
         let outcome = read_wal_bytes(&bytes)?;
@@ -348,44 +530,176 @@ impl WriteAheadLog {
             file.set_len(tear.offset)?;
             file.sync_all()?;
         }
-        let seq = outcome.records.len() as u64;
-        Ok((WriteAheadLog { file, path, seq, metrics: WalMetrics::acquire() }, outcome))
+        let seq = outcome.next_seq();
+        Ok((
+            WriteAheadLog {
+                file,
+                path,
+                policy,
+                base_seq: outcome.base_seq,
+                acked_seq: seq,
+                appended_seq: seq,
+                buffer: Vec::new(),
+                oldest_buffered: None,
+                metrics: WalMetrics::acquire(),
+            },
+            outcome,
+        ))
     }
 
-    /// Appends one record and flushes it to the OS. Returns the record's
-    /// sequence number (zero-based append index).
+    /// Appends one record to the group buffer and flushes the group when
+    /// the [`FlushPolicy`] calls for it. Returns the record's global
+    /// sequence number (zero-based append index). The record is *durable*
+    /// only once [`acked_seq`](Self::acked_seq) passes it.
     pub fn append(&mut self, record: &WalRecord) -> Result<u64, WalError> {
         let _span = foodmatch_telemetry::span("wal", "append");
         let _append = self.metrics.append_ns.timer();
-        let framed = frame(record);
-        self.file.write_all(&framed)?;
+        frame_into(record, &mut self.buffer);
+        if self.oldest_buffered.is_none() {
+            self.oldest_buffered = Some(Instant::now());
+        }
+        let seq = self.appended_seq;
+        self.appended_seq += 1;
+        let due = match self.policy {
+            FlushPolicy::EveryRecord => true,
+            FlushPolicy::EveryN(n) => self.appended_seq - self.acked_seq >= u64::from(n.max(1)),
+            FlushPolicy::Window => matches!(record, WalRecord::AdvanceTo(_)),
+            FlushPolicy::Timed(max_latency) => {
+                self.oldest_buffered.is_some_and(|t| t.elapsed() >= max_latency)
+            }
+        };
+        if due {
+            self.flush()?;
+        } else {
+            self.metrics.unflushed.set((self.appended_seq - self.acked_seq) as i64);
+        }
+        Ok(seq)
+    }
+
+    /// Writes and fsyncs every buffered record as one group, advancing
+    /// [`acked_seq`](Self::acked_seq) to [`appended_seq`](Self::appended_seq).
+    /// A no-op on an empty buffer. Returns the new acked sequence.
+    pub fn flush(&mut self) -> Result<u64, WalError> {
+        if self.buffer.is_empty() {
+            return Ok(self.acked_seq);
+        }
+        let batch = self.appended_seq - self.acked_seq;
+        self.file.write_all(&self.buffer)?;
         {
             let _fsync = self.metrics.fsync_ns.timer();
             self.file.sync_data()?;
         }
-        self.metrics.bytes.add(framed.len() as u64);
-        self.metrics.records.inc();
-        let seq = self.seq;
-        self.seq += 1;
-        Ok(seq)
+        self.metrics.bytes.add(self.buffer.len() as u64);
+        self.metrics.records.add(batch);
+        self.metrics.flush_records.record(batch);
+        self.metrics.unflushed.set(0);
+        self.buffer.clear();
+        self.oldest_buffered = None;
+        self.acked_seq = self.appended_seq;
+        Ok(self.acked_seq)
     }
 
-    /// Appends only a *prefix* of the record's frame — a simulated torn
-    /// write, as a crash mid-append would leave. The record does not count
-    /// as durable (the sequence number does not advance). Used by the
-    /// fault-injection harness to exercise the torn-tail recovery path.
+    /// Drops every buffered (unacked) record without writing it — what a
+    /// power cut does to the in-memory group. Rolls
+    /// [`appended_seq`](Self::appended_seq) back to
+    /// [`acked_seq`](Self::acked_seq). Crash-simulation hook; production
+    /// code has no reason to call it.
+    pub fn discard_unflushed(&mut self) -> u64 {
+        let dropped = self.appended_seq - self.acked_seq;
+        self.buffer.clear();
+        self.oldest_buffered = None;
+        self.appended_seq = self.acked_seq;
+        self.metrics.unflushed.set(0);
+        dropped
+    }
+
+    /// Flushes any buffered group, then appends only a *prefix* of the
+    /// record's frame — a simulated torn flush, as a crash midway through
+    /// a group write would leave. The record does not count as appended or
+    /// durable. Used by the fault-injection harness to exercise the
+    /// torn-tail recovery path.
     pub fn append_torn(&mut self, record: &WalRecord) -> Result<(), WalError> {
-        let framed = frame(record);
+        self.flush()?;
+        let mut framed = Vec::new();
+        frame_into(record, &mut framed);
         let keep = (framed.len() / 2).max(1);
         self.file.write_all(&framed[..keep])?;
         self.file.sync_data()?;
         Ok(())
     }
 
-    /// Number of records durably appended (and the sequence number the
-    /// next append will get).
+    /// Drops every durable record below global sequence `below` — the
+    /// prefix a sealed checkpoint at `wal_seq = below` fully covers —
+    /// bounding replay work and disk growth on long runs. The surviving
+    /// suffix is rewritten to a sibling file with `base_seq = below` and
+    /// atomically renamed over the log, so a crash mid-compaction leaves
+    /// either the old log or the new one, never a hybrid. Any buffered
+    /// group is flushed first; `below` values at or under the current
+    /// `base_seq` are no-ops, and values past the acked end are clamped.
+    ///
+    /// Only compact at a *sealed* checkpoint's `wal_seq`: after
+    /// compaction, recovery from any older checkpoint reports
+    /// [`WalError::CompactedPast`].
+    pub fn compact_below(&mut self, below: u64) -> Result<(), WalError> {
+        let _span = foodmatch_telemetry::span("wal", "compact");
+        self.flush()?;
+        let below = below.min(self.acked_seq);
+        if below <= self.base_seq {
+            return Ok(());
+        }
+        let outcome = read_wal_bytes(&fs::read(&self.path)?)?;
+        debug_assert_eq!(outcome.base_seq, self.base_seq);
+        let keep = outcome.suffix_from(below)?;
+        let tmp = self.path.with_extension("wal-compact");
+        {
+            let mut file = fs::File::create(&tmp)?;
+            let mut bytes = header(below);
+            for record in keep {
+                frame_into(record, &mut bytes);
+            }
+            file.write_all(&bytes)?;
+            file.sync_all()?;
+        }
+        fs::rename(&tmp, &self.path)?;
+        self.file = fs::OpenOptions::new().append(true).open(&self.path)?;
+        self.file.sync_all()?;
+        self.base_seq = below;
+        self.metrics.compactions.inc();
+        Ok(())
+    }
+
+    /// The flush policy this log runs under.
+    pub fn policy(&self) -> FlushPolicy {
+        self.policy
+    }
+
+    /// Global sequence number of the first record still in the file (zero
+    /// until a compaction raises it).
+    pub fn base_seq(&self) -> u64 {
+        self.base_seq
+    }
+
+    /// Records known durable on disk (and the global sequence number the
+    /// next *flush* will ack up to, exclusive).
+    pub fn acked_seq(&self) -> u64 {
+        self.acked_seq
+    }
+
+    /// Records accepted into the log — durable or buffered — and the
+    /// sequence number the next append will get.
+    pub fn appended_seq(&self) -> u64 {
+        self.appended_seq
+    }
+
+    /// Records buffered but not yet durable (`appended_seq − acked_seq`).
+    pub fn unflushed(&self) -> u64 {
+        self.appended_seq - self.acked_seq
+    }
+
+    /// Number of records appended (alias of [`appended_seq`](Self::appended_seq),
+    /// kept for the pre-group-commit callers).
     pub fn seq(&self) -> u64 {
-        self.seq
+        self.appended_seq
     }
 
     /// The file path this log writes to.
@@ -394,11 +708,22 @@ impl WriteAheadLog {
     }
 }
 
+impl Drop for WriteAheadLog {
+    /// A graceful shutdown flushes the buffered group — losing records is
+    /// what *crashes* do, not drops. (Crash simulation calls
+    /// [`discard_unflushed`](Self::discard_unflushed) first, making this a
+    /// no-op.) Errors are swallowed: there is no way to report them from a
+    /// destructor, and the acked contract never claimed these records.
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use foodmatch_core::OrderId;
-    use foodmatch_roadnet::{Duration, NodeId};
+    use foodmatch_roadnet::{Duration as SimDuration, NodeId};
 
     fn sample_records() -> Vec<WalRecord> {
         let t = TimePoint::from_hms(12, 0, 0);
@@ -409,10 +734,10 @@ mod tests {
                 NodeId(9),
                 t,
                 2,
-                Duration::from_mins(7.0),
+                SimDuration::from_mins(7.0),
             )),
-            WalRecord::AdvanceTo(t + Duration::from_mins(3.0)),
-            WalRecord::AdvanceTo(t + Duration::from_mins(6.0)),
+            WalRecord::AdvanceTo(t + SimDuration::from_mins(3.0)),
+            WalRecord::AdvanceTo(t + SimDuration::from_mins(6.0)),
         ]
     }
 
@@ -427,10 +752,86 @@ mod tests {
         let records = sample_records();
         for (i, record) in records.iter().enumerate() {
             assert_eq!(wal.append(record).expect("append"), i as u64);
+            assert_eq!(wal.acked_seq(), i as u64 + 1, "EveryRecord acks each append");
         }
         let outcome = read_wal_file(&path).expect("read");
         assert_eq!(outcome.records, records);
+        assert_eq!(outcome.base_seq, 0);
         assert_eq!(outcome.torn_tail, None);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn every_n_buffers_until_the_group_fills_and_drop_flushes_the_rest() {
+        let path = temp_path("every-n");
+        let records = sample_records();
+        {
+            let mut wal =
+                WriteAheadLog::create_with(&path, FlushPolicy::EveryN(2)).expect("create");
+            wal.append(&records[0]).expect("append");
+            assert_eq!(wal.acked_seq(), 0, "first record buffers");
+            assert_eq!(wal.unflushed(), 1);
+            // Nothing on disk yet beyond the header.
+            assert!(read_wal_file(&path).expect("read").records.is_empty());
+            wal.append(&records[1]).expect("append");
+            assert_eq!(wal.acked_seq(), 2, "the group of two flushes");
+            wal.append(&records[2]).expect("append");
+            assert_eq!(wal.acked_seq(), 2, "third record buffers again");
+            // Graceful drop flushes the partial group.
+        }
+        assert_eq!(read_wal_file(&path).expect("read").records, records);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn window_policy_flushes_on_advance_records() {
+        let path = temp_path("window");
+        let mut wal = WriteAheadLog::create_with(&path, FlushPolicy::Window).expect("create");
+        let records = sample_records();
+        wal.append(&records[0]).expect("append submit");
+        assert_eq!(wal.acked_seq(), 0, "submissions buffer");
+        wal.append(&records[1]).expect("append advance");
+        assert_eq!(wal.acked_seq(), 2, "the advance flushes the window's group");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn timed_policy_bounds_durability_latency() {
+        let path = temp_path("timed");
+        let records = sample_records();
+        // A zero deadline degenerates to per-record flushing…
+        let mut wal =
+            WriteAheadLog::create_with(&path, FlushPolicy::Timed(Duration::ZERO)).expect("create");
+        wal.append(&records[0]).expect("append");
+        assert_eq!(wal.acked_seq(), 1);
+        drop(wal);
+        // …while a distant one buffers indefinitely (until drop/flush).
+        let mut wal =
+            WriteAheadLog::create_with(&path, FlushPolicy::Timed(Duration::from_secs(3600)))
+                .expect("create");
+        wal.append(&records[0]).expect("append");
+        wal.append(&records[1]).expect("append");
+        assert_eq!(wal.acked_seq(), 0);
+        assert_eq!(wal.unflushed(), 2);
+        wal.flush().expect("flush");
+        assert_eq!(wal.acked_seq(), 2);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn discard_unflushed_loses_exactly_the_unacked_suffix() {
+        let path = temp_path("discard");
+        let records = sample_records();
+        let mut wal = WriteAheadLog::create_with(&path, FlushPolicy::EveryN(8)).expect("create");
+        wal.append(&records[0]).expect("append");
+        wal.flush().expect("flush");
+        wal.append(&records[1]).expect("append");
+        wal.append(&records[2]).expect("append");
+        assert_eq!(wal.discard_unflushed(), 2);
+        assert_eq!(wal.appended_seq(), 1);
+        drop(wal); // the drop-flush has nothing left to write
+        let outcome = read_wal_file(&path).expect("read");
+        assert_eq!(outcome.records, records[..1], "only the acked prefix survives");
         fs::remove_file(&path).ok();
     }
 
@@ -458,6 +859,59 @@ mod tests {
     }
 
     #[test]
+    fn compaction_drops_the_prefix_and_stamps_the_base_seq() {
+        let path = temp_path("compact");
+        let mut wal = WriteAheadLog::create(&path).expect("create");
+        let records = sample_records();
+        for record in &records {
+            wal.append(record).expect("append");
+        }
+        wal.compact_below(2).expect("compact");
+        assert_eq!(wal.base_seq(), 2);
+        assert_eq!(wal.appended_seq(), 3, "sequence numbers keep their global origin");
+
+        let outcome = read_wal_file(&path).expect("read compacted");
+        assert_eq!(outcome.base_seq, 2);
+        assert_eq!(outcome.records, records[2..]);
+        assert_eq!(outcome.suffix_from(2).expect("anchored suffix"), &records[2..]);
+        assert_eq!(outcome.suffix_from(3).expect("empty suffix"), &[] as &[WalRecord]);
+        assert!(
+            matches!(
+                outcome.suffix_from(0),
+                Err(WalError::CompactedPast { base_seq: 2, requested: 0 })
+            ),
+            "replaying below the compaction anchor is a typed error"
+        );
+
+        // Appending continues after a compaction, and reopening a compacted
+        // log restores the global sequence numbering.
+        wal.append(&records[0]).expect("append after compaction");
+        drop(wal);
+        let (reopened, outcome) = WriteAheadLog::open(&path).expect("reopen compacted");
+        assert_eq!(outcome.base_seq, 2);
+        assert_eq!(outcome.records.len(), 2);
+        assert_eq!(reopened.seq(), 4);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compaction_is_idempotent_and_clamped() {
+        let path = temp_path("compact-clamp");
+        let mut wal = WriteAheadLog::create(&path).expect("create");
+        for record in &sample_records() {
+            wal.append(record).expect("append");
+        }
+        wal.compact_below(2).expect("compact");
+        wal.compact_below(2).expect("same anchor is a no-op");
+        wal.compact_below(1).expect("older anchor is a no-op");
+        assert_eq!(wal.base_seq(), 2);
+        wal.compact_below(100).expect("past-the-end anchor clamps");
+        assert_eq!(wal.base_seq(), 3);
+        assert!(read_wal_file(&path).expect("read").records.is_empty());
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn mid_log_corruption_is_a_hard_typed_error() {
         let path = temp_path("corrupt");
         let mut wal = WriteAheadLog::create(&path).expect("create");
@@ -467,7 +921,7 @@ mod tests {
         drop(wal);
         let mut bytes = fs::read(&path).expect("read file");
         // Flip one payload bit of the *first* record (well before the tail).
-        bytes[WAL_MAGIC.len() + 8] ^= 0x10;
+        bytes[WAL_HEADER_LEN + 8] ^= 0x10;
         match read_wal_bytes(&bytes) {
             Err(WalError::ChecksumMismatch { index: 0, .. }) => {}
             other => panic!("expected a checksum error on record 0, got {other:?}"),
@@ -478,9 +932,17 @@ mod tests {
     #[test]
     fn header_and_length_corruption_yield_typed_errors() {
         assert!(matches!(read_wal_bytes(b"nope"), Err(WalError::BadHeader { .. })));
-        assert!(matches!(read_wal_bytes(b"XXXXXXXXrest"), Err(WalError::BadHeader { .. })));
+        assert!(matches!(
+            read_wal_bytes(b"XXXXXXXXrest-of-the-header"),
+            Err(WalError::BadHeader { .. })
+        ));
 
-        let mut bytes = WAL_MAGIC.to_vec();
+        // A damaged base_seq is caught by the header checksum.
+        let mut bytes = header(7);
+        bytes[9] ^= 0x01;
+        assert!(matches!(read_wal_bytes(&bytes), Err(WalError::HeaderChecksumMismatch { .. })));
+
+        let mut bytes = header(0);
         bytes.extend_from_slice(&u32::MAX.to_le_bytes());
         bytes.extend_from_slice(&0u32.to_le_bytes());
         bytes.extend_from_slice(&[0u8; 64]);

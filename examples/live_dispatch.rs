@@ -3,12 +3,17 @@
 //! the full crash-safety loop around it.
 //!
 //! The shape below is a production deployment: each tick, poll the demand
-//! stream, submit what arrived through the write-ahead log, maybe ingest a
-//! disruption, advance one accumulation window and react to the typed
-//! output events, checkpointing every few windows. Forty minutes in the
-//! process "loses power": the in-memory dispatch state is dropped and the
-//! service is rebuilt from the newest checkpoint plus a WAL replay, then
-//! resumes the same demand stream to the end of the day.
+//! stream, submit what arrived through the write-ahead log (group-committed
+//! — one fsync per accumulation window under `FlushPolicy::Window`), maybe
+//! ingest a disruption, advance one accumulation window and react to the
+//! typed output events. Every few windows the dispatch thread captures a
+//! cheap checkpoint and hands it to a `BackgroundCheckpointer` to persist
+//! off-thread; each sealed checkpoint then anchors a WAL compaction that
+//! drops the log prefix the checkpoint already covers. Forty minutes in the
+//! process "loses power": the in-memory dispatch state is dropped — along
+//! with any unflushed record group — and the service is rebuilt from the
+//! newest checkpoint plus a WAL replay, then resumes the same demand
+//! stream to the end of the day.
 //!
 //! ```text
 //! cargo run --release -p integration-tests --example live_dispatch
@@ -18,11 +23,10 @@ use foodmatch_core::FoodMatchPolicy;
 use foodmatch_events::{DisruptionCause, DisruptionEvent, EventKind, TrafficDisruption};
 use foodmatch_roadnet::{Duration, TimePoint};
 use foodmatch_sim::{
-    load_checkpoint, replay_wal, save_checkpoint, DispatchOutput, DispatchService, DurableDispatch,
-    ServiceCheckpoint, WriteAheadLog,
+    load_checkpoint, replay_wal, BackgroundCheckpointer, DispatchOutput, DispatchService,
+    DurableDispatch, FlushPolicy, ServiceCheckpoint, WriteAheadLog,
 };
 use foodmatch_workload::{CityId, OrderSource, PoissonOrderSource, Scenario, ScenarioOptions};
-use std::path::Path;
 
 type DurableService = DurableDispatch<DispatchService<FoodMatchPolicy>>;
 
@@ -50,21 +54,24 @@ fn main() {
         sim.vehicle_starts.len()
     );
 
-    // Durability: every submit/ingest/advance is framed, checksummed and
-    // flushed to the WAL before the service applies it; the periodic
-    // checkpoint bounds how much of the log a recovery has to replay.
+    // Durability: every submit/ingest/advance is framed and checksummed
+    // into the WAL before the service applies it, group-committed with one
+    // fsync per accumulation window; the periodic background checkpoint
+    // bounds how much of the log a recovery has to replay, and each sealed
+    // checkpoint lets the WAL drop the prefix it covers.
     let dir = std::env::temp_dir().join(format!("fm-live-dispatch-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("create scratch dir");
     let wal_path = dir.join("dispatch.wal");
     let ckpt_path = dir.join("dispatch.ckpt");
-    let log = WriteAheadLog::create(&wal_path).expect("create WAL");
+    let log = WriteAheadLog::create_with(&wal_path, FlushPolicy::Window).expect("create WAL");
     let mut durable = DurableDispatch::new(sim.service(FoodMatchPolicy::new()), log);
+    let checkpointer = BackgroundCheckpointer::service(&ckpt_path);
 
     // Half an hour in it starts raining; ten minutes later the power goes.
     let rain_at = sim.start + Duration::from_mins(30.0);
     let crash_at = sim.start + Duration::from_mins(40.0);
 
-    pump(&mut durable, &mut demand, Some(rain_at), &ckpt_path);
+    pump(&mut durable, &mut demand, Some(rain_at), &checkpointer);
     let _ = durable
         .ingest_event(DisruptionEvent::new(
             rain_at,
@@ -76,30 +83,54 @@ fn main() {
         ))
         .expect("log rain");
     println!("{rain_at:?}  rain surge ingested (all roads 1.5x slower)");
-    pump(&mut durable, &mut demand, Some(crash_at), &ckpt_path);
+    pump(&mut durable, &mut demand, Some(crash_at), &checkpointer);
 
-    // Simulated power cut: the in-memory dispatch state is gone; only the
-    // WAL and the last sealed checkpoint survive on disk.
-    let lost_seq = durable.wal_seq();
-    drop(durable);
+    // A burst of demand lands in the instant before the cut: framed into
+    // the WAL's in-memory group, but the window flush that would make it
+    // durable never comes.
+    let last_burst = demand
+        .poll(crash_at)
+        .into_iter()
+        .map(|order| durable.submit_order(order).expect("buffer order"))
+        .count();
+    println!("{crash_at:?}  {last_burst} orders buffered, not yet flushed");
+
+    // Simulated power cut: the in-memory dispatch state is gone, and so is
+    // the unflushed record group — only the acked WAL prefix and the last
+    // sealed checkpoint survive on disk. (Dropping the checkpointer joins
+    // its worker; a real cut could also lose an in-flight seal, in which
+    // case the atomic rename leaves the previous checkpoint intact.)
+    let appended = durable.appended_seq();
+    let (service, mut log) = durable.into_parts();
+    let lost_group = log.discard_unflushed();
+    let acked = log.acked_seq();
+    drop(log);
+    drop(service);
+    drop(checkpointer);
     println!();
-    println!("-- power cut near {crash_at:?}: dispatch state lost at wal seq {lost_seq} --");
+    println!(
+        "-- power cut near {crash_at:?}: state lost at wal seq {appended}, \
+         {lost_group} buffered records gone with it (durable prefix: {acked}) --"
+    );
 
     // Recovery: reopen the log (a torn final record would be truncated
-    // here), restore the newest checkpoint, replay the log suffix the
-    // checkpoint has not seen. The rain overlay, carried orders and
-    // vehicle routes all come back bit-identical.
-    let (log, read) = WriteAheadLog::open(&wal_path).expect("reopen WAL");
+    // here), restore the newest checkpoint, replay the compaction-aware
+    // log suffix the checkpoint has not seen. The rain overlay, carried
+    // orders and vehicle routes all come back bit-identical; the lost
+    // group's demand is re-driven by the feed below.
+    let (log, read) = WriteAheadLog::open_with(&wal_path, FlushPolicy::Window).expect("reopen WAL");
     let checkpoint: ServiceCheckpoint = load_checkpoint(&ckpt_path).expect("load checkpoint");
+    let suffix = read
+        .suffix_from(checkpoint.wal_seq)
+        .expect("the sealed checkpoint anchors every compaction");
     let mut service =
         DispatchService::restore(sim.engine.clone(), FoodMatchPolicy::new(), &checkpoint);
-    let replayed = replay_wal(&mut service, &read.records[checkpoint.wal_seq as usize..])
-        .expect("replay the WAL suffix");
+    let replayed = replay_wal(&mut service, suffix).expect("replay the WAL suffix");
     println!(
         "-- recovered: checkpoint at seq {} + {} replayed records \
          ({} outputs regenerated), clock back at {:?} --",
         checkpoint.wal_seq,
-        read.records.len() - checkpoint.wal_seq as usize,
+        suffix.len(),
         replayed.len(),
         service.now(),
     );
@@ -108,7 +139,9 @@ fn main() {
     // The demand feed never died — resume it against the rebuilt service
     // and drain the day.
     let mut durable = DurableDispatch::new(service, log);
-    pump(&mut durable, &mut demand, None, &ckpt_path);
+    let checkpointer = BackgroundCheckpointer::service(&ckpt_path);
+    pump(&mut durable, &mut demand, None, &checkpointer);
+    checkpointer.drain().expect("final checkpoint seals");
 
     let report = durable.target().report();
     println!();
@@ -130,7 +163,8 @@ fn main() {
 }
 
 /// One dashboard line from the global recorder: sustained ingest rate,
-/// advance_to p99, WAL fsync p99 and the engine memo hit rate.
+/// advance_to p99, WAL fsync p99, mean group-commit batch size, current
+/// acked-lag (records buffered, not yet durable) and the memo hit rate.
 fn dashboard_line() -> String {
     let Some(recorder) = foodmatch_telemetry::recorder() else {
         return "telemetry: recorder not installed".to_string();
@@ -142,12 +176,19 @@ fn dashboard_line() -> String {
     let ingest_rate = if submit_ns > 0 { submits as f64 / (submit_ns as f64 / 1e9) } else { 0.0 };
     let advance_p99 = snap.histogram("service.advance_ns").and_then(|h| h.quantile(99.0));
     let fsync_p99 = snap.histogram("wal.fsync_ns").and_then(|h| h.quantile(99.0));
+    let flush_mean = snap
+        .histogram("wal.flush_records")
+        .filter(|h| h.count > 0)
+        .map_or(0.0, |h| h.sum as f64 / h.count as f64);
+    let acked_lag =
+        snap.gauges.iter().find(|(name, _)| name == "wal.unflushed").map_or(0, |&(_, value)| value);
     let hits = snap.counter_sum("engine.memo.hits");
     let misses = snap.counter_sum("engine.memo.misses");
     let lookups = hits + misses;
     format!(
         "telemetry: ingest {ingest_rate:.0} ord/s | advance p99 {:.2} ms | \
-         fsync p99 {:.2} ms | memo hit {:.1}%",
+         fsync p99 {:.2} ms | flush batch {flush_mean:.1} | acked lag {acked_lag} | \
+         memo hit {:.1}%",
         advance_p99.map_or(0.0, ms),
         fsync_p99.map_or(0.0, ms),
         if lookups > 0 { hits as f64 / lookups as f64 * 100.0 } else { 0.0 },
@@ -155,13 +196,15 @@ fn dashboard_line() -> String {
 }
 
 /// Drives the durable service one accumulation window at a time until
-/// `stop` (or completion), submitting live demand through the WAL and
-/// sealing a checkpoint every five windows.
+/// `stop` (or completion), submitting live demand through the WAL. Every
+/// five windows the dispatch thread captures a checkpoint (the only stall
+/// it pays) and hands it to the background worker; whatever the worker has
+/// sealed since then anchors a WAL compaction.
 fn pump(
     durable: &mut DurableService,
     demand: &mut PoissonOrderSource,
     stop: Option<TimePoint>,
-    ckpt_path: &Path,
+    checkpointer: &BackgroundCheckpointer<ServiceCheckpoint>,
 ) {
     let mut windows = 0usize;
     while !durable.target().is_finished() {
@@ -207,9 +250,17 @@ fn pump(
 
         windows += 1;
         if windows % 5 == 0 {
-            let checkpoint = durable.checkpoint();
-            save_checkpoint(ckpt_path, &checkpoint).expect("save checkpoint");
-            println!("{tick:?}  checkpoint sealed at wal seq {}", checkpoint.wal_seq);
+            let checkpoint = durable.checkpoint().expect("capture checkpoint");
+            let seq = checkpoint.wal_seq;
+            checkpointer.save(seq, checkpoint);
+            println!("{tick:?}  checkpoint captured at wal seq {seq}, persisting in background");
+            // Compact the log below whatever the worker has sealed by now
+            // (possibly a previous capture — never past a durable seal).
+            let sealed = checkpointer.sealed_seq();
+            if sealed > 0 {
+                durable.compact_log(sealed).expect("compact WAL below the sealed checkpoint");
+                println!("{tick:?}  wal compacted below sealed seq {sealed}");
+            }
         }
     }
 }

@@ -28,7 +28,12 @@ kind is auto-detected from its keys:
   threshold — crash-safety must not silently get more expensive. The
   guarded numbers are best-of estimates (fastest chunk/snapshot/pass): the
   sub-millisecond fsync-bound means are too runner-noise-sensitive to gate
-  on, the floor is not.
+  on, the floor is not. Additionally, the **group-commit gate** asserts the
+  best amortising flush policy in the ``flush_policies`` sweep keeps its
+  ``wal_overhead_ratio`` at or below an absolute 25x. Like the telemetry
+  gate this compares two passes of the same run (plain vs durable, same
+  machine, minutes apart), so it enforces even when the committed baseline
+  is not comparable.
 * ``BENCH_telemetry.json`` (``telemetry``): fails when the recorder-on
   dispatch loop is more than 5% slower than the recorder-off loop of the
   *same run* (``overhead_pct``) — the observability contract. This check
@@ -297,6 +302,43 @@ def check_recovery(new, baseline, threshold):
     return failures
 
 
+def check_recovery_group_commit(new):
+    """Absolute group-commit gate for BENCH_recovery.json (self-contained).
+
+    The flush-policy sweep measures bare vs durable ingest within the same
+    run — same machine, minutes apart — so, like the telemetry gate, it
+    needs no committed baseline and enforces even when the baseline is not
+    comparable. The best amortising policy (anything but ``every-record``)
+    must keep the durability tax at or below the limit; ``every-record``
+    deliberately pays one fsync per order and is exempt.
+    """
+    overhead_limit = 25.0
+    failures = []
+    for run in new.get("recovery", []):
+        policy = run["policy"]
+        rows = [
+            row
+            for row in run.get("ingest", {}).get("flush_policies", [])
+            if row.get("policy") != "every-record"
+        ]
+        if not rows:
+            print(f"note: {policy} has no group-commit flush-policy sweep, skipping")
+            continue
+        best = min(rows, key=lambda row: float(row["wal_overhead_ratio"]))
+        ratio = float(best["wal_overhead_ratio"])
+        status = "REGRESSION" if ratio > overhead_limit else "ok"
+        print(
+            f"{policy:<10} {'group-commit overhead':<22} best {best['policy']} "
+            f"{ratio:.2f}x (limit {overhead_limit:.0f}x) {status}"
+        )
+        if ratio > overhead_limit:
+            failures.append(
+                f"{policy} group-commit overhead {ratio:.2f}x "
+                f"(absolute limit {overhead_limit:.0f}x)"
+            )
+    return failures
+
+
 def check_telemetry(new):
     """Recorder-overhead guard for BENCH_telemetry.json (self-contained).
 
@@ -368,6 +410,9 @@ def main():
     new = load(args.new)
     baseline = load(args.baseline)
 
+    # Self-contained gates (no baseline needed) collected separately: they
+    # enforce even when the baseline comparison is informational-only.
+    enforced = []
     if "backends" in new:
         comparable = check_comparable(new, baseline, ["available_parallelism", "quick"])
         failures = check_dispatch(new, baseline, args.threshold)
@@ -383,6 +428,7 @@ def main():
     elif "recovery" in new:
         comparable = check_comparable(new, baseline, ["available_parallelism", "quick"])
         failures = check_recovery(new, baseline, args.threshold)
+        enforced = check_recovery_group_commit(new)
     elif "telemetry" in new:
         # Self-contained on-vs-off comparison: always enforced.
         comparable = True
@@ -395,11 +441,13 @@ def main():
         return 1
 
     if not comparable:
-        return 0
+        # Baseline-relative numbers above were informational only; the
+        # self-contained gates still decide the exit code.
+        failures = enforced
+    else:
+        failures = failures + enforced
     if failures:
-        print(
-            f"FAIL: regressed by more than {args.threshold:.0%} on: " + ", ".join(failures)
-        )
+        print("FAIL: regressed beyond tolerance on: " + ", ".join(failures))
         return 1
     print("bench regression check passed")
     return 0

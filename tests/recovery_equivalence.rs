@@ -21,6 +21,16 @@
 //! property is pinned for all four policies on the bare [`DispatchService`]
 //! and for the multi-zone [`DispatchRouter`] at one and four lockstep
 //! threads.
+//!
+//! Group commit adds a second axis: under a batched [`FlushPolicy`] a crash
+//! also loses the unflushed record group, so the durable log ends at a
+//! *flush boundary* at or before the crash sequence. The script keeps op
+//! index and WAL sequence aligned, so recovery replays to the boundary and
+//! the continuation re-drives the lost ops — full-day equivalence then
+//! holds for every flush policy, and
+//! `recovery_lands_exactly_on_the_last_acked_flush_boundary` pins the
+//! prefix-durability contract itself: with no re-driving at all, the
+//! recovered state equals a fresh run of exactly the acked prefix.
 
 use foodmatch_core::{DispatchConfig, DispatchPolicy, Order, PolicyKind};
 use foodmatch_events::{DisruptionCause, DisruptionEvent, EventKind, TrafficDisruption};
@@ -28,7 +38,7 @@ use foodmatch_roadnet::{Duration, TimePoint};
 use foodmatch_sim::{
     load_checkpoint, load_router_checkpoint, replay_wal, save_checkpoint, save_router_checkpoint,
     AdvanceOutcome, DispatchOutput, DispatchRouter, DispatchService, DurableDispatch, FailMode,
-    FailPoint, RoutedOutput, ServiceCheckpoint, SimulationReport, WalError, WalTarget,
+    FailPoint, FlushPolicy, RoutedOutput, ServiceCheckpoint, SimulationReport, WalError, WalTarget,
     WriteAheadLog, ZoneId,
 };
 use foodmatch_workload::{DisruptionPreset, MetroOptions, MetroScenario};
@@ -111,18 +121,21 @@ fn run_golden<T: WalTarget>(target: T, wal_path: &Path, ops: &[Op]) -> (Vec<T::O
 /// suffix, and finish the script. Returns the recovered output stream
 /// (pre-checkpoint prefix + replay + continuation) and the final
 /// dispatcher.
+#[allow(clippy::too_many_arguments)] // a test harness knob per crash axis
 fn run_crashed_and_recover<T: WalTarget>(
     target: T,
     wal_path: &Path,
     ops: &[Op],
+    flush: FlushPolicy,
     crash: FailPoint,
     ckpt_every_advance: usize,
     save: impl Fn(&T::Checkpoint),
     restore: impl FnOnce() -> (T, u64),
 ) -> (Vec<T::Output>, T) {
-    let mut durable = DurableDispatch::new(target, WriteAheadLog::create(wal_path).expect("wal"));
+    let log = WriteAheadLog::create_with(wal_path, flush).expect("wal");
+    let mut durable = DurableDispatch::new(target, log);
     durable.set_fail_point(Some(crash));
-    save(&durable.checkpoint());
+    save(&durable.checkpoint().expect("checkpoint is a flush barrier"));
 
     // Per-op outputs, indexed by WAL sequence, until the fail point fires.
     let mut per_op: Vec<Vec<T::Output>> = Vec::new();
@@ -135,7 +148,7 @@ fn run_crashed_and_recover<T: WalTarget>(
                 if matches!(op, Op::Advance(_)) {
                     advances += 1;
                     if advances % ckpt_every_advance == 0 {
-                        save(&durable.checkpoint());
+                        save(&durable.checkpoint().expect("checkpoint is a flush barrier"));
                     }
                 }
             }
@@ -286,6 +299,7 @@ fn service_recovery_is_bit_identical_for_all_policies_and_crash_points() {
                 sim.service::<DynPolicy>(kind.build()),
                 &wal,
                 &ops,
+                FlushPolicy::EveryRecord,
                 crash,
                 3,
                 |c: &ServiceCheckpoint| save_checkpoint(&ckpt, c).expect("save checkpoint"),
@@ -408,6 +422,7 @@ fn router_recovery_is_bit_identical_at_one_and_four_threads() {
                 metro_router(&metro, kind, threads),
                 &wal,
                 &ops,
+                FlushPolicy::EveryRecord,
                 crash,
                 2,
                 |c| save_router_checkpoint(&ckpt, c).expect("save router checkpoint"),
@@ -480,6 +495,7 @@ fn router_recovery_holds_for_every_policy() {
             metro_router(&metro, kind, 4),
             &wal,
             &ops,
+            FlushPolicy::EveryRecord,
             crash,
             2,
             |c| save_router_checkpoint(&ckpt, c).expect("save router checkpoint"),
@@ -504,4 +520,252 @@ fn router_recovery_holds_for_every_policy() {
         );
         std::fs::remove_dir_all(&dir).ok();
     }
+}
+
+/// The group-commit flush policies under test: a fixed record-count group,
+/// the window-aligned flush, and a deadline that never fires inside the
+/// scripted day (the worst case: everything since the last explicit flush
+/// boundary is one crash away from vanishing).
+fn group_commit_policies() -> Vec<FlushPolicy> {
+    vec![
+        FlushPolicy::EveryN(5),
+        FlushPolicy::Window,
+        FlushPolicy::Timed(std::time::Duration::from_secs(3600)),
+    ]
+}
+
+#[test]
+fn service_recovery_is_bit_identical_for_every_flush_policy() {
+    // Full-day equivalence under group commit: the crash loses the
+    // unflushed group, recovery replays to the flush boundary, and the
+    // continuation re-drives the lost ops — landing on the golden day.
+    let scenario = tiny_scenario(5);
+    let events = DisruptionPreset::IncidentHeavy.builder(5).build(&scenario);
+    let sim = scenario.into_simulation().with_events(events);
+    let ops = build_script(
+        &sim.orders,
+        &sim.events,
+        sim.config.accumulation_window,
+        sim.start,
+        sim.end,
+        sim.end + sim.drain_limit,
+    );
+    let crashes = crash_points(&ops);
+    let kind = PolicyKind::FoodMatch;
+
+    let dir = scratch_dir("svc-flush");
+    let (golden_outputs, golden) =
+        run_golden(sim.service::<DynPolicy>(kind.build()), &dir.join("golden.wal"), &ops);
+    let golden_outputs = normalized_outputs(golden_outputs);
+    let golden_report = normalized(golden.report());
+
+    for (p, &flush) in group_commit_policies().iter().enumerate() {
+        for (i, &crash) in crashes.iter().enumerate() {
+            let wal = dir.join(format!("crash-{p}-{i}.wal"));
+            let ckpt = dir.join(format!("crash-{p}-{i}.ckpt"));
+            let (outputs, recovered) = run_crashed_and_recover(
+                sim.service::<DynPolicy>(kind.build()),
+                &wal,
+                &ops,
+                flush,
+                crash,
+                3,
+                |c: &ServiceCheckpoint| save_checkpoint(&ckpt, c).expect("save checkpoint"),
+                || {
+                    let c: ServiceCheckpoint = load_checkpoint(&ckpt).expect("load checkpoint");
+                    let seq = c.wal_seq;
+                    (DispatchService::restore(sim.engine.clone(), kind.build(), &c), seq)
+                },
+            );
+            assert_eq!(
+                normalized_outputs(outputs),
+                golden_outputs,
+                "{flush:?} crash {i} ({:?} at seq {}): recovered output stream must equal golden",
+                crash.mode,
+                crash.at_seq
+            );
+            assert_eq!(
+                normalized(recovered.report()),
+                golden_report,
+                "{flush:?} crash {i} ({:?} at seq {}): recovered report must equal golden",
+                crash.mode,
+                crash.at_seq
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recovery_lands_exactly_on_the_last_acked_flush_boundary() {
+    // The prefix-durability contract itself, with no continuation to paper
+    // over anything: after a crash under any flush policy, the durable log
+    // ends at a flush boundary F ≤ crash seq, and checkpoint-restore +
+    // replay reconstructs *exactly* the state and outputs of a fresh
+    // (never-crashed, never-recovered) run of ops[..F]. The unacked suffix
+    // may vanish; nothing torn or reordered survives.
+    let scenario = tiny_scenario(5);
+    let events = DisruptionPreset::IncidentHeavy.builder(5).build(&scenario);
+    let sim = scenario.into_simulation().with_events(events);
+    let ops = build_script(
+        &sim.orders,
+        &sim.events,
+        sim.config.accumulation_window,
+        sim.start,
+        sim.end,
+        sim.end + sim.drain_limit,
+    );
+    let kind = PolicyKind::FoodMatch;
+    let at_seq = (ops.len() * 3 / 4) as u64;
+    let mut policies = group_commit_policies();
+    policies.insert(0, FlushPolicy::EveryRecord);
+
+    for (p, &flush) in policies.iter().enumerate() {
+        for (m, &mode) in
+            [FailMode::BeforeAppend, FailMode::AfterAppend, FailMode::TornAppend].iter().enumerate()
+        {
+            let dir = scratch_dir(&format!("boundary-{p}-{m}"));
+            let wal = dir.join("crash.wal");
+            let ckpt = dir.join("crash.ckpt");
+
+            // Drive into the crash, checkpointing every 3 windows.
+            let log = WriteAheadLog::create_with(&wal, flush).expect("wal");
+            let mut durable = DurableDispatch::new(sim.service::<DynPolicy>(kind.build()), log);
+            durable.set_fail_point(Some(FailPoint { at_seq, mode }));
+            save_checkpoint(&ckpt, &durable.checkpoint().expect("initial checkpoint"))
+                .expect("save");
+            let mut per_op: Vec<Vec<DispatchOutput>> = Vec::new();
+            let mut advances = 0usize;
+            for op in &ops {
+                match apply_op(&mut durable, op) {
+                    Ok(outs) => {
+                        per_op.push(outs);
+                        if matches!(op, Op::Advance(_)) {
+                            advances += 1;
+                            if advances % 3 == 0 {
+                                let c = durable.checkpoint().expect("periodic checkpoint");
+                                save_checkpoint(&ckpt, &c).expect("save");
+                            }
+                        }
+                    }
+                    Err(WalError::CrashInjected { .. }) => break,
+                    Err(e) => panic!("unexpected WAL error mid-script: {e}"),
+                }
+            }
+            drop(durable);
+
+            // The durable log ends at a flush boundary no later than the
+            // crash; the exact position depends on policy and fail mode.
+            let (_log, read) = WriteAheadLog::open(&wal).expect("reopen");
+            let boundary = read.records.len();
+            match mode {
+                FailMode::AfterAppend => assert_eq!(
+                    boundary as u64,
+                    at_seq + 1,
+                    "{flush:?}: a durable crash record flushes its whole group"
+                ),
+                FailMode::TornAppend => assert_eq!(
+                    boundary as u64, at_seq,
+                    "{flush:?}: the torn record is dropped, its group survives"
+                ),
+                FailMode::BeforeAppend => {
+                    assert!(boundary as u64 <= at_seq, "{flush:?}: nothing past the crash");
+                    if flush == FlushPolicy::EveryRecord {
+                        assert_eq!(boundary as u64, at_seq, "every record was acked");
+                    }
+                }
+            }
+
+            // Recover without continuing, and race it against a fresh run
+            // of exactly the surviving prefix.
+            let c: ServiceCheckpoint = load_checkpoint(&ckpt).expect("load checkpoint");
+            let ckpt_seq = c.wal_seq;
+            assert!(
+                ckpt_seq as usize <= boundary,
+                "{flush:?}: the checkpoint flush barrier keeps wal_seq within the durable log"
+            );
+            let mut recovered = DispatchService::restore(sim.engine.clone(), kind.build(), &c);
+            let suffix = read.suffix_from(ckpt_seq).expect("the checkpoint anchors the suffix");
+            let replayed = replay_wal(&mut recovered, suffix).expect("replaying an intact suffix");
+            let mut outputs: Vec<DispatchOutput> =
+                per_op.drain(..ckpt_seq as usize).flatten().collect();
+            outputs.extend(replayed);
+
+            let mut prefix = sim.service::<DynPolicy>(kind.build());
+            let mut prefix_outputs = Vec::new();
+            for op in &ops[..boundary] {
+                match op {
+                    Op::Submit(order) => {
+                        let _ = prefix.submit_order(*order);
+                    }
+                    Op::Ingest(event) => {
+                        let _ = prefix.ingest_event(*event);
+                    }
+                    Op::Advance(until) => {
+                        prefix_outputs.extend(prefix.advance_to(*until).into_outputs())
+                    }
+                }
+            }
+            assert_eq!(
+                normalized_outputs(outputs),
+                normalized_outputs(prefix_outputs),
+                "{flush:?} {mode:?}: recovered outputs must equal the acked-prefix run"
+            );
+            assert_eq!(
+                normalized(recovered.report()),
+                normalized(prefix.report()),
+                "{flush:?} {mode:?}: recovered state must equal the acked-prefix run"
+            );
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}
+
+#[test]
+fn router_recovery_holds_for_group_commit_policies_at_four_threads() {
+    let (metro, _events, ops) = metro_day(13);
+    // A pre-append death deep in the day: under group commit this also
+    // discards the unflushed group, so recovery must rewind to the last
+    // flush boundary and the continuation must re-drive the lost ops.
+    let crash = FailPoint { at_seq: (ops.len() * 3 / 4) as u64, mode: FailMode::BeforeAppend };
+    let kind = PolicyKind::FoodMatch;
+
+    let dir = scratch_dir("router-flush");
+    let (golden_outputs, golden) =
+        run_golden(metro_router(&metro, kind, 4), &dir.join("golden.wal"), &ops);
+    let golden_outputs = normalized_routed(golden_outputs);
+    let golden_report = normalized(golden.report().aggregate);
+
+    for (p, &flush) in [FlushPolicy::EveryN(5), FlushPolicy::Window].iter().enumerate() {
+        let wal = dir.join(format!("crash-{p}.wal"));
+        let ckpt = dir.join(format!("crash-{p}.ckpt"));
+        let (outputs, recovered) = run_crashed_and_recover(
+            metro_router(&metro, kind, 4),
+            &wal,
+            &ops,
+            flush,
+            crash,
+            2,
+            |c| save_router_checkpoint(&ckpt, c).expect("save router checkpoint"),
+            || {
+                let c = load_router_checkpoint(&ckpt).expect("load router checkpoint");
+                let seq = c.wal_seq;
+                let router =
+                    DispatchRouter::restore(&metro.network, metro.zone_map(), |_| kind.build(), &c)
+                        .expect("restore router");
+                (router, seq)
+            },
+        );
+        assert_eq!(
+            normalized_routed(outputs),
+            golden_outputs,
+            "{flush:?}: recovered routed stream must equal golden"
+        );
+        assert_eq!(
+            normalized(recovered.report().aggregate),
+            golden_report,
+            "{flush:?}: recovered aggregate report must equal golden"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }

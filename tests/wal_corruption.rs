@@ -16,7 +16,8 @@
 use foodmatch_core::{Order, OrderId};
 use foodmatch_events::{DisruptionCause, DisruptionEvent, EventKind, TrafficDisruption};
 use foodmatch_roadnet::{Duration, NodeId, TimePoint};
-use foodmatch_sim::{read_wal_bytes, WalRecord, WriteAheadLog};
+use foodmatch_sim::wal::WAL_HEADER_LEN;
+use foodmatch_sim::{read_wal_bytes, FlushPolicy, WalError, WalRecord, WriteAheadLog};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -53,10 +54,11 @@ fn sample_records(rng: &mut StdRng) -> Vec<WalRecord> {
         .collect()
 }
 
-/// Writes `records` through the real appender and returns the file bytes.
-fn valid_wal_bytes(records: &[WalRecord], tag: &str) -> Vec<u8> {
+/// Writes `records` through the real appender under `policy` and returns
+/// the file bytes (the drop flushes any partial group).
+fn valid_wal_bytes_with(records: &[WalRecord], tag: &str, policy: FlushPolicy) -> Vec<u8> {
     let path = std::env::temp_dir().join(format!("fm-walcorrupt-{}-{tag}", std::process::id()));
-    let mut wal = WriteAheadLog::create(&path).expect("create wal");
+    let mut wal = WriteAheadLog::create_with(&path, policy).expect("create wal");
     for record in records {
         wal.append(record).expect("append");
     }
@@ -64,6 +66,11 @@ fn valid_wal_bytes(records: &[WalRecord], tag: &str) -> Vec<u8> {
     let bytes = std::fs::read(&path).expect("read back");
     std::fs::remove_file(&path).ok();
     bytes
+}
+
+/// Writes `records` through the real appender and returns the file bytes.
+fn valid_wal_bytes(records: &[WalRecord], tag: &str) -> Vec<u8> {
+    valid_wal_bytes_with(records, tag, FlushPolicy::EveryRecord)
 }
 
 #[test]
@@ -96,10 +103,11 @@ fn random_truncation_yields_a_clean_prefix_or_a_typed_error() {
                     );
                 }
             }
-            // A cut inside the 8-byte header is a BadHeader, never a panic.
-            Err(_) => {
-                assert!(cut < 8, "case {case}: a clean truncation at {cut} must be tolerated")
-            }
+            // A cut inside the file header is a BadHeader, never a panic.
+            Err(_) => assert!(
+                cut < WAL_HEADER_LEN,
+                "case {case}: a clean truncation at {cut} must be tolerated"
+            ),
         }
     }
 }
@@ -107,7 +115,7 @@ fn random_truncation_yields_a_clean_prefix_or_a_typed_error() {
 /// Byte offset where the frame of record `index` ends (i.e. a truncation
 /// exactly here leaves `index` whole records and no partial bytes).
 fn full_frame_end(bytes: &[u8], index: usize) -> usize {
-    let mut offset = 8; // magic
+    let mut offset = WAL_HEADER_LEN;
     for _ in 0..index {
         let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap()) as usize;
         offset += 8 + len;
@@ -158,7 +166,7 @@ fn flipping_one_payload_bit_of_a_mid_log_record_is_always_a_checksum_error() {
         // Pick a record that is not the last one, so the damage can never
         // be mistaken for a torn tail.
         let victim = rng.random_range(0..records.len().saturating_sub(1).max(1));
-        let mut offset = 8usize;
+        let mut offset = WAL_HEADER_LEN;
         for _ in 0..victim {
             let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap()) as usize;
             offset += 8 + len;
@@ -176,5 +184,116 @@ fn flipping_one_payload_bit_of_a_mid_log_record_is_always_a_checksum_error() {
                 "case {case}: payload damage in record {victim} must be a checksum mismatch, got {other:?}"
             ),
         }
+    }
+}
+
+#[test]
+fn truncating_a_group_committed_log_still_yields_a_clean_prefix() {
+    // The group-commit property: a crash midway through a multi-record
+    // flush leaves some prefix of the group's bytes. Whatever parses back
+    // must be a verbatim prefix of the appended stream — a torn *group*
+    // tail loses trailing records but never reorders, skips or invents.
+    let mut rng = StdRng::seed_from_u64(0xF00D_6209);
+    for case in 0..CASES {
+        let records = sample_records(&mut rng);
+        let policy = match rng.random_range(0u8..3) {
+            0 => FlushPolicy::EveryN(rng.random_range(2u32..8)),
+            1 => FlushPolicy::Window,
+            _ => FlushPolicy::Timed(std::time::Duration::from_secs(3600)),
+        };
+        let bytes = valid_wal_bytes_with(&records, "group", policy);
+        // The drop flushed everything: the policy changes *when* fsyncs
+        // happen, never what ends up in the file.
+        assert_eq!(
+            read_wal_bytes(&bytes).expect("clean group log").records,
+            records,
+            "case {case}: group-committed bytes must decode to the full stream ({policy:?})"
+        );
+        let cut = rng.random_range(WAL_HEADER_LEN..=bytes.len());
+        let outcome = read_wal_bytes(&bytes[..cut]).expect("truncation is never corruption");
+        assert_eq!(
+            outcome.records[..],
+            records[..outcome.records.len()],
+            "case {case}: surviving records must be a verbatim prefix ({policy:?})"
+        );
+        if outcome.records.len() < records.len() {
+            assert!(
+                outcome.torn_tail.is_some() || cut == full_frame_end(&bytes, outcome.records.len()),
+                "case {case}: dropped records without reporting a tear ({policy:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn discarded_groups_never_reach_disk_and_acked_prefixes_always_do() {
+    // Simulated power cuts drop the in-memory group: the file must hold
+    // exactly the acked prefix, no torn bytes, no partial group.
+    let mut rng = StdRng::seed_from_u64(0xF00D_D15C);
+    for case in 0..CASES {
+        let records = sample_records(&mut rng);
+        let path = std::env::temp_dir()
+            .join(format!("fm-walcorrupt-{}-discard-{case}", std::process::id()));
+        let n = rng.random_range(2u32..6);
+        let mut wal = WriteAheadLog::create_with(&path, FlushPolicy::EveryN(n)).expect("create");
+        for record in &records {
+            wal.append(record).expect("append");
+        }
+        let acked = wal.acked_seq() as usize;
+        let dropped = wal.discard_unflushed();
+        assert_eq!(dropped as usize, records.len() - acked, "case {case}: drop count");
+        drop(wal);
+        let outcome = read_wal_bytes(&std::fs::read(&path).expect("read")).expect("clean log");
+        assert_eq!(
+            outcome.records[..],
+            records[..acked],
+            "case {case}: exactly the acked prefix survives a power cut"
+        );
+        assert_eq!(outcome.torn_tail, None, "case {case}: no partial bytes");
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn compaction_round_trips_and_guards_replay_below_the_anchor() {
+    let mut rng = StdRng::seed_from_u64(0xF00D_C04A);
+    for case in 0..CASES {
+        let records = sample_records(&mut rng);
+        let path = std::env::temp_dir()
+            .join(format!("fm-walcorrupt-{}-compact-{case}", std::process::id()));
+        let mut wal = WriteAheadLog::create(&path).expect("create");
+        for record in &records {
+            wal.append(record).expect("append");
+        }
+        let anchor = rng.random_range(0..=records.len() as u64);
+        wal.compact_below(anchor).expect("compact");
+        drop(wal);
+
+        // Reopening a compacted log is clean: global numbering preserved,
+        // suffix verbatim, replay below the anchor a typed error (the
+        // "checkpoint is missing" recovery mistake), not a panic.
+        let (reopened, outcome) = WriteAheadLog::open(&path).expect("reopen compacted log");
+        assert_eq!(reopened.seq(), records.len() as u64, "case {case}: global seq");
+        assert_eq!(outcome.base_seq, anchor, "case {case}: base seq is the anchor");
+        assert_eq!(
+            outcome.records[..],
+            records[anchor as usize..],
+            "case {case}: the surviving suffix is verbatim"
+        );
+        assert_eq!(
+            outcome.suffix_from(anchor).expect("anchored replay"),
+            &records[anchor as usize..],
+            "case {case}: replay from the anchor sees the whole suffix"
+        );
+        if anchor > 0 {
+            assert!(
+                matches!(
+                    outcome.suffix_from(rng.random_range(0..anchor)),
+                    Err(WalError::CompactedPast { .. })
+                ),
+                "case {case}: replay below the anchor must be CompactedPast"
+            );
+        }
+        std::fs::remove_file(&path).ok();
     }
 }
