@@ -248,7 +248,7 @@ fn bench_policy(sim: &Simulation, kind: PolicyKind, quick: bool) -> RecoveryResu
     let bg_ckpt = scratch("background.ckpt");
     let log = WriteAheadLog::create(&capture_wal).expect("create capture WAL");
     let mut durable = DurableDispatch::new(service, log);
-    let checkpointer = BackgroundCheckpointer::service(&bg_ckpt);
+    let checkpointer = BackgroundCheckpointer::service(&bg_ckpt).expect("spawn checkpointer");
     let mut capture_ms = Vec::with_capacity(snapshots);
     for seq in 1..=snapshots as u64 {
         let started = Instant::now();

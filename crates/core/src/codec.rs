@@ -458,6 +458,30 @@ impl Codec for DispatchConfig {
     }
 }
 
+/// Reads a little-endian `u32` at byte offset `at`. Infallible by
+/// construction (fixed-size copy), so frame parsers that have already
+/// length-checked their input need no `try_into().expect(..)`.
+///
+/// # Panics
+/// Slice-indexes out of bounds if `bytes.len() < at + 4`; callers must
+/// length-check first (the WAL/checkpoint readers do).
+pub fn u32_le_at(bytes: &[u8], at: usize) -> u32 {
+    let mut word = [0u8; 4];
+    word.copy_from_slice(&bytes[at..at + 4]);
+    u32::from_le_bytes(word)
+}
+
+/// Reads a little-endian `u64` at byte offset `at`. See [`u32_le_at`].
+///
+/// # Panics
+/// Slice-indexes out of bounds if `bytes.len() < at + 8`; callers must
+/// length-check first.
+pub fn u64_le_at(bytes: &[u8], at: usize) -> u64 {
+    let mut word = [0u8; 8];
+    word.copy_from_slice(&bytes[at..at + 8]);
+    u64::from_le_bytes(word)
+}
+
 /// CRC-32/ISO-HDLC (the zlib/PNG polynomial `0xEDB88320`), table-driven.
 /// Used by the WAL record frame and checkpoint container to detect
 /// corruption; not a cryptographic integrity check.

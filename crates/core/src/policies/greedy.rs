@@ -17,7 +17,7 @@ use crate::policies::{outcome_from_assignments, DispatchPolicy};
 use crate::vehicle::{CommittedOrder, VehicleSnapshot};
 use crate::window::{AssignmentOutcome, VehicleAssignment, WindowSnapshot};
 use foodmatch_roadnet::ShortestPathEngine;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The Greedy assignment policy (§III).
 #[derive(Debug, Default, Clone)]
@@ -65,7 +65,10 @@ impl DispatchPolicy for GreedyPolicy {
             })
             .collect();
 
-        let mut per_vehicle: HashMap<usize, Vec<usize>> = HashMap::new();
+        // BTreeMap so the assignment emission order is the vehicle index
+        // order, independent of hasher state (the output stream is golden-
+        // pinned; see `nondeterministic-iteration` in foodmatch-lint).
+        let mut per_vehicle: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
         loop {
             // Find the feasible (order, vehicle) pair with minimum marginal cost.
             let mut best: Option<(f64, usize, usize)> = None;

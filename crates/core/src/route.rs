@@ -18,7 +18,7 @@
 use crate::order::{Order, OrderId};
 use foodmatch_roadnet::{Duration, NodeId, ShortestPathEngine, TimePoint};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Whether a stop picks food up from a restaurant or drops it off at the
 /// customer.
@@ -76,7 +76,10 @@ impl RoutePlan {
     /// order has exactly one drop-off and no pickup, stops reference the
     /// right nodes, and no foreign orders appear.
     pub fn validate(&self, orders: &[PlannedOrder]) -> Result<(), String> {
-        let mut expected: HashMap<OrderId, &PlannedOrder> =
+        // BTreeMap: the final sweep below reports the *first* offending
+        // order, so the map's iteration order decides which error message
+        // surfaces — keep it the smallest order id, not hasher order.
+        let expected: BTreeMap<OrderId, &PlannedOrder> =
             orders.iter().map(|p| (p.order.id, p)).collect();
         let mut pickup_seen: HashMap<OrderId, usize> = HashMap::new();
         let mut dropoff_seen: HashMap<OrderId, usize> = HashMap::new();
@@ -117,7 +120,7 @@ impl RoutePlan {
             }
         }
 
-        for (id, planned) in expected.drain() {
+        for (id, planned) in expected {
             if !dropoff_seen.contains_key(&id) {
                 return Err(format!("order {id} is never dropped off"));
             }

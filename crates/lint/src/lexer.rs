@@ -1,0 +1,324 @@
+//! A hand-rolled token-level scanner for Rust source — deliberately *not* a
+//! parser. The lint rules only need identifier and punctuation tokens with
+//! line numbers; everything that could confuse a naive substring match is
+//! handled here instead: line and (nested) block comments, string literals
+//! (plain, raw with any `#` depth, byte, C), char literals, lifetimes, raw
+//! identifiers, and numeric literals. `expect` inside a doc comment or a
+//! `"expect"` string never becomes a token, and `unwrap_or_else` is one
+//! identifier, not a match for `unwrap`.
+
+/// What a token is. The rules only distinguish words from symbols.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`for`, `fn`, `HashMap`, `unwrap`, …).
+    Ident,
+    /// A single punctuation character (`.`, `:`, `(`, `{`, `!`, …).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: usize,
+}
+
+impl Token {
+    /// True for an identifier token with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// True for a punctuation token with exactly this character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct
+            && self.text.len() == ch.len_utf8()
+            && self.text.starts_with(ch)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `source` into ident/punct tokens, skipping comments, strings,
+/// chars, lifetimes and numbers. Never fails: unterminated literals simply
+/// consume to end of input (the real compiler reports those).
+pub fn tokenize(source: &str) -> Vec<Token> {
+    Lexer { bytes: source.as_bytes(), pos: 0, line: 1, tokens: Vec::new() }.run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    tokens: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.skip_line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.skip_block_comment(),
+                b'"' => self.skip_string(),
+                b'\'' => self.skip_char_or_lifetime(),
+                _ if is_ident_start(b) => self.lex_ident(),
+                _ if b.is_ascii_digit() => self.skip_number(),
+                _ => {
+                    if !b.is_ascii_whitespace() {
+                        self.push_punct(b as char);
+                    }
+                    self.pos += 1;
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push_punct(&mut self, ch: char) {
+        self.tokens.push(Token { kind: TokenKind::Punct, text: ch.to_string(), line: self.line });
+    }
+
+    fn skip_line_comment(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_block_comment(&mut self) {
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            match (self.bytes[self.pos], self.peek(1)) {
+                (b'/', Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (b'*', Some(b'/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (b'\n', _) => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// Skips a `"…"` literal starting at the opening quote, honouring
+    /// `\"` and `\\` escapes and counting embedded newlines.
+    fn skip_string(&mut self) {
+        self.pos += 1;
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => {
+                    // An escaped newline is a line-continuation: the line
+                    // count must still advance past it.
+                    if self.peek(1) == Some(b'\n') {
+                        self.line += 1;
+                    }
+                    self.pos += 2;
+                }
+                b'"' => {
+                    self.pos += 1;
+                    return;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// Skips a raw string `r"…"` / `r#"…"#…` starting at the first `#` or
+    /// quote (the `r`/`br` prefix has already been consumed).
+    fn skip_raw_string(&mut self) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        if self.peek(0) != Some(b'"') {
+            return; // not actually a raw string; let the main loop resume
+        }
+        self.pos += 1;
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'\n' {
+                self.line += 1;
+                self.pos += 1;
+                continue;
+            }
+            if self.bytes[self.pos] == b'"' {
+                let mut matched = 0usize;
+                while matched < hashes && self.peek(1 + matched) == Some(b'#') {
+                    matched += 1;
+                }
+                if matched == hashes {
+                    self.pos += 1 + hashes;
+                    return;
+                }
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Disambiguates `'a` (lifetime) from `'a'` / `'\n'` (char literal) at
+    /// an opening quote.
+    fn skip_char_or_lifetime(&mut self) {
+        if self.peek(1) == Some(b'\\') {
+            // Escaped char literal: quote, backslash, payload, closing quote.
+            self.pos += 2;
+            while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+                self.pos += 1;
+            }
+            self.pos += 1;
+            return;
+        }
+        if self.peek(1).is_some_and(is_ident_start) {
+            // `'x…`: a char literal iff the ident run is one char long and
+            // immediately closed by a quote; a lifetime otherwise.
+            let mut end = self.pos + 2;
+            while end < self.bytes.len() && is_ident_continue(self.bytes[end]) {
+                end += 1;
+            }
+            if self.bytes.get(end) == Some(&b'\'') {
+                self.pos = end + 1; // char literal like 'a'
+            } else {
+                self.pos = end; // lifetime like 'a — no trailing quote
+            }
+            return;
+        }
+        // `'('`-style literal (or stray quote): consume to the close.
+        self.pos += 1;
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+            if self.bytes[self.pos] == b'\n' {
+                self.line += 1;
+            }
+            self.pos += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn skip_number(&mut self) {
+        // Good enough for token boundaries: digits, `_`, type suffixes,
+        // hex/bin/oct bodies, and a fractional part when a digit follows
+        // the dot (`1..5` keeps its range dots).
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            let fraction_dot = b == b'.' && self.peek(1).is_some_and(|n| n.is_ascii_digit());
+            if b.is_ascii_alphanumeric() || b == b'_' || fraction_dot {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn lex_ident(&mut self) {
+        let start = self.pos;
+        while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        // String-literal prefixes: `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`,
+        // `c"…"`, and the raw-identifier prefix `r#ident`.
+        let next = self.peek(0);
+        match text.as_str() {
+            "r" | "br" | "cr" if next == Some(b'"') || next == Some(b'#') => {
+                if next == Some(b'#') && text == "r" {
+                    // Could be a raw identifier `r#move` rather than `r#"…"`.
+                    if self.peek(1).is_some_and(is_ident_start) {
+                        self.pos += 1; // consume '#', then lex the ident
+                        self.lex_ident();
+                        return;
+                    }
+                }
+                self.skip_raw_string();
+                return;
+            }
+            "b" | "c" if next == Some(b'"') => {
+                self.skip_string();
+                return;
+            }
+            "b" if next == Some(b'\'') => {
+                self.skip_char_or_lifetime();
+                return;
+            }
+            _ => {}
+        }
+        self.tokens.push(Token { kind: TokenKind::Ident, text, line: self.line });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(source: &str) -> Vec<String> {
+        tokenize(source)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_produce_no_tokens() {
+        let src = r##"
+            // unwrap in a comment
+            /* expect in /* a nested */ block */
+            let a = "unwrap inside a string";
+            let b = r#"raw expect"#;
+            let c = 'x';
+        "##;
+        let words = idents(src);
+        assert!(!words.contains(&"unwrap".to_string()), "{words:?}");
+        assert!(!words.contains(&"expect".to_string()), "{words:?}");
+        assert!(words.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn exact_identifiers_do_not_split() {
+        let words = idents("x.unwrap_or_else(); y.expect_end(); z.unwrap();");
+        assert_eq!(
+            words,
+            vec!["x", "unwrap_or_else", "y", "expect_end", "z", "unwrap"],
+            "identifier boundaries must be exact"
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        // A naive quote-matcher would treat `'a` as an unterminated char
+        // literal and swallow the rest of the line.
+        let words = idents("fn f<'a>(x: &'a str) { x.unwrap() }");
+        assert!(words.contains(&"unwrap".to_string()), "{words:?}");
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "let a = \"two\nlines\";\n/* block\ncomment */\nfoo();";
+        let tokens = tokenize(src);
+        let foo = tokens.iter().find(|t| t.is_ident("foo")).expect("foo lexed");
+        assert_eq!(foo.line, 5);
+    }
+}

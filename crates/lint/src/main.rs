@@ -1,0 +1,106 @@
+//! CLI for the foodmatch lint pass.
+//!
+//! ```text
+//! cargo run -p foodmatch-lint [--release] -- [--root <dir>] [--json <file>] [--quiet]
+//! ```
+//!
+//! Exit codes: `0` clean (waived violations are clean by definition), `1`
+//! unwaived diagnostics found, `2` usage or I/O failure.
+
+use foodmatch_lint::{find_workspace_root, scan_workspace};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json_out: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory"),
+            },
+            "--json" => match args.next() {
+                Some(file) => json_out = Some(PathBuf::from(file)),
+                None => return usage("--json needs a file path"),
+            },
+            "--quiet" | "-q" => quiet = true,
+            "--help" | "-h" => {
+                eprintln!("usage: foodmatch-lint [--root <dir>] [--json <file>] [--quiet]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root {
+        Some(dir) => dir,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(cwd) => cwd,
+                Err(e) => {
+                    eprintln!("foodmatch-lint: cannot read current dir: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Some(dir) => dir,
+                None => {
+                    eprintln!("foodmatch-lint: no workspace Cargo.toml above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = match scan_workspace(&root) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("foodmatch-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if report.files_scanned == 0 {
+        // A wrong --root must not read as a clean pass.
+        eprintln!("foodmatch-lint: no .rs files under {} — wrong --root?", root.display());
+        return ExitCode::from(2);
+    }
+
+    if let Some(path) = json_out {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("foodmatch-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    for d in &report.diagnostics {
+        println!("{}:{}: [{}] {}", d.path, d.line, d.rule, d.message);
+    }
+    if !quiet {
+        println!(
+            "foodmatch-lint: {} files, {} diagnostic(s), {} waiver(s)",
+            report.files_scanned,
+            report.diagnostics.len(),
+            report.waivers.len()
+        );
+        for (path, w) in &report.waivers {
+            println!(
+                "  waived [{}] {}:{} ({} suppressed) — {}",
+                w.rule, path, w.covers_line, w.suppressed, w.reason
+            );
+        }
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("foodmatch-lint: {problem}");
+    eprintln!("usage: foodmatch-lint [--root <dir>] [--json <file>] [--quiet]");
+    ExitCode::from(2)
+}

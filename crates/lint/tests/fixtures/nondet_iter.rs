@@ -1,0 +1,24 @@
+use std::collections::{HashMap, HashSet};
+
+pub fn flush(per_vehicle: &HashMap<usize, Vec<usize>>) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (vehicle, orders) in per_vehicle.iter() {
+        let _ = vehicle;
+        out.extend(orders.iter().copied());
+    }
+    out
+}
+
+pub fn sorted_ids(touched: &HashSet<usize>) -> Vec<usize> {
+    let mut ids: Vec<usize> = touched.iter().copied().collect();
+    ids.sort_unstable();
+    ids
+}
+
+pub fn order_sum(weights: HashMap<u64, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_, w) in &weights {
+        total += w;
+    }
+    total
+}

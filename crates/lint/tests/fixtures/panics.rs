@@ -1,0 +1,24 @@
+pub fn parse_header(bytes: &[u8]) -> u64 {
+    let word: [u8; 8] = bytes[..8].try_into().unwrap();
+    u64::from_le_bytes(word)
+}
+
+pub fn must_flush(ok: bool) {
+    if !ok {
+        panic!("flush failed");
+    }
+}
+
+pub fn frame_len(bytes: &[u8]) -> u32 {
+    let word: [u8; 4] = bytes[..4].try_into().expect("length-checked");
+    u32::from_le_bytes(word)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Result<u8, ()> = Ok(1);
+        v.unwrap();
+    }
+}

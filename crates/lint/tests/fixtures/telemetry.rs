@@ -1,0 +1,18 @@
+pub struct Stage {
+    windows: foodmatch_telemetry::Counter,
+}
+
+impl Stage {
+    pub fn new() -> Self {
+        Stage { windows: foodmatch_telemetry::counter("stage.windows") }
+    }
+
+    pub fn on_window(&self) {
+        foodmatch_telemetry::counter("stage.windows").add(1);
+        self.windows.add(1);
+    }
+
+    pub fn with_gauge(&self) -> foodmatch_telemetry::Gauge {
+        foodmatch_telemetry::gauge("stage.depth")
+    }
+}

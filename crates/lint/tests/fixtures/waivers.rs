@@ -1,0 +1,16 @@
+pub fn read_len(bytes: &[u8]) -> u32 {
+    // lint: allow(panic-free-durability) — fixture: callers length-check first.
+    let word: [u8; 4] = bytes[..4].try_into().unwrap();
+    u32::from_le_bytes(word)
+}
+
+pub fn read_more(bytes: &[u8]) -> u32 {
+    // lint: allow(panic-free-durability)
+    let word: [u8; 4] = bytes[..4].try_into().unwrap();
+    u32::from_le_bytes(word)
+}
+
+// lint: allow(no-such-rule) — fixture: unknown rule id.
+
+// lint: allow(panic-free-durability) — fixture: suppresses nothing here.
+pub fn clean() {}

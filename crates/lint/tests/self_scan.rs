@@ -1,0 +1,68 @@
+//! The self-hosting guarantee: the committed workspace passes its own lint
+//! pass. Any new hash-iteration on the output path, panic in the durability
+//! layer, stray wall-clock read, or per-window telemetry lookup fails this
+//! test (and CI) with a `file:line` and rule id — and so does a waiver that
+//! has rotted into suppressing nothing.
+
+use foodmatch_lint::scan_workspace;
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    // crates/lint -> crates -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crate lives two levels below the workspace root")
+}
+
+#[test]
+fn committed_workspace_is_lint_clean() {
+    let report = scan_workspace(workspace_root()).expect("scan workspace");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — walker broke?",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "committed workspace has unwaived lint diagnostics:\n{:#?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn every_committed_waiver_still_suppresses_something() {
+    let report = scan_workspace(workspace_root()).expect("scan workspace");
+    assert!(!report.waivers.is_empty(), "the workspace is known to carry waivers");
+    for (path, waiver) in &report.waivers {
+        assert!(
+            waiver.suppressed >= 1,
+            "stale waiver for `{}` at {path}:{} suppresses nothing",
+            waiver.rule,
+            waiver.declared_line
+        );
+        assert!(
+            waiver.reason.len() >= 10,
+            "waiver at {path}:{} has a throwaway reason: {:?}",
+            waiver.declared_line,
+            waiver.reason
+        );
+    }
+}
+
+#[test]
+fn json_report_is_stable_and_parseable_shape() {
+    let report = scan_workspace(workspace_root()).expect("scan workspace");
+    let json = report.to_json();
+    // Key order is part of the report contract (diffable in CI artifacts).
+    let tool = json.find("\"tool\"").expect("tool key");
+    let files = json.find("\"files_scanned\"").expect("files_scanned key");
+    let rules = json.find("\"rules\"").expect("rules key");
+    let diags = json.find("\"diagnostic_count\"").expect("diagnostic_count key");
+    let waivers = json.find("\"waiver_count\"").expect("waiver_count key");
+    assert!(tool < files && files < rules && rules < diags && diags < waivers);
+    assert!(json.contains("\"diagnostic_count\": 0"), "committed tree must be clean");
+    // Same tree, same report — byte for byte.
+    let again = scan_workspace(workspace_root()).expect("rescan workspace");
+    assert_eq!(json, again.to_json(), "report must be deterministic");
+}

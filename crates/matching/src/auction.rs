@@ -39,8 +39,26 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
 
 /// The ε-scaling auction solver. See the module docs.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct Auction;
+#[derive(Clone, Debug)]
+pub struct Auction {
+    /// `matching.auction.rounds` — scaling phases per solve. Acquired at
+    /// construction (inert without a recorder), never looked up mid-solve.
+    rounds: foodmatch_telemetry::Histogram,
+}
+
+impl Auction {
+    /// An auction solver whose telemetry handle binds to the recorder
+    /// installed at construction time.
+    pub fn new() -> Self {
+        Auction { rounds: foodmatch_telemetry::histogram("matching.auction.rounds") }
+    }
+}
+
+impl Default for Auction {
+    fn default() -> Self {
+        Auction::new()
+    }
+}
 
 impl AssignmentSolver for Auction {
     fn name(&self) -> &'static str {
@@ -50,12 +68,13 @@ impl AssignmentSolver for Auction {
     fn solve(&self, costs: &SparseCostMatrix) -> Assignment {
         debug_assert_entries_at_most_default(costs);
         let useful = if costs.rows() <= costs.cols() {
-            auction_useful(costs)
+            auction_useful(costs, &self.rounds)
         } else {
-            let mut swapped: Vec<(usize, usize, f64)> = auction_useful(&costs.transposed())
-                .into_iter()
-                .map(|(r, c, v)| (c, r, v))
-                .collect();
+            let mut swapped: Vec<(usize, usize, f64)> =
+                auction_useful(&costs.transposed(), &self.rounds)
+                    .into_iter()
+                    .map(|(r, c, v)| (c, r, v))
+                    .collect();
             swapped.sort_by_key(|&(r, _, _)| r);
             swapped
         };
@@ -91,7 +110,10 @@ impl PartialOrd for PriceEntry {
 
 /// Runs the symmetrised ε-scaling auction for `rows ≤ cols`, returning the
 /// matched sub-Ω `(row, col, cost)` triples sorted by row.
-fn auction_useful(costs: &SparseCostMatrix) -> Vec<(usize, usize, f64)> {
+fn auction_useful(
+    costs: &SparseCostMatrix,
+    rounds_hist: &foodmatch_telemetry::Histogram,
+) -> Vec<(usize, usize, f64)> {
     let n = costs.rows();
     let m = costs.cols();
     debug_assert!(n <= m);
@@ -128,9 +150,7 @@ fn auction_useful(costs: &SparseCostMatrix) -> Vec<(usize, usize, f64)> {
         }
         eps = (eps / 5.0).max(eps_final);
     }
-    if foodmatch_telemetry::active() {
-        foodmatch_telemetry::histogram("matching.auction.rounds").record(rounds);
-    }
+    rounds_hist.record(rounds);
 
     match_bidder
         .iter()
@@ -231,7 +251,7 @@ mod tests {
         costs.set(0, 0, 0.0);
         costs.set(0, 1, 1.0);
         costs.set(1, 0, 1.0);
-        let a = Auction.solve(&costs);
+        let a = Auction::new().solve(&costs);
         assert!((a.total_cost - 2.0).abs() < 1e-9, "got {}", a.total_cost);
         assert_eq!(a.row_to_col, vec![Some(1), Some(0)]);
     }
@@ -241,7 +261,7 @@ mod tests {
         let mut costs = SparseCostMatrix::new(2, 1, 30.0);
         costs.set(0, 0, 30.0); // == Ω: no better than rejection
         costs.set(1, 0, 12.0);
-        let a = Auction.solve(&costs);
+        let a = Auction::new().solve(&costs);
         assert!((a.total_cost - 12.0).abs() < 1e-9, "got {}", a.total_cost);
         assert_eq!(a.col_to_row, vec![Some(1)]);
     }
@@ -262,7 +282,7 @@ mod tests {
                     }
                 }
             }
-            let auction = Auction.solve(&costs);
+            let auction = Auction::new().solve(&costs);
             let dense = DenseKm.solve(&costs);
             assert!(
                 (auction.total_cost - dense.total_cost).abs() < 0.5,

@@ -154,17 +154,37 @@ pub fn decompose(costs: &SparseCostMatrix) -> Vec<Component> {
 /// component independently with the inner solver — in parallel — and
 /// stitches the per-component assignments back together. Exact whenever the
 /// inner solver is (see the module docs for the proof sketch).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Decomposed<S> {
     inner: S,
     threads: usize,
+    metrics: DecomposedMetrics,
+}
+
+/// `matching.components` / `matching.component_size` handles, acquired once
+/// at construction (inert without a recorder) so `solve` never touches the
+/// registry — the per-window hot path does handle *use* only.
+#[derive(Clone, Debug)]
+struct DecomposedMetrics {
+    components: foodmatch_telemetry::Histogram,
+    component_size: foodmatch_telemetry::Histogram,
+}
+
+impl DecomposedMetrics {
+    fn acquire() -> Self {
+        DecomposedMetrics {
+            components: foodmatch_telemetry::histogram("matching.components"),
+            component_size: foodmatch_telemetry::histogram("matching.component_size"),
+        }
+    }
 }
 
 impl<S: AssignmentSolver> Decomposed<S> {
     /// Wraps `inner`, solving components serially until
-    /// [`with_threads`](Self::with_threads) widens the fan-out.
+    /// [`with_threads`](Self::with_threads) widens the fan-out. Telemetry
+    /// handles bind to the recorder installed at construction time.
     pub fn new(inner: S) -> Self {
-        Decomposed { inner, threads: 1 }
+        Decomposed { inner, threads: 1, metrics: DecomposedMetrics::acquire() }
     }
 
     /// Sets the maximum number of worker threads for per-component solves.
@@ -192,13 +212,12 @@ impl<S: AssignmentSolver> AssignmentSolver for Decomposed<S> {
         debug_assert_entries_at_most_default(costs);
         let omega = costs.default_cost();
         let components = decompose(costs);
-        // `Decomposed` stays `Copy`, so handles are looked up per solve
-        // (window granularity) rather than cached in the struct.
-        if foodmatch_telemetry::active() {
-            foodmatch_telemetry::histogram("matching.components").record(components.len() as u64);
-            let size = foodmatch_telemetry::histogram("matching.component_size");
+        if self.metrics.components.is_live() {
+            self.metrics.components.record(components.len() as u64);
             for component in &components {
-                size.record((component.rows.len() + component.cols.len()) as u64);
+                self.metrics
+                    .component_size
+                    .record((component.rows.len() + component.cols.len()) as u64);
             }
         }
         // Small instances or a single component: skip the sharding overhead.

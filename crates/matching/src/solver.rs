@@ -244,7 +244,7 @@ impl SolverKind {
         let inner: Box<dyn AssignmentSolver> = match self {
             SolverKind::DenseKm => Box::new(DenseKm),
             SolverKind::SparseKm => Box::new(crate::SparseKm),
-            SolverKind::Auction => Box::new(crate::Auction),
+            SolverKind::Auction => Box::new(crate::Auction::new()),
             SolverKind::DecomposedDenseKm => {
                 Box::new(crate::Decomposed::new(DenseKm).with_threads(threads))
             }
@@ -252,7 +252,7 @@ impl SolverKind {
                 Box::new(crate::Decomposed::new(crate::SparseKm).with_threads(threads))
             }
             SolverKind::DecomposedAuction => {
-                Box::new(crate::Decomposed::new(crate::Auction).with_threads(threads))
+                Box::new(crate::Decomposed::new(crate::Auction::new()).with_threads(threads))
             }
             SolverKind::Auto => Box::new(crate::Decomposed::new(AutoKm).with_threads(threads)),
         };

@@ -41,7 +41,7 @@
 
 use crate::fleet::VehicleState;
 use crate::metrics::MetricsCollector;
-use foodmatch_core::codec::{crc32, ByteReader, Codec, DecodeError};
+use foodmatch_core::codec::{crc32, u32_le_at, u64_le_at, ByteReader, Codec, DecodeError};
 use foodmatch_core::{DispatchConfig, Order, OrderId, VehicleId};
 use foodmatch_events::EventSchedule;
 use foodmatch_roadnet::TimePoint;
@@ -464,8 +464,8 @@ fn unseal(bytes: &[u8]) -> Result<&[u8], CheckpointError> {
         found.copy_from_slice(&bytes[..8]);
         return Err(CheckpointError::BadMagic { found });
     }
-    let declared = u64::from_le_bytes(bytes[8..16].try_into().expect("8-byte slice"));
-    let expected = u32::from_le_bytes(bytes[16..20].try_into().expect("4-byte slice"));
+    let declared = u64_le_at(bytes, 8);
+    let expected = u32_le_at(bytes, 16);
     let payload = &bytes[20..];
     if declared != payload.len() as u64 {
         return Err(CheckpointError::LengthMismatch { declared, actual: payload.len() as u64 });
@@ -496,6 +496,9 @@ fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
 /// atomically to `path`.
 pub fn save_checkpoint<C: Codec>(path: impl AsRef<Path>, state: &C) -> Result<(), CheckpointError> {
     let _span = foodmatch_telemetry::span("checkpoint", "save");
+    // lint: allow(telemetry-handle-discipline) — free function with no
+    // struct to cache a handle in; runs once per checkpoint save, not per
+    // window, and must bind whatever recorder is installed at call time.
     let _timer = foodmatch_telemetry::histogram("checkpoint.save_ns").timer();
     atomic_write(path.as_ref(), &seal(&state.to_bytes()))
 }
@@ -505,6 +508,8 @@ pub fn save_checkpoint<C: Codec>(path: impl AsRef<Path>, state: &C) -> Result<()
 /// [`CheckpointError`].
 pub fn load_checkpoint<C: Codec>(path: impl AsRef<Path>) -> Result<C, CheckpointError> {
     let _span = foodmatch_telemetry::span("checkpoint", "restore");
+    // lint: allow(telemetry-handle-discipline) — free function, once per
+    // restore; see `save_checkpoint`.
     let _timer = foodmatch_telemetry::histogram("checkpoint.restore_ns").timer();
     let bytes = fs::read(path.as_ref())?;
     let payload = unseal(&bytes)?;
@@ -526,6 +531,8 @@ pub fn save_router_checkpoint(
     checkpoint: &RouterCheckpoint,
 ) -> Result<(), CheckpointError> {
     let _span = foodmatch_telemetry::span("checkpoint", "save_router");
+    // lint: allow(telemetry-handle-discipline) — free function, once per
+    // checkpoint save; see `save_checkpoint`.
     let _timer = foodmatch_telemetry::histogram("checkpoint.save_ns").timer();
     let dir = dir.as_ref();
     let staging = dir.with_extension("ckpt-staging");
@@ -559,6 +566,8 @@ pub fn save_router_checkpoint(
 /// (container checksum *and* the manifest's record of it) before decoding.
 pub fn load_router_checkpoint(dir: impl AsRef<Path>) -> Result<RouterCheckpoint, CheckpointError> {
     let _span = foodmatch_telemetry::span("checkpoint", "restore_router");
+    // lint: allow(telemetry-handle-discipline) — free function, once per
+    // restore; see `save_checkpoint`.
     let _timer = foodmatch_telemetry::histogram("checkpoint.restore_ns").timer();
     let dir = dir.as_ref();
     let manifest_bytes = fs::read(dir.join(ROUTER_MANIFEST))?;
@@ -613,6 +622,15 @@ struct CheckpointerShared {
     error: Mutex<Option<String>>,
 }
 
+/// Locks a mutex, recovering from poisoning instead of panicking. A
+/// poisoned lock means some thread panicked while holding it; every value
+/// guarded here (a pending-job counter, an error slot) is valid in any
+/// intermediate state, so the durability layer keeps going rather than
+/// cascading the panic through crash recovery.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Two-phase background checkpointing: cheap in-thread *capture*
 /// (cloning the dispatcher's state — what
 /// [`DurableDispatch::checkpoint`](crate::DurableDispatch::checkpoint)
@@ -652,7 +670,7 @@ impl<C: Send + 'static> fmt::Debug for BackgroundCheckpointer<C> {
 impl BackgroundCheckpointer<ServiceCheckpoint> {
     /// A background checkpointer persisting [`ServiceCheckpoint`]s to a
     /// single container file via [`save_checkpoint`].
-    pub fn service(path: impl AsRef<Path>) -> Self {
+    pub fn service(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
         Self::new(path, |path, state| save_checkpoint(path, state))
     }
 }
@@ -660,7 +678,7 @@ impl BackgroundCheckpointer<ServiceCheckpoint> {
 impl BackgroundCheckpointer<RouterCheckpoint> {
     /// A background checkpointer persisting [`RouterCheckpoint`]s to a
     /// checkpoint directory via [`save_router_checkpoint`].
-    pub fn router(dir: impl AsRef<Path>) -> Self {
+    pub fn router(dir: impl AsRef<Path>) -> Result<Self, CheckpointError> {
         Self::new(dir, |dir, state| save_router_checkpoint(dir, state))
     }
 }
@@ -668,11 +686,12 @@ impl BackgroundCheckpointer<RouterCheckpoint> {
 impl<C: Send + 'static> BackgroundCheckpointer<C> {
     /// Starts the persist worker, writing every sealed checkpoint to
     /// `path` through `persist` (an atomic-rename writer such as
-    /// [`save_checkpoint`] or [`save_router_checkpoint`]).
+    /// [`save_checkpoint`] or [`save_router_checkpoint`]). Fails with
+    /// [`CheckpointError::Io`] if the worker thread cannot be spawned.
     pub fn new(
         path: impl AsRef<Path>,
         persist: fn(&Path, &C) -> Result<(), CheckpointError>,
-    ) -> Self {
+    ) -> Result<Self, CheckpointError> {
         let path = path.as_ref().to_path_buf();
         let shared = Arc::new(CheckpointerShared {
             sealed_seq: AtomicU64::new(0),
@@ -711,33 +730,45 @@ impl<C: Send + 'static> BackgroundCheckpointer<C> {
                             sealed.inc();
                         }
                         Err(e) => {
-                            let mut slot = worker_shared.error.lock().expect("error lock");
+                            let mut slot = lock_unpoisoned(&worker_shared.error);
                             slot.get_or_insert_with(|| {
                                 format!("background checkpoint at seq {} failed: {e}", job.seq)
                             });
                         }
                     }
-                    let mut pending = worker_shared.pending.lock().expect("pending lock");
-                    *pending -= consumed;
+                    let mut pending = lock_unpoisoned(&worker_shared.pending);
+                    *pending = pending.saturating_sub(consumed);
                     worker_shared.idle.notify_all();
                 }
             })
-            .expect("spawn checkpoint worker");
-        BackgroundCheckpointer { sender: Some(sender), worker: Some(worker), shared }
+            .map_err(CheckpointError::Io)?;
+        Ok(BackgroundCheckpointer { sender: Some(sender), worker: Some(worker), shared })
     }
 
     /// Phase two: hands a captured checkpoint (covering WAL records below
     /// `seq`) to the persist worker and returns immediately. `seq` must be
     /// the value stamped on the checkpoint (its `wal_seq`).
+    /// The worker lives until `Drop` closes the channel, so a send only
+    /// fails if the worker thread died; that failure lands in the error
+    /// slot (surfaced by [`take_error`](Self::take_error) /
+    /// [`drain`](Self::drain)) rather than panicking the dispatch thread.
     pub fn save(&self, seq: u64, state: C) {
-        let mut pending = self.shared.pending.lock().expect("pending lock");
+        let mut pending = lock_unpoisoned(&self.shared.pending);
         *pending += 1;
         drop(pending);
-        self.sender
-            .as_ref()
-            .expect("sender lives until drop")
-            .send(CheckpointJob { seq, state })
-            .expect("checkpoint worker lives until drop");
+        let sent = match self.sender.as_ref() {
+            Some(sender) => sender.send(CheckpointJob { seq, state }).is_ok(),
+            None => false,
+        };
+        if !sent {
+            let mut pending = lock_unpoisoned(&self.shared.pending);
+            *pending = pending.saturating_sub(1);
+            drop(pending);
+            lock_unpoisoned(&self.shared.error).get_or_insert_with(|| {
+                format!("checkpoint worker unavailable; save at seq {seq} dropped")
+            });
+            self.shared.idle.notify_all();
+        }
     }
 
     /// Highest WAL sequence whose checkpoint is sealed on disk — safe to
@@ -749,22 +780,23 @@ impl<C: Send + 'static> BackgroundCheckpointer<C> {
 
     /// Jobs enqueued but not yet persisted or coalesced.
     pub fn pending(&self) -> usize {
-        *self.shared.pending.lock().expect("pending lock")
+        *lock_unpoisoned(&self.shared.pending)
     }
 
     /// Takes the first persist failure, if one occurred. A failed save
     /// never advances [`sealed_seq`](Self::sealed_seq), so compaction
     /// anchored there stays safe even if the error goes unchecked.
     pub fn take_error(&self) -> Option<String> {
-        self.shared.error.lock().expect("error lock").take()
+        lock_unpoisoned(&self.shared.error).take()
     }
 
     /// Blocks until every enqueued job is persisted (or coalesced away)
     /// and returns the sealed sequence, or the first persist failure.
     pub fn drain(&self) -> Result<u64, String> {
-        let mut pending = self.shared.pending.lock().expect("pending lock");
+        let mut pending = lock_unpoisoned(&self.shared.pending);
         while *pending > 0 {
-            pending = self.shared.idle.wait(pending).expect("pending lock");
+            pending =
+                self.shared.idle.wait(pending).unwrap_or_else(std::sync::PoisonError::into_inner);
         }
         drop(pending);
         match self.take_error() {
@@ -832,7 +864,8 @@ mod tests {
         fs::create_dir_all(&dir).expect("create temp dir");
         let path = dir.join("bg.ckpt");
         let bg: BackgroundCheckpointer<u64> =
-            BackgroundCheckpointer::new(&path, |path, state| save_checkpoint(path, state));
+            BackgroundCheckpointer::new(&path, |path, state| save_checkpoint(path, state))
+                .expect("spawn checkpoint worker");
         assert_eq!(bg.sealed_seq(), 0, "nothing sealed yet");
         // A burst of saves: the worker may coalesce, but the newest always
         // lands, and sealed_seq only moves forward.
@@ -853,7 +886,8 @@ mod tests {
         // The parent directory does not exist, so every atomic write fails.
         let path = dir.join("missing").join("bg.ckpt");
         let bg: BackgroundCheckpointer<u64> =
-            BackgroundCheckpointer::new(&path, |path, state| save_checkpoint(path, state));
+            BackgroundCheckpointer::new(&path, |path, state| save_checkpoint(path, state))
+                .expect("spawn checkpoint worker");
         bg.save(3, 42);
         let err = bg.drain().expect_err("persist into a missing dir fails");
         assert!(err.contains("seq 3"), "error names the failed seq: {err}");

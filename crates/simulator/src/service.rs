@@ -49,7 +49,7 @@ use foodmatch_core::route::{plan_optimal_route, PlannedOrder};
 use foodmatch_core::{DispatchConfig, DispatchPolicy, Order, OrderId, VehicleId, WindowSnapshot};
 use foodmatch_events::{DisruptionEvent, EventKind, EventSchedule};
 use foodmatch_roadnet::{Duration, NodeId, ShortestPathEngine, TimePoint};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::time::Instant;
 
 /// The typed outcome of submitting an order to a [`DispatchService`] or a
@@ -783,6 +783,9 @@ impl<P: DispatchPolicy> DispatchService<P> {
         let order_count = window.order_count();
         let vehicle_count = window.vehicle_count();
 
+        // lint: allow(wall-clock-hygiene) — `compute_secs` is a *reported*
+        // wall-clock measurement (the paper's per-window compute budget);
+        // it feeds `WindowStats`, which golden comparisons normalise.
         let started = Instant::now();
         let outcome = self.policy.assign(&window, &self.engine, &self.config);
         let compute_secs = started.elapsed().as_secs_f64();
@@ -806,7 +809,10 @@ impl<P: DispatchPolicy> DispatchService<P> {
         // 5. Apply the assignment.
         let order_lookup: HashMap<OrderId, Order> =
             window.orders.iter().map(|o| (o.id, *o)).collect();
-        let mut touched: HashSet<usize> = HashSet::new();
+        // Both sets below drive loops whose side effects land in the output
+        // stream, so they are BTreeSets: iteration order must come from the
+        // keys, never from hasher state (`nondeterministic-iteration`).
+        let mut touched: BTreeSet<usize> = BTreeSet::new();
         // Carried order-id sets before this window's changes; vehicles whose
         // set is unchanged keep their current itinerary, so partial progress
         // along an edge is never thrown away by a no-op replan.
@@ -819,7 +825,7 @@ impl<P: DispatchPolicy> DispatchService<P> {
                 ids
             })
             .collect();
-        let assigned_now: HashSet<OrderId> =
+        let assigned_now: BTreeSet<OrderId> =
             outcome.assignments.iter().flat_map(|a| a.orders.iter().copied()).collect();
 
         // Detach every order that the matching moved somewhere (it may be

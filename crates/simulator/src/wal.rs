@@ -58,7 +58,7 @@
 //!   reading stops with a hard, typed [`WalError`]. Never a panic, never a
 //!   silently wrong prefix.
 
-use foodmatch_core::codec::{crc32, ByteReader, Codec, DecodeError};
+use foodmatch_core::codec::{crc32, u32_le_at, u64_le_at, ByteReader, Codec, DecodeError};
 use foodmatch_core::Order;
 use foodmatch_events::DisruptionEvent;
 use foodmatch_roadnet::TimePoint;
@@ -355,13 +355,12 @@ pub fn read_wal_bytes(bytes: &[u8]) -> Result<WalReadOutcome, WalError> {
             found: bytes[..bytes.len().min(WAL_HEADER_LEN)].to_vec(),
         });
     }
-    let seq_bytes: [u8; 8] = bytes[8..16].try_into().expect("8 bytes");
-    let expected = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes"));
-    let actual = crc32(&seq_bytes);
+    let base_seq = u64_le_at(bytes, 8);
+    let expected = u32_le_at(bytes, 16);
+    let actual = crc32(&base_seq.to_le_bytes());
     if actual != expected {
         return Err(WalError::HeaderChecksumMismatch { expected, actual });
     }
-    let base_seq = u64::from_le_bytes(seq_bytes);
     let mut records = Vec::new();
     let mut offset = WAL_HEADER_LEN;
     loop {
@@ -377,9 +376,8 @@ pub fn read_wal_bytes(bytes: &[u8]) -> Result<WalReadOutcome, WalError> {
                 torn_tail: Some(TornTail { offset: offset as u64, bytes: remaining as u64 }),
             });
         }
-        let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes"));
-        let expected =
-            u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().expect("4 bytes"));
+        let len = u32_le_at(bytes, offset);
+        let expected = u32_le_at(bytes, offset + 4);
         if len > MAX_RECORD_LEN {
             return Err(WalError::OversizedRecord { offset: offset as u64, declared: len });
         }
@@ -556,6 +554,9 @@ impl WriteAheadLog {
         let _append = self.metrics.append_ns.timer();
         frame_into(record, &mut self.buffer);
         if self.oldest_buffered.is_none() {
+            // lint: allow(wall-clock-hygiene) — `FlushPolicy::Timed` is a
+            // wall-clock latency bound by definition; the deadline never
+            // feeds the replayed output stream, only fsync scheduling.
             self.oldest_buffered = Some(Instant::now());
         }
         let seq = self.appended_seq;

@@ -65,7 +65,7 @@ fn main() {
     let ckpt_path = dir.join("dispatch.ckpt");
     let log = WriteAheadLog::create_with(&wal_path, FlushPolicy::Window).expect("create WAL");
     let mut durable = DurableDispatch::new(sim.service(FoodMatchPolicy::new()), log);
-    let checkpointer = BackgroundCheckpointer::service(&ckpt_path);
+    let checkpointer = BackgroundCheckpointer::service(&ckpt_path).expect("spawn checkpointer");
 
     // Half an hour in it starts raining; ten minutes later the power goes.
     let rain_at = sim.start + Duration::from_mins(30.0);
@@ -139,7 +139,7 @@ fn main() {
     // The demand feed never died — resume it against the rebuilt service
     // and drain the day.
     let mut durable = DurableDispatch::new(service, log);
-    let checkpointer = BackgroundCheckpointer::service(&ckpt_path);
+    let checkpointer = BackgroundCheckpointer::service(&ckpt_path).expect("spawn checkpointer");
     pump(&mut durable, &mut demand, None, &checkpointer);
     checkpointer.drain().expect("final checkpoint seals");
 

@@ -48,8 +48,14 @@ only, exit 0 — when the two runs are not comparable: different
 ``available_parallelism`` or a different ``quick`` flag. The deterministic
 disruptions metrics only require matching ``quick`` and ``seed``.
 
+With ``--lint-report LINT_JSON`` the script additionally summarises a
+``foodmatch-lint`` report: waiver count (per rule) and diagnostic count,
+failing when the report carries unwaived diagnostics. In this mode the two
+benchmark positionals may be omitted to check the lint report alone.
+
 Usage:
     check_bench_regression.py NEW_JSON BASELINE_JSON [--threshold 0.30]
+    check_bench_regression.py --lint-report lint-report.json
 """
 
 import argparse
@@ -395,17 +401,59 @@ def check_disruptions(new, baseline, threshold):
     return failures
 
 
+def check_lint_report(path):
+    """Summarises a foodmatch-lint JSON report. Returns failure labels."""
+    report = load(path)
+    waivers = report.get("waivers", [])
+    per_rule = {}
+    for waiver in waivers:
+        per_rule[waiver["rule"]] = per_rule.get(waiver["rule"], 0) + 1
+    breakdown = ", ".join(f"{rule}: {n}" for rule, n in sorted(per_rule.items()))
+    print(
+        f"lint: {report.get('files_scanned', '?')} files scanned, "
+        f"{report.get('waiver_count', len(waivers))} waiver(s)"
+        + (f" ({breakdown})" if breakdown else "")
+    )
+    for waiver in waivers:
+        print(
+            f"  waived [{waiver['rule']}] {waiver['path']}:{waiver['line']} "
+            f"— {waiver['reason']}"
+        )
+    count = int(report.get("diagnostic_count", 0))
+    if count > 0:
+        for diag in report.get("diagnostics", []):
+            print(f"  UNWAIVED [{diag['rule']}] {diag['path']}:{diag['line']}")
+        return [f"{count} unwaived lint diagnostic(s)"]
+    return []
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("new", help="freshly generated benchmark JSON")
-    parser.add_argument("baseline", help="committed baseline benchmark JSON")
+    parser.add_argument("new", nargs="?", help="freshly generated benchmark JSON")
+    parser.add_argument("baseline", nargs="?", help="committed baseline benchmark JSON")
     parser.add_argument(
         "--threshold",
         type=float,
         default=0.30,
         help="maximum tolerated fractional regression (default 0.30)",
     )
+    parser.add_argument(
+        "--lint-report",
+        help="foodmatch-lint JSON report to summarise (waiver count) and gate on",
+    )
     args = parser.parse_args()
+
+    lint_failures = []
+    if args.lint_report:
+        lint_failures = check_lint_report(args.lint_report)
+    if args.new is None or args.baseline is None:
+        if not args.lint_report:
+            parser.error("NEW_JSON and BASELINE_JSON are required without --lint-report")
+        if lint_failures:
+            print("FAIL: " + ", ".join(lint_failures))
+            return 1
+        print("lint report check passed")
+        return 0
 
     new = load(args.new)
     baseline = load(args.baseline)
@@ -446,6 +494,7 @@ def main():
         failures = enforced
     else:
         failures = failures + enforced
+    failures = failures + lint_failures
     if failures:
         print("FAIL: regressed beyond tolerance on: " + ", ".join(failures))
         return 1

@@ -208,7 +208,7 @@ fn auction_stays_within_its_epsilon_bound_on_real_costs() {
     for _ in 0..100 {
         let costs = random_instance(&mut rng, 0.4, false);
         let dense = solve_hungarian(&costs.to_dense());
-        let solved = Auction.solve(&costs);
+        let solved = Auction::new().solve(&costs);
         assert!(solved.total_cost >= dense.total_cost - 1e-6, "auction can never beat the optimum");
         assert!(
             solved.total_cost - dense.total_cost < 1.0,
